@@ -1,0 +1,76 @@
+// Command dsmbench runs the quantitative experiment sweeps E1–E8 of
+// DESIGN.md and prints their tables.
+//
+// Usage:
+//
+//	dsmbench                    # run every experiment
+//	dsmbench -exp jitter        # one of: jitter, nprocs, mix,
+//	                            # falsecausality, buffer, throughput,
+//	                            # ws, ablation
+//	dsmbench -procs 4 -ops 500  # sizing for -exp throughput
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all)")
+	procs := flag.Int("procs", 4, "processes for the throughput experiment")
+	ops := flag.Int("ops", 1000, "ops per process for the throughput experiment")
+	flag.Parse()
+
+	sims := map[string]func() (experiments.Result, error){
+		"jitter":         experiments.Jitter,
+		"nprocs":         experiments.ProcCount,
+		"mix":            experiments.Mix,
+		"falsecausality": experiments.FalseCausalityRate,
+		"buffer":         experiments.BufferOccupancy,
+		"ws":             experiments.WritingSemantics,
+		"ablation":       experiments.Ablation,
+		"metadata":       experiments.MetadataOverhead,
+		"twosite":        experiments.TwoSiteTopology,
+		"visibility":     experiments.VisibilityLatency,
+	}
+
+	switch *exp {
+	case "":
+		rs, err := experiments.All()
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rs {
+			fmt.Println(r)
+		}
+		tr, err := experiments.Throughput(*procs, *ops)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tr)
+	case "throughput":
+		r, err := experiments.Throughput(*procs, *ops)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	default:
+		fn, ok := sims[*exp]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
+		}
+		r, err := fn()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmbench:", err)
+	os.Exit(1)
+}

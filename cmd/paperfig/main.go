@@ -1,0 +1,77 @@
+// Command paperfig regenerates the paper's tables and figures from
+// live protocol runs on the deterministic simulator.
+//
+// Usage:
+//
+//	paperfig                  # render every artifact
+//	paperfig -artifact fig3   # render one (table1, table2, fig1, fig2,
+//	                          # fig3, fig6, fig7)
+//	paperfig -list            # list artifact names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/paperrepro"
+)
+
+func main() {
+	artifact := flag.String("artifact", "", "artifact to render (default: all)")
+	list := flag.Bool("list", false, "list artifact names and exit")
+	outDir := flag.String("o", "", "write each artifact to <dir>/<name>.txt instead of stdout")
+	flag.Parse()
+
+	if *list {
+		for _, a := range paperrepro.Artifacts() {
+			fmt.Println(a.Name)
+		}
+		return
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, a := range paperrepro.Artifacts() {
+			if *artifact != "" && a.Name != *artifact {
+				continue
+			}
+			out, err := a.Render()
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, a.Name+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	}
+	if *artifact == "" {
+		out, err := paperrepro.All()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	for _, a := range paperrepro.Artifacts() {
+		if a.Name == *artifact {
+			out, err := a.Render()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+			return
+		}
+	}
+	fatal(fmt.Errorf("unknown artifact %q (try -list)", *artifact))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfig:", err)
+	os.Exit(1)
+}

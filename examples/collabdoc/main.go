@@ -1,0 +1,106 @@
+// Collabdoc: collaborative editing of a sectioned document — the
+// "decoupled in time, space and flow" scenario of the paper's
+// data-centric motivation.
+//
+// Each editor owns one section it revises repeatedly; before revising,
+// it reads the section it depends on (editor 2 cites section 1, editor
+// 3 cites section 2, ...). Causal memory guarantees every replica sees
+// a citation only together with (or after) the cited revision, while
+// still letting unrelated revisions propagate concurrently — the
+// low-latency advantage over sequential consistency the paper stresses.
+//
+// The example also contrasts the delay behaviour of OptP and ANBKH on
+// exactly the same edit pattern.
+//
+// Run with: go run ./examples/collabdoc
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+const (
+	editors   = 3
+	revisions = 6
+)
+
+// runEdit drives the editing session on a cluster of the given
+// protocol and returns the audited report plus the delay count.
+func runEdit(kind protocol.Kind) (delays int, unnecessary int, err error) {
+	cluster, err := core.NewCluster(core.Config{
+		Processes: editors,
+		Variables: editors, // one variable per document section
+		Protocol:  kind,
+		MaxDelay:  2 * time.Millisecond,
+		Seed:      99,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cluster.Close()
+
+	var wg sync.WaitGroup
+	for e := 0; e < editors; e++ {
+		e := e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node := cluster.Node(e)
+			upstream := (e + editors - 1) % editors
+			for r := 1; r <= revisions; r++ {
+				// Read the upstream section we cite (may be an older
+				// revision — causal, not atomic, consistency).
+				if _, err := node.Read(upstream); err != nil {
+					log.Fatal(err)
+				}
+				// Publish our revision r of section e.
+				if err := node.Write(e, int64(e*100+r)); err != nil {
+					log.Fatal(err)
+				}
+				time.Sleep(300 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cluster.Quiesce(ctx); err != nil {
+		return 0, 0, err
+	}
+	report, err := checker.Audit(cluster.Log())
+	if err != nil {
+		return 0, 0, err
+	}
+	if !report.Safe() || !report.CausallyConsistent() {
+		return 0, 0, fmt.Errorf("%v: consistency audit failed", kind)
+	}
+
+	fmt.Printf("%s final document at editor 1:", kind)
+	for s := 0; s < editors; s++ {
+		v, _ := cluster.Node(0).Read(s)
+		fmt.Printf(" section%d=rev%d", s+1, v%100)
+	}
+	fmt.Println()
+	return len(report.Delays), report.UnnecessaryDelays, nil
+}
+
+func main() {
+	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH} {
+		delays, unnecessary, err := runEdit(kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s buffered %d updates (%d unnecessarily)\n\n", kind, delays, unnecessary)
+	}
+	fmt.Println("OptP never buffers an update unnecessarily (Theorem 4);")
+	fmt.Println("ANBKH may, whenever an applied-but-unread revision creates false causality.")
+}

@@ -1,0 +1,229 @@
+// Package checker audits recorded protocol runs against the paper's
+// correctness and optimality notions:
+//
+//   - Safety (Theorem 3): writes are applied at every process in an
+//     order consistent with →co.
+//   - Liveness / 𝒫 membership (Theorem 5): every write is applied at
+//     every process; writing-semantics protocols violate the strict
+//     form (values never installed), which the audit surfaces.
+//   - Causal consistency (Definition 2): every read in the
+//     reconstructed history is legal.
+//   - Write delays (Definition 3) and their classification: a buffered
+//     receipt is *necessary* iff some write in the causal past of the
+//     delayed write had not been applied at the receiving process by
+//     receipt time; otherwise it is an *unnecessary* delay — evidence
+//     of non-optimality (Definition 5).
+//
+// The audit is protocol-independent: it recomputes →co from the
+// observed history (Issue/Return events) and never trusts protocol
+// clocks — those are cross-checked separately by optimality.go.
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/trace"
+)
+
+// SafetyViolation reports two →co-ordered writes applied out of order
+// at a process.
+type SafetyViolation struct {
+	Proc   int
+	First  history.WriteID // First →co Second ...
+	Second history.WriteID // ... but Second was applied at Proc first
+}
+
+// String implements fmt.Stringer.
+func (v SafetyViolation) String() string {
+	return fmt.Sprintf("p%d applied %v before %v despite %v →co %v",
+		v.Proc+1, v.Second, v.First, v.First, v.Second)
+}
+
+// MissingApply reports a write never applied at a process.
+type MissingApply struct {
+	Proc  int
+	Write history.WriteID
+	// Logical is true when the write was logically applied (discarded
+	// under writing semantics) but its value never installed.
+	Logical bool
+}
+
+// String implements fmt.Stringer.
+func (m MissingApply) String() string {
+	if m.Logical {
+		return fmt.Sprintf("%v only logically applied (value never installed) at p%d", m.Write, m.Proc+1)
+	}
+	return fmt.Sprintf("%v never applied at p%d", m.Write, m.Proc+1)
+}
+
+// ClassifiedDelay is a write delay with its necessity verdict.
+type ClassifiedDelay struct {
+	trace.Delay
+	// Necessary is true iff some write in the causal past of the
+	// delayed write was missing at the receiving process at receipt.
+	Necessary bool
+	// MissingWrite names one such missing causal predecessor (the
+	// witness) when Necessary.
+	MissingWrite history.WriteID
+}
+
+// Report is a full audit of one run.
+type Report struct {
+	History   *history.History
+	Causality *history.Causality
+
+	SafetyViolations   []SafetyViolation
+	LegalityViolations []history.Violation
+	NotApplied         []MissingApply
+
+	Delays            []ClassifiedDelay
+	NecessaryDelays   int
+	UnnecessaryDelays int
+	Discards          int
+}
+
+// Safe reports whether the run respected →co apply ordering
+// (counting logical applies, so writing-semantics runs can pass).
+func (r *Report) Safe() bool { return len(r.SafetyViolations) == 0 }
+
+// CausallyConsistent reports Definition 2 for the run's history.
+func (r *Report) CausallyConsistent() bool { return len(r.LegalityViolations) == 0 }
+
+// InP reports strict 𝒫 membership: every write's value installed at
+// every process.
+func (r *Report) InP() bool { return len(r.NotApplied) == 0 }
+
+// WriteDelayOptimal reports Definition 5's observable consequence: the
+// run exhibits no unnecessary delay.
+func (r *Report) WriteDelayOptimal() bool { return r.UnnecessaryDelays == 0 }
+
+// String renders a one-paragraph audit summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"audit: safe=%v consistent=%v in-P=%v delays=%d (necessary=%d unnecessary=%d) discards=%d",
+		r.Safe(), r.CausallyConsistent(), r.InP(),
+		len(r.Delays), r.NecessaryDelays, r.UnnecessaryDelays, r.Discards)
+}
+
+// Audit reconstructs the history from the log, computes →co, and runs
+// every check.
+func Audit(log *trace.Log) (*Report, error) {
+	h, err := log.History()
+	if err != nil {
+		return nil, fmt.Errorf("checker: reconstructing history: %w", err)
+	}
+	c, err := h.Causality()
+	if err != nil {
+		return nil, fmt.Errorf("checker: computing →co: %w", err)
+	}
+	r := &Report{History: h, Causality: c, Discards: log.DiscardCount()}
+
+	r.LegalityViolations = c.CheckCausallyConsistent()
+	r.auditApplies(log)
+	r.classifyDelays(log)
+	return r, nil
+}
+
+// auditApplies checks safety (apply order vs →co, with discards
+// counting as logical applies) and liveness (everything applied
+// everywhere).
+func (r *Report) auditApplies(log *trace.Log) {
+	writes := r.History.Writes()
+	ids := make([]history.WriteID, len(writes))
+	for i, gi := range writes {
+		ids[i] = r.History.Ops()[gi].ID
+	}
+
+	discarded := make(map[int]map[history.WriteID]bool)
+	for p := 0; p < log.NumProcs; p++ {
+		discarded[p] = make(map[history.WriteID]bool)
+	}
+	for _, e := range log.Events {
+		if e.Kind == trace.Discard {
+			discarded[e.Proc][e.Write] = true
+		}
+	}
+
+	for p := 0; p < log.NumProcs; p++ {
+		order := log.LogicallyAppliedAt(p)
+		pos := make(map[history.WriteID]int, len(order))
+		for i, id := range order {
+			pos[id] = i + 1 // 1-based; 0 means absent
+		}
+		for _, id := range ids {
+			if pos[id] == 0 {
+				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id})
+			} else if discarded[p][id] {
+				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id, Logical: true})
+			}
+		}
+		// Safety is about relative order: two →co-ordered writes both
+		// applied at p must be applied in →co order. A missing apply is
+		// a liveness hole, reported above via NotApplied, not a safety
+		// violation (WS-send legitimately never propagates suppressed
+		// writes, yet applies every propagated pair in order).
+		for i, a := range ids {
+			for j, b := range ids {
+				if i == j || !r.Causality.WriteBefore(a, b) {
+					continue
+				}
+				pa, pb := pos[a], pos[b]
+				if pa != 0 && pb != 0 && pa > pb {
+					r.SafetyViolations = append(r.SafetyViolations, SafetyViolation{Proc: p, First: a, Second: b})
+				}
+			}
+		}
+	}
+}
+
+// classifyDelays walks each process's event sequence, maintaining the
+// applied-set, and classifies every buffered receipt per Definition 3.
+func (r *Report) classifyDelays(log *trace.Log) {
+	resolved := make(map[delayKey]trace.Delay)
+	for _, d := range log.Delays() {
+		resolved[delayKey{d.Proc, d.Write}] = d
+	}
+
+	applied := make([]map[history.WriteID]bool, log.NumProcs)
+	for p := range applied {
+		applied[p] = make(map[history.WriteID]bool)
+	}
+	for _, e := range log.Events {
+		switch e.Kind {
+		case trace.Issue, trace.Apply, trace.Discard:
+			applied[e.Proc][e.Write] = true
+		case trace.Receipt:
+			if !e.Buffered {
+				continue
+			}
+			cd := ClassifiedDelay{}
+			if d, ok := resolved[delayKey{e.Proc, e.Write}]; ok {
+				cd.Delay = d
+			} else {
+				cd.Delay = trace.Delay{Proc: e.Proc, Write: e.Write, ReceiptAt: e.Time, AppliedAt: e.Time}
+			}
+			widx := r.History.WriteIndex(e.Write)
+			if widx >= 0 {
+				for _, prior := range r.Causality.WritesBefore(widx) {
+					if !applied[e.Proc][prior] {
+						cd.Necessary = true
+						cd.MissingWrite = prior
+						break
+					}
+				}
+			}
+			if cd.Necessary {
+				r.NecessaryDelays++
+			} else {
+				r.UnnecessaryDelays++
+			}
+			r.Delays = append(r.Delays, cd)
+		}
+	}
+}
+
+type delayKey struct {
+	p int
+	w history.WriteID
+}

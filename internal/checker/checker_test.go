@@ -1,0 +1,345 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// h1Scripts and the two latency schedules mirror the paper's runs (the
+// canonical copies live in internal/paperrepro; these are deliberately
+// inlined so the checker is tested without depending on the renderer).
+func h1Scripts() []sim.Script {
+	return []sim.Script{
+		sim.NewScript().Write(0, history.ValA).Write(0, history.ValC),
+		sim.NewScript().Await(0, history.ValA).Read(0).Await(0, history.ValC).Write(1, history.ValB),
+		sim.NewScript().Await(1, history.ValB).Read(1).Write(1, history.ValD),
+	}
+}
+
+var (
+	wa = history.WriteID{Proc: 0, Seq: 1}
+	wc = history.WriteID{Proc: 0, Seq: 2}
+	wb = history.WriteID{Proc: 1, Seq: 1}
+	wd = history.WriteID{Proc: 2, Seq: 1}
+)
+
+func fig36Latency() *sim.ScriptedLatency {
+	return sim.NewScriptedLatency(10).
+		Set(wa, 1, 10).Set(wa, 2, 40).
+		Set(wc, 1, 20).Set(wc, 2, 60).
+		Set(wb, 0, 10).Set(wb, 2, 10)
+}
+
+func falseCausalityLatency() *sim.ScriptedLatency {
+	return sim.NewScriptedLatency(10).
+		Set(wa, 1, 10).Set(wa, 2, 15).
+		Set(wc, 1, 20).Set(wc, 2, 60).
+		Set(wb, 0, 10).Set(wb, 2, 10)
+}
+
+func runH1(t *testing.T, kind protocol.Kind, lat sim.Latency) (*sim.Result, *Report) {
+	t.Helper()
+	res, err := sim.Run(sim.Config{Procs: 3, Vars: 2, Protocol: kind, Latency: lat}, h1Scripts())
+	if err != nil {
+		t.Fatalf("%v run: %v", kind, err)
+	}
+	rep, err := Audit(res.Log)
+	if err != nil {
+		t.Fatalf("%v audit: %v", kind, err)
+	}
+	return res, rep
+}
+
+func TestOptPFig6Audit(t *testing.T) {
+	res, rep := runH1(t, protocol.OptP, fig36Latency())
+	if !rep.Safe() {
+		t.Fatalf("safety violations: %v", rep.SafetyViolations)
+	}
+	if !rep.CausallyConsistent() {
+		t.Fatalf("legality violations: %v", rep.LegalityViolations)
+	}
+	if !rep.InP() {
+		t.Fatalf("not in 𝒫: %v", rep.NotApplied)
+	}
+	if !rep.WriteDelayOptimal() {
+		t.Fatalf("unnecessary delays: %+v", rep.Delays)
+	}
+	// The single delay (b before a at p3) is necessary, witness a.
+	if rep.NecessaryDelays != 1 || len(rep.Delays) != 1 {
+		t.Fatalf("delays = %+v", rep.Delays)
+	}
+	if rep.Delays[0].MissingWrite != wa {
+		t.Fatalf("witness = %v, want %v", rep.Delays[0].MissingWrite, wa)
+	}
+	// No excess and no missing dependencies: X_OptP ≡ X_co-safe.
+	if ex := rep.ExcessDependencies(res.Updates); len(ex) != 0 {
+		t.Fatalf("excess deps: %v", ex)
+	}
+	if miss := rep.MissingDependencies(res.Updates); len(miss) != 0 {
+		t.Fatalf("missing deps: %v", miss)
+	}
+}
+
+func TestANBKHFig3Audit(t *testing.T) {
+	res, rep := runH1(t, protocol.ANBKH, fig36Latency())
+	if !rep.Safe() || !rep.CausallyConsistent() || !rep.InP() {
+		t.Fatal("ANBKH must be safe, consistent, and in 𝒫")
+	}
+	// Table 2 vs Table 1: X_ANBKH(b) = {a,c} ⊃ {a} = X_co-safe(b) and
+	// X_ANBKH(d) = {a,c,b} ⊃ {a,b} = X_co-safe(d): two excess entries,
+	// both caused by the spurious dependency on c.
+	ex := rep.ExcessDependencies(res.Updates)
+	if len(ex) != 2 || ex[0].Write != wb || ex[0].Extra != wc || ex[1].Write != wd || ex[1].Extra != wc {
+		t.Fatalf("excess deps = %v, want [(b extra c), (d extra c)]", ex)
+	}
+	if miss := rep.MissingDependencies(res.Updates); len(miss) != 0 {
+		t.Fatalf("missing deps: %v (ANBKH would be unsafe)", miss)
+	}
+}
+
+// The delay-count contrast: with arrival order a, b, c at p3, OptP has
+// zero delays while ANBKH buffers b unnecessarily.
+func TestUnnecessaryDelayClassification(t *testing.T) {
+	_, repOpt := runH1(t, protocol.OptP, falseCausalityLatency())
+	if len(repOpt.Delays) != 0 {
+		t.Fatalf("OptP delays = %+v", repOpt.Delays)
+	}
+	_, repAn := runH1(t, protocol.ANBKH, falseCausalityLatency())
+	if repAn.UnnecessaryDelays != 1 || repAn.NecessaryDelays != 0 {
+		t.Fatalf("ANBKH classification: necessary=%d unnecessary=%d",
+			repAn.NecessaryDelays, repAn.UnnecessaryDelays)
+	}
+	if repAn.WriteDelayOptimal() {
+		t.Fatal("ANBKH flagged optimal")
+	}
+	// The unnecessary delay is b at p3.
+	d := repAn.Delays[0]
+	if d.Write != wb || d.Proc != 2 || d.Necessary {
+		t.Fatalf("delay = %+v", d)
+	}
+}
+
+// Table 1: X_co-safe per write of Ĥ1.
+func TestXcoSafeTable1(t *testing.T) {
+	_, rep := runH1(t, protocol.OptP, fig36Latency())
+	want := map[history.WriteID][]history.WriteID{
+		wa: {},
+		wc: {wa},
+		wb: {wa},
+		wd: {wa, wb},
+	}
+	for w, exp := range want {
+		got := rep.XcoSafe(w)
+		if len(got) != len(exp) {
+			t.Fatalf("XcoSafe(%v) = %v, want %v", w, got, exp)
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("XcoSafe(%v) = %v, want %v", w, got, exp)
+			}
+		}
+	}
+	if rep.XcoSafe(history.WriteID{Proc: 9, Seq: 9}) != nil {
+		t.Fatal("unknown write should have nil XcoSafe")
+	}
+}
+
+// Table 2: the ANBKH dependency sets reconstructed from FM clocks.
+func TestDependencySetTable2(t *testing.T) {
+	res, _ := runH1(t, protocol.ANBKH, fig36Latency())
+	want := map[history.WriteID][]history.WriteID{
+		wa: {},
+		wc: {wa},
+		wb: {wa, wc},
+		wd: {wa, wc, wb},
+	}
+	for w, exp := range want {
+		got := DependencySet(res.Updates, w)
+		if len(got) != len(exp) {
+			t.Fatalf("X_ANBKH(%v) = %v, want %v", w, got, exp)
+		}
+		seen := map[history.WriteID]bool{}
+		for _, g := range got {
+			seen[g] = true
+		}
+		for _, e := range exp {
+			if !seen[e] {
+				t.Fatalf("X_ANBKH(%v) = %v, missing %v", w, got, e)
+			}
+		}
+	}
+	if DependencySet(res.Updates, history.WriteID{Proc: 9, Seq: 9}) != nil {
+		t.Fatal("unknown write should have nil deps")
+	}
+}
+
+// WS-recv on the Figure-3 arrival order: discards happen, the run
+// leaves 𝒫, but stays causally consistent.
+func TestWSRecvOutsideP(t *testing.T) {
+	// Workload engineered for a skip: p1 writes x twice; deliveries to
+	// p2 reversed.
+	w1 := history.WriteID{Proc: 0, Seq: 1}
+	w2 := history.WriteID{Proc: 0, Seq: 2}
+	lat := sim.NewScriptedLatency(10).Set(w1, 1, 50).Set(w2, 1, 10)
+	scripts := []sim.Script{
+		sim.NewScript().Write(0, 1).Write(0, 2),
+		sim.NewScript().Sleep(100).Read(0),
+	}
+	res, err := sim.Run(sim.Config{Procs: 2, Vars: 1, Protocol: protocol.WSRecv, Latency: lat}, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(res.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Discards != 1 {
+		t.Fatalf("discards = %d", rep.Discards)
+	}
+	if rep.InP() {
+		t.Fatal("WS-recv run with a discard flagged as in 𝒫")
+	}
+	// But logically safe and consistent.
+	if !rep.Safe() {
+		t.Fatalf("safety violations: %v", rep.SafetyViolations)
+	}
+	if !rep.CausallyConsistent() {
+		t.Fatalf("legality: %v", rep.LegalityViolations)
+	}
+	// Exactly one NotApplied entry, logical, for w1 at p2.
+	if len(rep.NotApplied) != 1 || !rep.NotApplied[0].Logical || rep.NotApplied[0].Write != w1 {
+		t.Fatalf("NotApplied = %v", rep.NotApplied)
+	}
+}
+
+// Property sweep: across random workloads and seeds, OptP is safe,
+// consistent, in 𝒫, and never incurs an unnecessary delay (Theorem 4);
+// ANBKH is safe and consistent but non-optimal on at least one seed;
+// OptP's delay count never exceeds ANBKH's on the same workload.
+func TestPropertyOptPOptimalEverywhere(t *testing.T) {
+	anbkhUnnecessary := 0
+	for seed := uint64(1); seed <= 12; seed++ {
+		cfg := workload.Config{
+			Procs: 4, Vars: 3, OpsPerProc: 15, WriteRatio: 0.6,
+			ThinkMin: 1, ThinkMax: 40, Seed: seed,
+		}
+		scripts, err := workload.Scripts(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(kind protocol.Kind) (*sim.Result, *Report) {
+			res, err := sim.Run(sim.Config{
+				Procs: cfg.Procs, Vars: cfg.Vars, Protocol: kind,
+				Latency: sim.NewUniformLatency(1, 150, seed*7),
+			}, scripts)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", kind, seed, err)
+			}
+			rep, err := Audit(res.Log)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", kind, seed, err)
+			}
+			return res, rep
+		}
+		resO, repO := run(protocol.OptP)
+		if !repO.Safe() || !repO.CausallyConsistent() || !repO.InP() {
+			t.Fatalf("seed %d: OptP failed base audit", seed)
+		}
+		if !repO.WriteDelayOptimal() {
+			t.Fatalf("seed %d: OptP had %d unnecessary delays: %+v",
+				seed, repO.UnnecessaryDelays, repO.Delays)
+		}
+		if ex := repO.ExcessDependencies(resO.Updates); len(ex) != 0 {
+			t.Fatalf("seed %d: OptP excess deps %v", seed, ex)
+		}
+		if miss := repO.MissingDependencies(resO.Updates); len(miss) != 0 {
+			t.Fatalf("seed %d: OptP missing deps %v", seed, miss)
+		}
+
+		resA, repA := run(protocol.ANBKH)
+		if !repA.Safe() || !repA.CausallyConsistent() || !repA.InP() {
+			t.Fatalf("seed %d: ANBKH failed base audit", seed)
+		}
+		if miss := repA.MissingDependencies(resA.Updates); len(miss) != 0 {
+			t.Fatalf("seed %d: ANBKH missing deps %v", seed, miss)
+		}
+		anbkhUnnecessary += repA.UnnecessaryDelays
+		if repO.NecessaryDelays > len(repA.Delays) {
+			t.Fatalf("seed %d: OptP necessary delays (%d) exceed ANBKH total (%d)",
+				seed, repO.NecessaryDelays, len(repA.Delays))
+		}
+	}
+	if anbkhUnnecessary == 0 {
+		t.Fatal("ANBKH showed no unnecessary delay on any seed — sweep too tame to distinguish the protocols")
+	}
+}
+
+// A hand-built inconsistent log must be flagged: two →co-ordered writes
+// applied in reverse at a third process.
+func TestSafetyViolationDetected(t *testing.T) {
+	log := trace.NewLog(3, 1)
+	w1 := history.WriteID{Proc: 0, Seq: 1}
+	w2 := history.WriteID{Proc: 1, Seq: 1}
+	// p1 writes 1; p2 reads it then writes 2 (so w1 →co w2);
+	// p3 applies w2 before w1.
+	log.Append(trace.Event{Kind: trace.Issue, Proc: 0, Write: w1, Var: 0, Val: 1})
+	log.Append(trace.Event{Kind: trace.Apply, Proc: 1, Write: w1, Var: 0, Val: 1})
+	log.Append(trace.Event{Kind: trace.Return, Proc: 1, Var: 0, Val: 1, From: w1})
+	log.Append(trace.Event{Kind: trace.Issue, Proc: 1, Write: w2, Var: 0, Val: 2})
+	log.Append(trace.Event{Kind: trace.Apply, Proc: 2, Write: w2, Var: 0, Val: 2})
+	log.Append(trace.Event{Kind: trace.Apply, Proc: 2, Write: w1, Var: 0, Val: 1})
+	rep, err := Audit(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Safe() {
+		t.Fatal("out-of-order applies not detected")
+	}
+	found := false
+	for _, v := range rep.SafetyViolations {
+		if v.Proc == 2 && v.First == w1 && v.Second == w2 {
+			found = true
+			if v.String() == "" {
+				t.Fatal("empty violation string")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v", rep.SafetyViolations)
+	}
+}
+
+// A write never applied at some process must be flagged as a liveness
+// hole.
+func TestMissingApplyDetected(t *testing.T) {
+	log := trace.NewLog(2, 1)
+	w1 := history.WriteID{Proc: 0, Seq: 1}
+	log.Append(trace.Event{Kind: trace.Issue, Proc: 0, Write: w1, Var: 0, Val: 1})
+	rep, err := Audit(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InP() {
+		t.Fatal("missing apply not detected")
+	}
+	if len(rep.NotApplied) != 1 || rep.NotApplied[0].Proc != 1 || rep.NotApplied[0].Logical {
+		t.Fatalf("NotApplied = %v", rep.NotApplied)
+	}
+	if rep.NotApplied[0].String() == "" {
+		t.Fatal("empty MissingApply string")
+	}
+}
+
+func TestAuditRejectsMalformedLog(t *testing.T) {
+	log := trace.NewLog(1, 1)
+	// A read-from pointing at a write that does not exist.
+	log.Append(trace.Event{Kind: trace.Return, Proc: 0, Var: 0, Val: 5, From: history.WriteID{Proc: 0, Seq: 3}})
+	if _, err := Audit(log); err == nil {
+		t.Fatal("expected error for malformed log")
+	}
+}

@@ -1,0 +1,127 @@
+package checker
+
+import (
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+)
+
+// This file reconstructs the enabling-event sets X_P of Section 3.3
+// from the protocol clocks piggybacked on updates, and compares them to
+// X_co-safe (Definition 4). It is what regenerates Tables 1 and 2.
+//
+// The reconstruction uses the single-component rule that holds for both
+// clock systems we ship:
+//
+//   - OptP (Corollary 1):  w' →co w  ⇔  w'.Write_co[i'] ≤ w.Write_co[i']
+//   - ANBKH (Fidge–Mattern): send(w') → send(w) ⇔ w'.VT[i'] ≤ w.VT[i']
+//
+// where i' is the issuer of w'. For OptP the resulting set IS
+// X_co-safe; for ANBKH it is the (generally larger) happened-before
+// set, and the difference is exactly the protocol's unnecessary
+// enabling events.
+
+// DependencySet returns the writes whose apply events are enabling
+// events of apply(w) under the protocol that produced the updates'
+// clocks: every w' ≠ w with clock(w')[issuer(w')] ≤ clock(w)[issuer(w')].
+// The result is sorted by (Proc, Seq).
+func DependencySet(updates map[history.WriteID]protocol.Update, w history.WriteID) []history.WriteID {
+	uw, ok := updates[w]
+	if !ok {
+		return nil
+	}
+	var deps []history.WriteID
+	for id, u := range updates {
+		if id == w {
+			continue
+		}
+		if u.Clock.Get(id.Proc) <= uw.Clock.Get(id.Proc) && u.Clock.Get(id.Proc) > 0 {
+			deps = append(deps, id)
+		}
+	}
+	sortIDs(deps)
+	return deps
+}
+
+// XcoSafe returns X_co-safe(apply(w)) per Definition 4: the writes in
+// ↓(w, →co), sorted by (Proc, Seq). It is the same set at every
+// process.
+func (r *Report) XcoSafe(w history.WriteID) []history.WriteID {
+	idx := r.History.WriteIndex(w)
+	if idx < 0 {
+		return nil
+	}
+	ids := r.Causality.WritesBefore(idx)
+	sortIDs(ids)
+	return ids
+}
+
+// ExcessDependency is an enabling event a protocol imposes beyond
+// X_co-safe — the cause of unnecessary write delays.
+type ExcessDependency struct {
+	Write history.WriteID // the delayed write
+	Extra history.WriteID // the spurious dependency
+}
+
+// ExcessDependencies compares the protocol's reconstructed enabling
+// sets with X_co-safe for every write of the run. An empty result over
+// all runs is the observable signature of Definition 5 optimality; for
+// ANBKH the Figure 3 run yields exactly {(b, c)}.
+func (r *Report) ExcessDependencies(updates map[history.WriteID]protocol.Update) []ExcessDependency {
+	var out []ExcessDependency
+	var writes []history.WriteID
+	for id := range updates {
+		if id.Seq > 0 { // skip token markers
+			writes = append(writes, id)
+		}
+	}
+	sortIDs(writes)
+	for _, w := range writes {
+		safe := make(map[history.WriteID]bool)
+		for _, s := range r.XcoSafe(w) {
+			safe[s] = true
+		}
+		for _, dep := range DependencySet(updates, w) {
+			if !safe[dep] {
+				out = append(out, ExcessDependency{Write: w, Extra: dep})
+			}
+		}
+	}
+	return out
+}
+
+// MissingDependencies performs the converse check — a protocol whose
+// enabling sets MISS a member of X_co-safe is unsafe. It must be empty
+// for every protocol in 𝒫 (X_co-safe ⊆ X_P, Section 3.4).
+func (r *Report) MissingDependencies(updates map[history.WriteID]protocol.Update) []ExcessDependency {
+	var out []ExcessDependency
+	var writes []history.WriteID
+	for id := range updates {
+		if id.Seq > 0 {
+			writes = append(writes, id)
+		}
+	}
+	sortIDs(writes)
+	for _, w := range writes {
+		have := make(map[history.WriteID]bool)
+		for _, d := range DependencySet(updates, w) {
+			have[d] = true
+		}
+		for _, s := range r.XcoSafe(w) {
+			if !have[s] {
+				out = append(out, ExcessDependency{Write: w, Extra: s})
+			}
+		}
+	}
+	return out
+}
+
+func sortIDs(ids []history.WriteID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Proc != ids[j].Proc {
+			return ids[i].Proc < ids[j].Proc
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+}

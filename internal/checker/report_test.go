@@ -1,0 +1,32 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func TestReportString(t *testing.T) {
+	_, rep := runH1(t, protocol.OptP, fig36Latency())
+	s := rep.String()
+	for _, frag := range []string{"safe=true", "consistent=true", "in-P=true", "necessary=1", "unnecessary=0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Report.String missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestClassifiedDelayFields(t *testing.T) {
+	_, rep := runH1(t, protocol.ANBKH, fig36Latency())
+	if len(rep.Delays) != 1 {
+		t.Fatalf("delays = %+v", rep.Delays)
+	}
+	d := rep.Delays[0]
+	if !d.Necessary || d.MissingWrite != wa {
+		t.Fatalf("classification = %+v", d)
+	}
+	if d.Duration() != 30 { // buffered t=30..60 under ANBKH
+		t.Fatalf("duration = %d", d.Duration())
+	}
+}

@@ -1,0 +1,135 @@
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/trace"
+)
+
+// SerializationAudit verifies the Ahamad et al. serialization
+// definition of causal consistency against a run, in linear time per
+// process: the candidate serialization of p_i's view is exactly the
+// order the replica materialized it — writes at their (logical) apply
+// positions, reads at their return positions.
+//
+// For protocols in 𝒫 the candidate must cover the full view (all
+// writes + p_i's reads). Writing-semantics protocols legitimately omit
+// writes at processes that never received them (WS-send suppression);
+// those omissions are liveness holes already reported by Audit via
+// NotApplied, and here the serialization condition is checked over the
+// sub-view the process actually materialized.
+//
+// This is strictly stronger than the Definition 2 legality check (see
+// internal/history/serialize.go for the definitional gap); every
+// correct protocol run passes.
+func SerializationAudit(log *trace.Log, rep *Report) error {
+	h := rep.History
+	requireFull := rep.InP()
+
+	// Global index of each read: the k-th Return of p is p's k-th read
+	// in the reconstructed history.
+	readIdx := make([][]int, log.NumProcs)
+	base := 0
+	for p := 0; p < log.NumProcs; p++ {
+		for i, o := range h.Locals[p] {
+			if o.IsRead() {
+				readIdx[p] = append(readIdx[p], base+i)
+			}
+		}
+		base += len(h.Locals[p])
+	}
+
+	for p := 0; p < log.NumProcs; p++ {
+		var order []int
+		reads := 0
+		for _, e := range log.Events {
+			if e.Proc != p {
+				continue
+			}
+			switch e.Kind {
+			case trace.Issue, trace.Apply, trace.Discard:
+				gi := h.WriteIndex(e.Write)
+				if gi < 0 {
+					return fmt.Errorf("checker: p%d applied unknown write %v", p+1, e.Write)
+				}
+				order = append(order, gi)
+			case trace.Return:
+				if reads >= len(readIdx[p]) {
+					return fmt.Errorf("checker: p%d has more returns than reads", p+1)
+				}
+				order = append(order, readIdx[p][reads])
+				reads++
+			}
+		}
+		if err := verifyViewSerialization(rep, p, order, requireFull); err != nil {
+			return fmt.Errorf("checker: p%d view not a causal serialization: %w", p+1, err)
+		}
+	}
+	return nil
+}
+
+// verifyViewSerialization checks that order is a causal serialization
+// of the sub-view it covers: no duplicates, all of p's reads included,
+// →co respected among members, every read returning the latest
+// preceding write. With requireFull it additionally demands every write
+// of the history be present (the 𝒫 case — then it is exactly
+// Causality.VerifySerialization's condition).
+func verifyViewSerialization(rep *Report, p int, order []int, requireFull bool) error {
+	h := rep.History
+	c := rep.Causality
+
+	placed := make(map[int]int, len(order))
+	lastWrite := make([]history.WriteID, h.NumVars)
+	readsSeen := 0
+	for pos, gi := range order {
+		if _, dup := placed[gi]; dup {
+			return fmt.Errorf("op %v placed twice", h.Ops()[gi])
+		}
+		placed[gi] = pos
+		o := h.Ops()[gi]
+		switch {
+		case o.IsRead():
+			if o.Proc != p {
+				return fmt.Errorf("foreign read %v in p%d's view", o, p+1)
+			}
+			readsSeen++
+			if lastWrite[o.Var] != o.From {
+				return fmt.Errorf("at position %d, %v reads %v but latest write is %v",
+					pos, o, o.From, lastWrite[o.Var])
+			}
+		default:
+			lastWrite[o.Var] = o.ID
+		}
+	}
+	// Coverage: all of p's reads, and (for 𝒫) all writes.
+	wantReads := 0
+	for _, o := range h.Locals[p] {
+		if o.IsRead() {
+			wantReads++
+		}
+	}
+	if readsSeen != wantReads {
+		return fmt.Errorf("view has %d of p%d's %d reads", readsSeen, p+1, wantReads)
+	}
+	if requireFull {
+		for _, gi := range h.Writes() {
+			if _, ok := placed[gi]; !ok {
+				return fmt.Errorf("write %v missing from p%d's view", h.Ops()[gi], p+1)
+			}
+		}
+	}
+	// →co among placed members.
+	members := make([]int, 0, len(placed))
+	for gi := range placed {
+		members = append(members, gi)
+	}
+	for _, gi := range members {
+		for _, gj := range members {
+			if c.Before(gi, gj) && placed[gi] > placed[gj] {
+				return fmt.Errorf("order violates →co: %v before %v", h.Ops()[gi], h.Ops()[gj])
+			}
+		}
+	}
+	return nil
+}

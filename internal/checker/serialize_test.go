@@ -1,0 +1,78 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Every protocol's runs must pass the serialization audit — including
+// the writing-semantics ones, whose logical applies stand in for the
+// skipped writes.
+func TestSerializationAuditAllProtocols(t *testing.T) {
+	for _, kind := range []protocol.Kind{
+		protocol.OptP, protocol.ANBKH, protocol.WSRecv,
+		protocol.OptPNoReadMerge, protocol.OptPWS, protocol.WSSend,
+	} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 8; seed++ {
+				scripts, err := workload.Scripts(workload.Config{
+					Procs: 3, Vars: 2, OpsPerProc: 15, WriteRatio: 0.6,
+					ThinkMin: 1, ThinkMax: 40, Hot: 0.4, Seed: seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(sim.Config{
+					Procs: 3, Vars: 2, Protocol: kind,
+					Latency: sim.NewUniformLatency(1, 150, seed*9+2),
+				}, scripts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				rep, err := Audit(res.Log)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := SerializationAudit(res.Log, rep); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// The H1 paper scenario passes the serialization audit for both
+// protagonist protocols.
+func TestSerializationAuditH1(t *testing.T) {
+	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH} {
+		res, rep := runH1(t, kind, fig36Latency())
+		if err := SerializationAudit(res.Log, rep); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+// The eager (broken) protocol fails the serialization audit on the
+// adversarial arrival order.
+func TestSerializationAuditCatchesEager(t *testing.T) {
+	scripts := h1Scripts()
+	res, err := sim.Run(sim.Config{
+		Procs: 3, Vars: 2,
+		NewReplica: newEager,
+		Latency:    fig36Latency(),
+	}, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(res.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SerializationAudit(res.Log, rep); err == nil {
+		t.Fatal("eager protocol passed the serialization audit")
+	}
+}

@@ -1,0 +1,150 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// This file property-checks the paper's Section 4.3 theorems against
+// randomized OptP executions: the →co relation is recomputed from the
+// OBSERVED history (never from clocks) and compared with the Write_co
+// vectors the run actually shipped.
+
+// optpRun executes a seeded random workload under OptP and returns the
+// audit report and the shipped updates.
+func optpRun(t *testing.T, seed uint64) (*Report, map[history.WriteID]protocol.Update) {
+	t.Helper()
+	cfg := workload.Config{
+		Procs: 4, Vars: 3, OpsPerProc: 20, WriteRatio: 0.5,
+		ThinkMin: 1, ThinkMax: 40, Hot: 0.3, Seed: seed,
+	}
+	scripts, err := workload.Scripts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Procs: cfg.Procs, Vars: cfg.Vars, Protocol: protocol.OptP,
+		Latency: sim.NewUniformLatency(1, 120, seed*3+1),
+	}, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(res.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, res.Updates
+}
+
+// allWrites returns the run's writes sorted deterministically.
+func allWrites(updates map[history.WriteID]protocol.Update) []history.WriteID {
+	var ids []history.WriteID
+	for id := range updates {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// Theorem 1: w →co w' ⇔ w.Write_co < w'.Write_co.
+func TestTheorem1ClockCharacterizesCo(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		rep, updates := optpRun(t, seed)
+		ids := allWrites(updates)
+		for _, w := range ids {
+			for _, w2 := range ids {
+				if w == w2 {
+					continue
+				}
+				co := rep.Causality.WriteBefore(w, w2)
+				lt := updates[w].Clock.Less(updates[w2].Clock)
+				if co != lt {
+					t.Fatalf("seed %d: %v →co %v = %v but %v < %v = %v",
+						seed, w, w2, co, updates[w].Clock, updates[w2].Clock, lt)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 2: w ‖co w' ⇔ Write_co vectors incomparable.
+func TestTheorem2ConcurrencyCharacterized(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		rep, updates := optpRun(t, seed)
+		ids := allWrites(updates)
+		for i, w := range ids {
+			for _, w2 := range ids[i+1:] {
+				conc := rep.Causality.WriteConcurrent(w, w2)
+				clocksConc := updates[w].Clock.Compare(updates[w2].Clock) == vclock.Concurrent
+				if conc != clocksConc {
+					t.Fatalf("seed %d: ‖co(%v,%v) = %v but clocks %v vs %v",
+						seed, w, w2, conc, updates[w].Clock, updates[w2].Clock)
+				}
+			}
+		}
+	}
+}
+
+// Corollary 1: w →co w' ⇔ w.Write_co[i] ≤ w'.Write_co[i], i = issuer(w).
+func TestCorollary1ComponentRule(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		rep, updates := optpRun(t, seed)
+		ids := allWrites(updates)
+		for _, w := range ids {
+			for _, w2 := range ids {
+				if w == w2 {
+					continue
+				}
+				co := rep.Causality.WriteBefore(w, w2)
+				comp := updates[w].Clock.Get(w.Proc) <= updates[w2].Clock.Get(w.Proc)
+				// For same-issuer pairs the component rule needs the
+				// sequence direction: earlier seq ⇒ smaller component.
+				if w.Proc == w2.Proc {
+					comp = w.Seq < w2.Seq
+				}
+				if co != comp {
+					t.Fatalf("seed %d: →co(%v,%v) = %v but component rule gives %v (clocks %v, %v)",
+						seed, w, w2, co, comp, updates[w].Clock, updates[w2].Clock)
+				}
+			}
+		}
+	}
+}
+
+// Corollary 2: w ‖co w' ⇔ w'.Write_co[i] < w.Write_co[i] ∧
+// w.Write_co[j] < w'.Write_co[j], with i = issuer(w), j = issuer(w').
+func TestCorollary2ComponentRule(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		rep, updates := optpRun(t, seed)
+		ids := allWrites(updates)
+		for i, w := range ids {
+			for _, w2 := range ids[i+1:] {
+				if w.Proc == w2.Proc {
+					continue // same process: never concurrent (→po ⊂ →co)
+				}
+				conc := rep.Causality.WriteConcurrent(w, w2)
+				rule := updates[w2].Clock.Get(w.Proc) < updates[w].Clock.Get(w.Proc) &&
+					updates[w].Clock.Get(w2.Proc) < updates[w2].Clock.Get(w2.Proc)
+				if conc != rule {
+					t.Fatalf("seed %d: ‖co(%v,%v) = %v but Corollary 2 gives %v (clocks %v, %v)",
+						seed, w, w2, conc, rule, updates[w].Clock, updates[w2].Clock)
+				}
+			}
+		}
+	}
+}
+
+// Observation 2: w is the k-th write of p_i ⇔ w.Write_co[i] = k.
+func TestObservation2(t *testing.T) {
+	_, updates := optpRun(t, 3)
+	for id, u := range updates {
+		if got := u.Clock.Get(id.Proc); got != uint64(id.Seq) {
+			t.Fatalf("%v has Write_co[i] = %d", id, got)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Property sweep for the writing-semantics protocols: across seeded
+// random workloads they must stay safe (logical-apply order respects
+// →co) and causally consistent, even though they may leave 𝒫; and the
+// footnote-8 combination OptP-WS must additionally never delay a write
+// unnecessarily (its enabling sets are OptP's or smaller).
+func TestPropertyWritingSemanticsSafe(t *testing.T) {
+	for _, kind := range []protocol.Kind{protocol.WSRecv, protocol.OptPWS, protocol.WSSend} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sawDiscardOrSuppression := false
+			for seed := uint64(1); seed <= 10; seed++ {
+				cfg := workload.Config{
+					Procs: 4, Vars: 2, OpsPerProc: 20, WriteRatio: 0.8,
+					ThinkMin: 1, ThinkMax: 25, Hot: 0.7, Seed: seed,
+				}
+				scripts, err := workload.Scripts(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(sim.Config{
+					Procs: cfg.Procs, Vars: cfg.Vars, Protocol: kind,
+					Latency: sim.NewUniformLatency(1, 200, seed*5+3),
+				}, scripts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				rep, err := Audit(res.Log)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !rep.Safe() {
+					t.Fatalf("seed %d: safety violations: %v", seed, rep.SafetyViolations)
+				}
+				if !rep.CausallyConsistent() {
+					t.Fatalf("seed %d: legality violations: %v", seed, rep.LegalityViolations)
+				}
+				if kind == protocol.OptPWS && !rep.WriteDelayOptimal() {
+					t.Fatalf("seed %d: OptP-WS unnecessary delays: %+v", seed, rep.Delays)
+				}
+				if !rep.InP() || res.Log.DiscardCount() > 0 {
+					sawDiscardOrSuppression = true
+				}
+			}
+			if !sawDiscardOrSuppression {
+				t.Fatalf("%v never left 𝒫 on any seed — workload too tame to exercise writing semantics", kind)
+			}
+		})
+	}
+}
+
+// OptP-WS must never delay MORE than plain OptP on the same run — its
+// enabling sets are a subset (skips only remove waits).
+func TestOptPWSDelaysSubsetOfOptP(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		cfg := workload.Config{
+			Procs: 4, Vars: 2, OpsPerProc: 25, WriteRatio: 0.8,
+			ThinkMin: 1, ThinkMax: 25, Hot: 0.7, Seed: seed,
+		}
+		scripts, err := workload.Scripts(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[protocol.Kind]int{}
+		for _, kind := range []protocol.Kind{protocol.OptP, protocol.OptPWS} {
+			res, err := sim.Run(sim.Config{
+				Procs: cfg.Procs, Vars: cfg.Vars, Protocol: kind,
+				Latency: sim.NewUniformLatency(1, 200, seed*5+3),
+			}, scripts)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", kind, seed, err)
+			}
+			counts[kind] = res.Log.DelayCount()
+		}
+		if counts[protocol.OptPWS] > counts[protocol.OptP] {
+			t.Fatalf("seed %d: OptP-WS delayed %d > OptP %d",
+				seed, counts[protocol.OptPWS], counts[protocol.OptP])
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Errors returned by cluster operations.
+var (
+	// ErrClosed reports an operation on a closed cluster.
+	ErrClosed = errors.New("core: cluster closed")
+	// ErrBadVariable reports an out-of-range variable index.
+	ErrBadVariable = errors.New("core: variable index out of range")
+)
+
+// Cluster hosts the processes of a live DSM system.
+type Cluster struct {
+	cfg    Config
+	tr     transport.Transport
+	nodes  []*Node
+	start  time.Time
+	hasTok bool
+
+	// mu guards everything below plus the trace log; cond is signaled
+	// on every state change that can affect Quiesce. Lock order is
+	// always Node.mu before Cluster.mu.
+	mu           sync.Mutex
+	cond         *sync.Cond
+	log          *trace.Log
+	issuedBy     []int // writes issued per process
+	propagatedBy []int // non-marker updates actually broadcast per process
+	counted      []int // writes (logically) applied per process
+	unsentBy     []int // deferred writes awaiting the token per process
+	closed       bool
+
+	tokenStop chan struct{}
+	tokenDone chan struct{}
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		var err error
+		tr, err = transport.New(transport.Config{
+			Procs:    cfg.Processes,
+			MinDelay: cfg.MinDelay,
+			MaxDelay: cfg.MaxDelay,
+			FIFO:     cfg.FIFO,
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &Cluster{
+		cfg:          cfg,
+		tr:           tr,
+		start:        time.Now(),
+		log:          trace.NewLog(cfg.Processes, cfg.Variables),
+		issuedBy:     make([]int, cfg.Processes),
+		propagatedBy: make([]int, cfg.Processes),
+		counted:      make([]int, cfg.Processes),
+		unsentBy:     make([]int, cfg.Processes),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for p := 0; p < cfg.Processes; p++ {
+		r := protocol.New(cfg.Protocol, p, cfg.Processes, cfg.Variables)
+		n := &Node{c: c, id: p, replica: r}
+		if _, ok := r.(protocol.TokenBatcher); ok {
+			c.hasTok = true
+		}
+		c.nodes = append(c.nodes, n)
+		tr.Register(p, n.handle)
+	}
+	if c.hasTok {
+		interval := cfg.TokenInterval
+		if interval == 0 {
+			interval = time.Millisecond
+		}
+		c.tokenStop = make(chan struct{})
+		c.tokenDone = make(chan struct{})
+		go c.tokenLoop(interval)
+	}
+	return c, nil
+}
+
+// Node returns the i-th process handle.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Processes returns the number of processes.
+func (c *Cluster) Processes() int { return c.cfg.Processes }
+
+// Variables returns the number of shared variables.
+func (c *Cluster) Variables() int { return c.cfg.Variables }
+
+// Protocol returns the running protocol kind.
+func (c *Cluster) Protocol() protocol.Kind { return c.cfg.Protocol }
+
+// now returns the trace timestamp (nanoseconds since cluster start).
+func (c *Cluster) now() int64 { return time.Since(c.start).Nanoseconds() }
+
+// appendEvent records e under the cluster lock, updating the Quiesce
+// accounting, and wakes waiters.
+func (c *Cluster) appendEvent(e trace.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log.Append(e)
+	switch e.Kind {
+	case trace.Issue:
+		c.issuedBy[e.Proc]++
+		c.counted[e.Proc]++
+	case trace.Send:
+		if e.Write.Seq > 0 {
+			c.propagatedBy[e.Proc]++
+		}
+	case trace.Apply, trace.Discard:
+		if e.Write.Seq > 0 {
+			c.counted[e.Proc]++
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// quiescedLocked reports whether every propagated write has been
+// (logically) applied everywhere and nothing more is coming. Caller
+// holds c.mu.
+func (c *Cluster) quiescedLocked() bool {
+	totalProp := 0
+	for _, p := range c.propagatedBy {
+		totalProp += p
+	}
+	for p := range c.nodes {
+		// A process must have applied its own issues plus everything
+		// the others propagated; deferred writes must all be released.
+		expected := c.issuedBy[p] + totalProp - c.propagatedBy[p]
+		if c.counted[p] != expected || c.unsentBy[p] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiesce blocks until every write issued so far has reached every
+// replica (discards under writing semantics count as logical applies,
+// and writes suppressed at the sender under WS-send count as released
+// once their token turn passes), or ctx is done.
+func (c *Cluster) Quiesce(ctx context.Context) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Take the lock so the broadcast cannot slip between the
+			// waiter's ctx check and its cond.Wait.
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.quiescedLocked() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: quiesce: %w", err)
+		}
+		c.cond.Wait()
+	}
+	return nil
+}
+
+// Log returns a snapshot copy of the event trace.
+func (c *Cluster) Log() *trace.Log {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := trace.NewLog(c.log.NumProcs, c.log.NumVars)
+	cp.Events = append(cp.Events, c.log.Events...)
+	return cp
+}
+
+// Stats returns the run scorecard so far.
+func (c *Cluster) Stats() trace.RunStats {
+	return c.Log().Stats(c.cfg.Protocol.String())
+}
+
+// Audit runs the full correctness audit (safety, causal consistency,
+// liveness, delay classification) on the trace recorded so far. Call
+// after Quiesce for a complete picture; mid-run audits see a prefix.
+func (c *Cluster) Audit() (*checker.Report, error) {
+	return checker.Audit(c.Log())
+}
+
+// Close stops the token loop (if any), drains the transport, and marks
+// the cluster closed. Operations after Close return ErrClosed.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	if c.hasTok {
+		close(c.tokenStop)
+		<-c.tokenDone
+	}
+	return c.tr.Close()
+}
+
+// tokenLoop circulates the token for WS-send-style protocols until
+// Close.
+func (c *Cluster) tokenLoop(interval time.Duration) {
+	defer close(c.tokenDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	visit := 0
+	for {
+		select {
+		case <-c.tokenStop:
+			return
+		case <-ticker.C:
+		}
+		holder := visit % c.cfg.Processes
+		n := c.nodes[holder]
+		n.mu.Lock()
+		tb := n.replica.(protocol.TokenBatcher)
+		batch := tb.OnToken(visit)
+		c.mu.Lock()
+		c.unsentBy[holder] = 0 // every deferred write was drained (or suppressed)
+		c.mu.Unlock()
+		c.appendEvent(trace.Event{Kind: trace.Token, Proc: holder, Time: c.now()})
+		if len(batch) == 0 {
+			batch = []protocol.Update{protocol.Marker(holder, visit)}
+		}
+		for _, u := range batch {
+			c.appendEvent(trace.Event{
+				Kind: trace.Send, Proc: holder, Time: c.now(),
+				Write: u.ID, Var: u.Var, Val: u.Val,
+			})
+		}
+		n.drainLocked()
+		n.mu.Unlock()
+		// Send outside the node lock (see Node.Write).
+		for _, u := range batch {
+			transport.Broadcast(c.tr, c.cfg.Processes, holder, u)
+		}
+		visit++
+	}
+}
+
+// noteDeferred records a write buffered at its sender awaiting the
+// token.
+func (c *Cluster) noteDeferred(p int) {
+	c.mu.Lock()
+	c.unsentBy[p]++
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// WriteAt is shorthand for c.Node(p).Write(x, v).
+func (c *Cluster) WriteAt(p, x int, v int64) error { return c.nodes[p].Write(x, v) }
+
+// ReadAt is shorthand for c.Node(p).Read(x).
+func (c *Cluster) ReadAt(p, x int) (int64, error) { return c.nodes[p].Read(x) }
+
+// ReadMetaAt is shorthand for c.Node(p).ReadMeta(x).
+func (c *Cluster) ReadMetaAt(p, x int) (int64, history.WriteID, error) {
+	return c.nodes[p].ReadMeta(x)
+}

@@ -1,0 +1,72 @@
+// Package core is the public entry point of the library: a live,
+// goroutine-hosted causally consistent distributed shared memory.
+//
+// A Cluster hosts n processes, each owning a full replica of the m
+// shared variables and running one of the implemented protocols
+// (OptP — the paper's write-delay-optimal protocol — by default).
+// Writes are wait-free: they apply locally and broadcast asynchronously
+// over the transport; reads are local and wait-free. The cluster
+// records a full event trace that the checker package can audit for
+// safety, causal consistency, liveness and write-delay optimality.
+//
+// Basic use:
+//
+//	c, err := core.NewCluster(core.Config{Processes: 3, Variables: 4})
+//	...
+//	c.Node(0).Write(1, 42)
+//	v, _ := c.Node(2).Read(1)
+//	c.Quiesce(ctx) // wait for every write to reach every replica
+//	c.Close()
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Processes is the number of replicated processes (n ≥ 1).
+	Processes int
+	// Variables is the number of shared memory locations (m ≥ 1).
+	Variables int
+	// Protocol selects the consistency protocol; the zero value is
+	// OptP, the paper's optimal protocol.
+	Protocol protocol.Kind
+
+	// MinDelay and MaxDelay bound the artificial per-message network
+	// delay of the built-in transport. Zero means immediate delivery.
+	MinDelay, MaxDelay time.Duration
+	// FIFO makes the built-in transport preserve per-link send order.
+	FIFO bool
+	// Seed drives the built-in transport's delay sampling.
+	Seed int64
+
+	// Transport optionally replaces the built-in transport. The Cluster
+	// takes ownership and closes it.
+	Transport transport.Transport
+
+	// TokenInterval is the wall-clock period of token circulation for
+	// token-based protocols (WS-send); 0 defaults to 1ms.
+	TokenInterval time.Duration
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Processes < 1 {
+		return fmt.Errorf("core: Processes = %d", c.Processes)
+	}
+	if c.Variables < 1 {
+		return fmt.Errorf("core: Variables = %d", c.Variables)
+	}
+	if c.MinDelay < 0 || c.MaxDelay < c.MinDelay {
+		return fmt.Errorf("core: delay range [%v, %v]", c.MinDelay, c.MaxDelay)
+	}
+	if c.TokenInterval < 0 {
+		return fmt.Errorf("core: TokenInterval = %v", c.TokenInterval)
+	}
+	return nil
+}

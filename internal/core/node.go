@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Node is one process of a live cluster: a full replica of the shared
+// variables plus the protocol state machine driving it. All methods are
+// safe for concurrent use.
+type Node struct {
+	c  *Cluster
+	id int
+
+	// mu serializes replica access; lock order is Node.mu before
+	// Cluster.mu, never the reverse.
+	mu      sync.Mutex
+	replica protocol.Replica
+	pending []protocol.Update
+}
+
+// ID returns the node's 0-based process index.
+func (n *Node) ID() int { return n.id }
+
+// Write performs w_p(x)v: it applies locally (wait-free) and broadcasts
+// the update asynchronously.
+func (n *Node) Write(x int, v int64) error {
+	if err := n.check(x); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	u, broadcast := n.replica.LocalWrite(x, v)
+	n.c.appendEvent(trace.Event{
+		Kind: trace.Issue, Proc: n.id, Time: n.c.now(),
+		Write: u.ID, Var: x, Val: v,
+	})
+	if broadcast {
+		n.c.appendEvent(trace.Event{
+			Kind: trace.Send, Proc: n.id, Time: n.c.now(),
+			Write: u.ID, Var: x, Val: v,
+		})
+	} else {
+		n.c.noteDeferred(n.id)
+	}
+	n.mu.Unlock()
+	// Broadcast outside the node lock: a full FIFO link must never
+	// block a holder of n.mu that a delivery goroutine is waiting for.
+	if broadcast {
+		transport.Broadcast(n.c.tr, n.c.cfg.Processes, n.id, u)
+	}
+	return nil
+}
+
+// Read performs r_p(x) against the local replica (wait-free).
+func (n *Node) Read(x int) (int64, error) {
+	v, _, err := n.ReadMeta(x)
+	return v, err
+}
+
+// ReadMeta is Read plus the identity of the write that produced the
+// value (history.Bottom for the initial ⊥).
+func (n *Node) ReadMeta(x int) (int64, history.WriteID, error) {
+	if err := n.check(x); err != nil {
+		return 0, history.Bottom, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, from := n.replica.Read(x)
+	n.c.appendEvent(trace.Event{
+		Kind: trace.Return, Proc: n.id, Time: n.c.now(),
+		Var: x, Val: v, From: from,
+	})
+	return v, from, nil
+}
+
+// Clock returns a copy of the replica's primary control vector
+// (Write_co for OptP).
+func (n *Node) Clock() []uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.replica.(protocol.Introspector).ControlClock()
+}
+
+// PendingUpdates returns the current number of buffered (delayed)
+// updates at this node.
+func (n *Node) PendingUpdates() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending)
+}
+
+func (n *Node) check(x int) error {
+	n.c.mu.Lock()
+	closed := n.c.closed
+	n.c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if x < 0 || x >= n.c.cfg.Variables {
+		return fmt.Errorf("%w: x%d of %d", ErrBadVariable, x+1, n.c.cfg.Variables)
+	}
+	return nil
+}
+
+// handle is the transport delivery callback.
+func (n *Node) handle(m transport.Message) {
+	u := m.Update
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.replica.Status(u)
+	kind := trace.Receipt
+	if u.Marker {
+		kind = trace.Token
+	}
+	n.c.appendEvent(trace.Event{
+		Kind: kind, Proc: n.id, Time: n.c.now(),
+		Write: u.ID, Var: u.Var, Val: u.Val,
+		Buffered: st == protocol.Blocked,
+	})
+	switch st {
+	case protocol.Blocked:
+		n.pending = append(n.pending, u)
+	case protocol.Deliverable:
+		n.applyLocked(u)
+	case protocol.Discardable:
+		n.dropLocked(u)
+	}
+	n.drainLocked()
+}
+
+// applyLocked installs u, recording any writing-semantics logical apply
+// first. Caller holds n.mu.
+func (n *Node) applyLocked(u protocol.Update) {
+	if sk, ok := n.replica.(protocol.Skipper); ok {
+		if tgt := sk.SkipTarget(u); !tgt.IsBottom() {
+			n.c.appendEvent(trace.Event{
+				Kind: trace.Discard, Proc: n.id, Time: n.c.now(), Write: tgt,
+			})
+		}
+	}
+	n.replica.Apply(u)
+	kind := trace.Apply
+	if u.Marker {
+		kind = trace.Token
+	}
+	n.c.appendEvent(trace.Event{
+		Kind: kind, Proc: n.id, Time: n.c.now(),
+		Write: u.ID, Var: u.Var, Val: u.Val,
+	})
+}
+
+// dropLocked discards the late message of an already logically-applied
+// write. Caller holds n.mu.
+func (n *Node) dropLocked(u protocol.Update) {
+	n.replica.Discard(u)
+	n.c.appendEvent(trace.Event{
+		Kind: trace.Drop, Proc: n.id, Time: n.c.now(),
+		Write: u.ID, Var: u.Var, Val: u.Val,
+	})
+}
+
+// drainLocked applies buffered updates until a fixpoint. Caller holds
+// n.mu.
+func (n *Node) drainLocked() {
+	for {
+		progressed := false
+		for i := 0; i < len(n.pending); i++ {
+			u := n.pending[i]
+			switch n.replica.Status(u) {
+			case protocol.Deliverable:
+				n.pending = append(n.pending[:i], n.pending[i+1:]...)
+				n.applyLocked(u)
+				progressed = true
+			case protocol.Discardable:
+				n.pending = append(n.pending[:i], n.pending[i+1:]...)
+				n.dropLocked(u)
+				progressed = true
+			}
+			if progressed {
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}

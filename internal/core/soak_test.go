@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/protocol"
+)
+
+// TestSoak hammers a live OptP cluster with concurrent writers, readers
+// and periodic mid-run audits, then fully audits the final trace. It is
+// the long-running stability check of the goroutine runtime; -short
+// skips it.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in short mode")
+	}
+	const (
+		procs  = 6
+		vars   = 5
+		ops    = 300
+		rounds = 3
+	)
+	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			c, err := NewCluster(Config{
+				Processes: procs, Variables: vars, Protocol: kind,
+				MaxDelay: 500 * time.Microsecond, Seed: 99,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			for round := 0; round < rounds; round++ {
+				var wg sync.WaitGroup
+				for p := 0; p < procs; p++ {
+					p := p
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(round*procs + p)))
+						for i := 1; i <= ops; i++ {
+							switch rng.Intn(3) {
+							case 0:
+								if err := c.Node(p).Write(rng.Intn(vars), int64(p)*1_000_000+int64(round*ops+i)); err != nil {
+									t.Error(err)
+									return
+								}
+							default:
+								if _, err := c.Node(p).Read(rng.Intn(vars)); err != nil {
+									t.Error(err)
+									return
+								}
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				err := c.Quiesce(ctx)
+				cancel()
+				if err != nil {
+					t.Fatalf("round %d quiesce: %v", round, err)
+				}
+			}
+
+			rep, err := c.Audit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Safe() {
+				t.Fatalf("safety: %d violations (first: %v)", len(rep.SafetyViolations), rep.SafetyViolations[0])
+			}
+			if !rep.CausallyConsistent() {
+				t.Fatalf("legality: %d violations (first: %v)", len(rep.LegalityViolations), rep.LegalityViolations[0])
+			}
+			if !rep.InP() {
+				t.Fatalf("liveness: %d holes", len(rep.NotApplied))
+			}
+			if kind == protocol.OptP && !rep.WriteDelayOptimal() {
+				t.Fatalf("OptP unnecessary delays: %d", rep.UnnecessaryDelays)
+			}
+			if err := checker.SerializationAudit(c.Log(), rep); err != nil {
+				t.Fatalf("serialization: %v", err)
+			}
+			t.Logf("%v soak: %s", kind, c.Stats())
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// A live cluster over real TCP loopback sockets: the full stack —
+// replica, wire codec, framing, kernel sockets — must still produce
+// causally consistent, write-delay-optimal runs.
+func TestClusterOverTCP(t *testing.T) {
+	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			tn, err := transport.NewTCP(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := NewCluster(Config{
+				Processes: 3, Variables: 3, Protocol: kind,
+				Transport: tn,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for p := 0; p < 3; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(p + 1)))
+					for i := 1; i <= 30; i++ {
+						if rng.Intn(2) == 0 {
+							if err := c.Node(p).Write(rng.Intn(3), int64(p*1000+i)); err != nil {
+								t.Error(err)
+								return
+							}
+						} else if _, err := c.Node(p).Read(rng.Intn(3)); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			quiesce(t, c)
+			rep, err := c.Audit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Safe() || !rep.CausallyConsistent() || !rep.InP() {
+				t.Fatalf("TCP run failed audit: %v %v %v",
+					rep.SafetyViolations, rep.LegalityViolations, rep.NotApplied)
+			}
+			if kind == protocol.OptP && !rep.WriteDelayOptimal() {
+				t.Fatalf("unnecessary delays over TCP: %+v", rep.Delays)
+			}
+			if err := checker.SerializationAudit(c.Log(), rep); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

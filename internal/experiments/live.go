@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+// Throughput is E6: operation throughput on the live goroutine runtime.
+// Each process issues ops writes (hot mix) as fast as it can; reported
+// are aggregate write throughput, read throughput, and the time to
+// quiesce afterwards.
+func Throughput(procs, opsPerProc int) (Result, error) {
+	r := Result{
+		Name:   "E6-throughput",
+		Desc:   fmt.Sprintf("live-cluster throughput (%d procs × %d ops, immediate transport)", procs, opsPerProc),
+		Header: []string{"protocol", "writes/s", "reads/s", "quiesce"},
+	}
+	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH, protocol.WSRecv} {
+		c, err := core.NewCluster(core.Config{
+			Processes: procs, Variables: 8, Protocol: kind, FIFO: true,
+		})
+		if err != nil {
+			return r, err
+		}
+
+		start := time.Now()
+		errs := make(chan error, procs)
+		for p := 0; p < procs; p++ {
+			p := p
+			go func() {
+				for i := 1; i <= opsPerProc; i++ {
+					if err := c.Node(p).Write(i%8, int64(p*1_000_000+i)); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		for p := 0; p < procs; p++ {
+			if err := <-errs; err != nil {
+				c.Close()
+				return r, err
+			}
+		}
+		writeDur := time.Since(start)
+
+		start = time.Now()
+		for p := 0; p < procs; p++ {
+			for i := 0; i < opsPerProc; i++ {
+				if _, err := c.Node(p).Read(i % 8); err != nil {
+					c.Close()
+					return r, err
+				}
+			}
+		}
+		readDur := time.Since(start)
+
+		start = time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = c.Quiesce(ctx)
+		cancel()
+		quiesceDur := time.Since(start)
+		if err != nil {
+			c.Close()
+			return r, fmt.Errorf("experiments: E6 %v quiesce: %w", kind, err)
+		}
+		if err := c.Close(); err != nil {
+			return r, err
+		}
+
+		total := float64(procs * opsPerProc)
+		r.Rows = append(r.Rows, []string{
+			kind.String(),
+			fmt.Sprintf("%.0f", total/writeDur.Seconds()),
+			fmt.Sprintf("%.0f", total/readDur.Seconds()),
+			quiesceDur.Round(time.Microsecond).String(),
+		})
+	}
+	return r, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// MetadataOverhead is E9: the wire cost of the piggybacked clocks as
+// the system grows. Both OptP and ANBKH ship an n-component vector per
+// update; because Write_co is non-decreasing at each sender
+// (Observation 1), consecutive updates from one sender can be
+// delta-encoded on FIFO links, which is where OptP's sparser growth
+// (only own writes and read dependencies) pays off in bytes.
+func MetadataOverhead() (Result, error) {
+	r := Result{
+		Name:   "E9-metadata",
+		Desc:   "mean clock bytes per update: full encoding vs per-sender delta (FIFO links)",
+		Header: []string{"procs", "protocol", "full-B/upd", "delta-B/upd"},
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		n := n
+		for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH} {
+			var full, delta, count float64
+			for _, seed := range seeds {
+				scripts, err := workload.Scripts(workload.Config{
+					Procs: n, Vars: n, OpsPerProc: 20, WriteRatio: 0.6,
+					ThinkMin: 5, ThinkMax: 60, Hot: 0.2, Seed: seed,
+				})
+				if err != nil {
+					return r, err
+				}
+				res, err := sim.Run(sim.Config{
+					Procs: n, Vars: n, Protocol: kind,
+					Latency: sim.NewUniformLatency(1, 150, seed*13+7),
+					FIFO:    true,
+				}, scripts)
+				if err != nil {
+					return r, fmt.Errorf("experiments: E9 %v n=%d: %w", kind, n, err)
+				}
+				f, d, c := clockBytes(res.Updates, n)
+				full += f
+				delta += d
+				count += c
+			}
+			if count == 0 {
+				continue
+			}
+			r.Rows = append(r.Rows, []string{
+				fmt.Sprint(n), kind.String(),
+				fmt.Sprintf("%.1f", full/count),
+				fmt.Sprintf("%.1f", delta/count),
+			})
+		}
+	}
+	return r, nil
+}
+
+// clockBytes sums, over every sender's update sequence, the full wire
+// size of each clock and the delta size against the sender's previous
+// update (the first update of a sender deltas against the zero clock).
+func clockBytes(updates map[history.WriteID]protocol.Update, n int) (full, delta, count float64) {
+	// Group by sender, in sequence order.
+	bySender := make(map[int][]protocol.Update)
+	maxSeq := make(map[int]int)
+	for id, u := range updates {
+		bySender[id.Proc] = append(bySender[id.Proc], u)
+		if id.Seq > maxSeq[id.Proc] {
+			maxSeq[id.Proc] = id.Seq
+		}
+	}
+	for p, us := range bySender {
+		ordered := make([]protocol.Update, maxSeq[p]+1)
+		for _, u := range us {
+			ordered[u.ID.Seq] = u
+		}
+		prev := vclock.New(n)
+		for seq := 1; seq <= maxSeq[p]; seq++ {
+			u := ordered[seq]
+			if u.ID.Seq == 0 {
+				continue // gap (suppressed write); keep prev
+			}
+			full += float64(u.Clock.EncodedSize())
+			delta += float64(len(u.Clock.AppendDelta(nil, prev)))
+			prev = u.Clock
+			count++
+		}
+	}
+	return full, delta, count
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/checker"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TwoSiteTopology is E10: a geo-distributed layout — two sites with
+// fast intra-site links and a slow, jittery inter-site link (built on
+// the MatrixLatency model). False causality hurts most here: a write
+// that merely APPLIED a remote-site write before being issued drags the
+// whole remote site's past into ANBKH's enabling sets, so local-site
+// deliveries stall behind the WAN.
+func TwoSiteTopology() (Result, error) {
+	r := Result{
+		Name:   "E10-twosite",
+		Desc:   "two sites (intra 5±5, inter 200±200): mean write delays and buffering time",
+		Header: []string{"procs/site", "protocol", "delays", "unnecessary", "mean-buffer-ticks"},
+	}
+	for _, perSite := range []int{2, 4} {
+		n := 2 * perSite
+		base := make([][]int64, n)
+		for i := range base {
+			base[i] = make([]int64, n)
+			for j := range base[i] {
+				if i == j {
+					continue
+				}
+				if (i < perSite) == (j < perSite) {
+					base[i][j] = 5 // intra-site
+				} else {
+					base[i][j] = 200 // inter-site
+				}
+			}
+		}
+		for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH, protocol.WSRecv} {
+			var m runMetrics
+			for _, seed := range seeds {
+				scripts, err := workload.Scripts(workload.Config{
+					Procs: n, Vars: n, OpsPerProc: 25, WriteRatio: 0.6,
+					ThinkMin: 5, ThinkMax: 60, Hot: 0.2, Seed: seed,
+				})
+				if err != nil {
+					return r, err
+				}
+				jitter := func(scale int64) sim.Latency {
+					return sim.NewMatrixLatency(base, scale, seed*17+3)
+				}
+				res, err := sim.Run(sim.Config{
+					Procs: n, Vars: n, Protocol: kind,
+					Latency: jitter(200), FIFO: true,
+				}, scripts)
+				if err != nil {
+					return r, fmt.Errorf("experiments: E10 %v: %w", kind, err)
+				}
+				st := res.Log.Stats(kind.String())
+				m.delays += float64(st.Delays)
+				m.meanDur += st.DelayDurations.Mean
+				un, err := unnecessaryOf(res)
+				if err != nil {
+					return r, err
+				}
+				m.unnecessary += float64(un)
+			}
+			k := float64(len(seeds))
+			r.Rows = append(r.Rows, []string{
+				fmt.Sprint(perSite), kind.String(),
+				f1(m.delays / k), f1(m.unnecessary / k), f1(m.meanDur / k),
+			})
+		}
+	}
+	return r, nil
+}
+
+// unnecessaryOf audits a run and returns its unnecessary-delay count.
+func unnecessaryOf(res *sim.Result) (int, error) {
+	rep, err := checker.Audit(res.Log)
+	if err != nil {
+		return 0, err
+	}
+	return rep.UnnecessaryDelays, nil
+}

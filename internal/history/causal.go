@@ -1,0 +1,180 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCyclic reports a history whose →co relation is not a partial order
+// (a cycle through process-order and read-from edges). Such a history
+// can be written down but cannot be produced by any protocol in 𝒫.
+var ErrCyclic = errors.New("history: →co contains a cycle")
+
+// Causality is the computed →co relation of a History: the transitive
+// closure of process order ∪ read-from, per Section 2. It answers
+// precedence, concurrency and causal-past queries over global operation
+// indices (see History.Ops).
+type Causality struct {
+	h *History
+	n int
+
+	// pred[i] holds every j with ops[j] →co ops[i].
+	pred []bitset
+	// succ[i] holds every j with ops[i] →co ops[j].
+	succ []bitset
+	// topo is a topological order of the direct-edge DAG.
+	topo []int
+}
+
+// directEdges invokes fn(from, to) for every generator edge of →co:
+// consecutive process-order pairs and read-from pairs.
+func (h *History) directEdges(fn func(from, to int)) {
+	base := 0
+	for _, local := range h.Locals {
+		for i := 1; i < len(local); i++ {
+			fn(base+i-1, base+i)
+		}
+		base += len(local)
+	}
+	for i, o := range h.ops {
+		if o.IsRead() && !o.From.IsBottom() {
+			fn(h.writeIdx[o.From], i)
+		}
+	}
+}
+
+// Causality computes the →co closure. It returns ErrCyclic if the
+// history's generator edges contain a cycle.
+func (h *History) Causality() (*Causality, error) {
+	n := len(h.ops)
+	c := &Causality{h: h, n: n}
+
+	// Adjacency and in-degrees of the generator DAG.
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	h.directEdges(func(from, to int) {
+		adj[from] = append(adj[from], to)
+		indeg[to]++
+	})
+
+	// Kahn topological sort.
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	c.topo = make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		c.topo = append(c.topo, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(c.topo) != n {
+		return nil, fmt.Errorf("%w: %d of %d operations unreachable in topological sort", ErrCyclic, n-len(c.topo), n)
+	}
+
+	// Predecessor closure in topological order:
+	// pred[w] = ⋃_{v→w} (pred[v] ∪ {v}).
+	c.pred = make([]bitset, n)
+	for i := range c.pred {
+		c.pred[i] = newBitset(n)
+	}
+	for _, v := range c.topo {
+		for _, w := range adj[v] {
+			c.pred[w].or(c.pred[v])
+			c.pred[w].set(v)
+		}
+	}
+
+	// Successor closure in reverse topological order.
+	c.succ = make([]bitset, n)
+	for i := range c.succ {
+		c.succ[i] = newBitset(n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := c.topo[i]
+		for _, w := range adj[v] {
+			c.succ[v].or(c.succ[w])
+			c.succ[v].set(w)
+		}
+	}
+	return c, nil
+}
+
+// History returns the underlying history.
+func (c *Causality) History() *History { return c.h }
+
+// Before reports ops[i] →co ops[j].
+func (c *Causality) Before(i, j int) bool { return c.pred[j].has(i) }
+
+// Concurrent reports ops[i] ‖co ops[j] (distinct, neither before the other).
+func (c *Causality) Concurrent(i, j int) bool {
+	return i != j && !c.Before(i, j) && !c.Before(j, i)
+}
+
+// CausalPast returns ↓(ops[i], →co): the global indices of all
+// operations strictly before ops[i], in increasing index order.
+func (c *Causality) CausalPast(i int) []int {
+	return c.pred[i].members(nil)
+}
+
+// CausalPastSize returns |↓(ops[i], →co)| without materializing it.
+func (c *Causality) CausalPastSize(i int) int { return c.pred[i].count() }
+
+// WritesBefore returns the write operations in ↓(ops[i], →co) as
+// WriteIDs in increasing global-index order. Per Definition 4 this is
+// exactly X_co-safe(apply_k(ops[i])) for every process k when ops[i] is
+// a write.
+func (c *Causality) WritesBefore(i int) []WriteID {
+	var ids []WriteID
+	for _, j := range c.pred[i].members(nil) {
+		if o := c.h.ops[j]; o.IsWrite() {
+			ids = append(ids, o.ID)
+		}
+	}
+	return ids
+}
+
+// WriteBefore reports w →co w' for two writes given by ID. It panics if
+// either ID is unknown; Bottom is before every operation by convention
+// and after none.
+func (c *Causality) WriteBefore(w, w2 WriteID) bool {
+	if w.IsBottom() {
+		return !w2.IsBottom()
+	}
+	if w2.IsBottom() {
+		return false
+	}
+	i, j := c.mustWrite(w), c.mustWrite(w2)
+	return c.Before(i, j)
+}
+
+// WriteConcurrent reports w ‖co w' for two distinct writes.
+func (c *Causality) WriteConcurrent(w, w2 WriteID) bool {
+	if w.IsBottom() || w2.IsBottom() {
+		return false
+	}
+	return c.Concurrent(c.mustWrite(w), c.mustWrite(w2))
+}
+
+func (c *Causality) mustWrite(id WriteID) int {
+	idx := c.h.WriteIndex(id)
+	if idx < 0 {
+		panic(fmt.Sprintf("history: unknown write %v", id))
+	}
+	return idx
+}
+
+// Topo returns a topological order of the operations consistent with →co.
+func (c *Causality) Topo() []int {
+	t := make([]int, len(c.topo))
+	copy(t, c.topo)
+	return t
+}

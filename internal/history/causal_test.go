@@ -1,0 +1,246 @@
+package history
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// mustCausality computes the →co closure of H1 and returns it with the
+// global indices of the four writes (wa, wc, wb, wd).
+func mustCausality(t *testing.T) (*Causality, *History, [4]int) {
+	t.Helper()
+	h, ids := H1()
+	c, err := h.Causality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx [4]int
+	for i, id := range ids {
+		idx[i] = h.WriteIndex(id)
+	}
+	return c, h, idx
+}
+
+func TestH1CausalFacts(t *testing.T) {
+	c, _, idx := mustCausality(t)
+	wa, wc, wb, wd := idx[0], idx[1], idx[2], idx[3]
+
+	// The paper's Example 1 facts.
+	if !c.Before(wa, wb) {
+		t.Error("want w1(x1)a →co w2(x2)b")
+	}
+	if !c.Before(wa, wc) {
+		t.Error("want w1(x1)a →co w1(x1)c")
+	}
+	if !c.Before(wb, wd) {
+		t.Error("want w2(x2)b →co w3(x2)d")
+	}
+	if !c.Concurrent(wc, wb) {
+		t.Error("want w1(x1)c ‖co w2(x2)b")
+	}
+	if !c.Concurrent(wc, wd) {
+		t.Error("want w1(x1)c ‖co w3(x2)d")
+	}
+	// Transitivity: wa →co wd through wb.
+	if !c.Before(wa, wd) {
+		t.Error("want w1(x1)a →co w3(x2)d")
+	}
+}
+
+func TestH1WriteLevelQueries(t *testing.T) {
+	c, _, _ := mustCausality(t)
+	_, ids := H1()
+	wa, wc, wb, wd := ids[0], ids[1], ids[2], ids[3]
+	if !c.WriteBefore(wa, wb) || !c.WriteBefore(wb, wd) || !c.WriteBefore(wa, wd) {
+		t.Error("WriteBefore facts wrong")
+	}
+	if c.WriteBefore(wc, wd) || c.WriteBefore(wd, wc) {
+		t.Error("wc vs wd should be unordered")
+	}
+	if !c.WriteConcurrent(wc, wb) || !c.WriteConcurrent(wc, wd) {
+		t.Error("WriteConcurrent facts wrong")
+	}
+	// Bottom is before everything and concurrent with nothing.
+	if !c.WriteBefore(Bottom, wa) || c.WriteBefore(wa, Bottom) || c.WriteConcurrent(Bottom, wa) {
+		t.Error("Bottom ordering wrong")
+	}
+}
+
+// TestH1XcoSafe reproduces Table 1 of the paper: the X_co-safe set of
+// each apply event is the set of writes in the causal past of the
+// written operation (identical at every process).
+func TestH1XcoSafe(t *testing.T) {
+	c, h, idx := mustCausality(t)
+	_, ids := H1()
+	wa, wc, wb, wd := ids[0], ids[1], ids[2], ids[3]
+
+	want := map[WriteID][]WriteID{
+		wa: nil,
+		wc: {wa},
+		wb: {wa},
+		wd: {wa, wb},
+	}
+	for i, id := range ids {
+		got := c.WritesBefore(idx[i])
+		w := want[id]
+		if len(got) != len(w) {
+			t.Fatalf("X_co-safe(%v) = %v, want %v", id, got, w)
+		}
+		seen := map[WriteID]bool{}
+		for _, g := range got {
+			seen[g] = true
+		}
+		for _, x := range w {
+			if !seen[x] {
+				t.Fatalf("X_co-safe(%v) = %v, missing %v", id, got, x)
+			}
+		}
+	}
+	_ = h
+}
+
+func TestCausalPast(t *testing.T) {
+	c, h, idx := mustCausality(t)
+	wd := idx[3]
+	past := c.CausalPast(wd)
+	// ↓(w3(x2)d) = {w1(x1)a, r2(x1)a, w2(x2)b, r3(x2)b} = 4 ops.
+	if len(past) != 4 {
+		t.Fatalf("causal past of wd = %d ops (%v), want 4", len(past), past)
+	}
+	if c.CausalPastSize(wd) != 4 {
+		t.Fatalf("CausalPastSize = %d", c.CausalPastSize(wd))
+	}
+	for _, j := range past {
+		if !c.Before(j, wd) {
+			t.Fatalf("past member %v not before wd", h.Ops()[j])
+		}
+	}
+}
+
+func TestTopoRespectsCo(t *testing.T) {
+	c, h, _ := mustCausality(t)
+	topo := c.Topo()
+	pos := make([]int, h.NumOps())
+	for i, v := range topo {
+		pos[v] = i
+	}
+	for i := 0; i < h.NumOps(); i++ {
+		for j := 0; j < h.NumOps(); j++ {
+			if c.Before(i, j) && pos[i] >= pos[j] {
+				t.Fatalf("topo violates →co: %v before %v", h.Ops()[i], h.Ops()[j])
+			}
+		}
+	}
+}
+
+func TestCyclicHistoryDetected(t *testing.T) {
+	// p1: r1(x1)=b; w1(x2)=a   and   p2: r2(x2)=a; w2(x1)=b
+	// form a →co cycle through the two read-from edges.
+	wa := Op{Kind: Write, Proc: 0, Var: 1, Val: 1, ID: WriteID{0, 1}}
+	wb := Op{Kind: Write, Proc: 1, Var: 0, Val: 2, ID: WriteID{1, 1}}
+	ra := Op{Kind: Read, Proc: 1, Var: 1, Val: 1, From: wa.ID}
+	rb := Op{Kind: Read, Proc: 0, Var: 0, Val: 2, From: wb.ID}
+	h, err := FromOps([][]Op{{rb, wa}, {ra, wb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Causality(); !errors.Is(err, ErrCyclic) {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestConcurrentSelf(t *testing.T) {
+	c, _, idx := mustCausality(t)
+	if c.Concurrent(idx[0], idx[0]) {
+		t.Fatal("an op must not be concurrent with itself")
+	}
+}
+
+// randomHistory builds a random valid history: writes with unique values
+// and reads that return the latest value the issuing process could have
+// seen (its own last write to the variable), keeping read-from acyclic.
+func randomHistory(rng *rand.Rand, nProcs, nVars, nOps int) *History {
+	b := NewBuilder(nProcs)
+	val := int64(0)
+	// lastWrite[x] is a write that exists when a read is issued.
+	var written []struct {
+		x  int
+		v  int64
+		id WriteID
+		at int // global op count when written
+	}
+	count := 0
+	for i := 0; i < nOps; i++ {
+		p := rng.Intn(nProcs)
+		x := rng.Intn(nVars)
+		if rng.Intn(2) == 0 || len(written) == 0 {
+			val++
+			id := b.Write(p, x, val)
+			written = append(written, struct {
+				x  int
+				v  int64
+				id WriteID
+				at int
+			}{x, val, id, count})
+		} else {
+			w := written[rng.Intn(len(written))]
+			b.ReadFrom(p, w.x, w.v, w.id)
+		}
+		count++
+	}
+	return b.MustFinish()
+}
+
+// Property: →co is a strict partial order on random histories —
+// irreflexive, antisymmetric, transitive — and Concurrent is symmetric.
+func TestRandomHistoriesPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		h := randomHistory(rng, 2+rng.Intn(4), 1+rng.Intn(3), 10+rng.Intn(30))
+		c, err := h.Causality()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		n := h.NumOps()
+		for i := 0; i < n; i++ {
+			if c.Before(i, i) {
+				t.Fatalf("trial %d: reflexive at %d", trial, i)
+			}
+			for j := 0; j < n; j++ {
+				if c.Before(i, j) && c.Before(j, i) {
+					t.Fatalf("trial %d: symmetric pair %d,%d", trial, i, j)
+				}
+				if c.Concurrent(i, j) != c.Concurrent(j, i) {
+					t.Fatalf("trial %d: concurrency asymmetric", trial)
+				}
+				for k := 0; k < n; k++ {
+					if c.Before(i, j) && c.Before(j, k) && !c.Before(i, k) {
+						t.Fatalf("trial %d: not transitive %d→%d→%d", trial, i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: process order is always contained in →co.
+func TestProcessOrderContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		h := randomHistory(rng, 3, 2, 25)
+		c, err := h.Causality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := 0
+		for _, local := range h.Locals {
+			for i := 0; i+1 < len(local); i++ {
+				if !c.Before(base+i, base+i+1) {
+					t.Fatalf("process order edge missing at %d", base+i)
+				}
+			}
+			base += len(local)
+		}
+	}
+}

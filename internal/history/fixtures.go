@@ -1,0 +1,51 @@
+package history
+
+// This file provides the paper's worked example as a reusable fixture.
+//
+// Example 1 (history Ĥ1):
+//
+//	h1: w1(x1)a; w1(x1)c
+//	h2: r2(x1)a; w2(x2)b
+//	h3: r3(x2)b; w3(x2)d
+//
+// with →co facts: w1(x1)a →co w2(x2)b, w1(x1)a →co w1(x1)c,
+// w2(x2)b →co w3(x2)d, and w1(x1)c ‖co w2(x2)b, w1(x1)c ‖co w3(x2)d.
+
+// Values used by Ĥ1. Values are int64 in the model; these constants map
+// to the paper's letters for rendering.
+const (
+	ValA int64 = 1
+	ValB int64 = 2
+	ValC int64 = 3
+	ValD int64 = 4
+)
+
+// ValueName renders Ĥ1's values as the paper's letters; other values
+// render as numbers by the callers that use this.
+func ValueName(v int64) (string, bool) {
+	switch v {
+	case ValA:
+		return "a", true
+	case ValB:
+		return "b", true
+	case ValC:
+		return "c", true
+	case ValD:
+		return "d", true
+	default:
+		return "", false
+	}
+}
+
+// H1 constructs the paper's Example 1 history. The returned WriteIDs are
+// (in order) w1(x1)a, w1(x1)c, w2(x2)b, w3(x2)d.
+func H1() (*History, [4]WriteID) {
+	b := NewBuilder(3)
+	wa := b.Write(0, 0, ValA) // w1(x1)a
+	wc := b.Write(0, 0, ValC) // w1(x1)c
+	b.Read(1, 0, ValA)        // r2(x1)a
+	wb := b.Write(1, 1, ValB) // w2(x2)b
+	b.Read(2, 1, ValB)        // r3(x2)b
+	wd := b.Write(2, 1, ValD) // w3(x2)d
+	return b.MustFinish(), [4]WriteID{wa, wc, wb, wd}
+}

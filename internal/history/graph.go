@@ -1,0 +1,126 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WriteGraph is the write causality graph of Section 4.3: a DAG whose
+// vertices are the writes of a history, with an edge w → w' iff
+// w →co⁰ w' (w is an *immediate* predecessor of w': no write w” lies
+// strictly between them wrt →co). It is the transitive reduction of →co
+// restricted to writes.
+type WriteGraph struct {
+	// Vertices in flattened history order.
+	Vertices []WriteID
+	// Edges[v] lists the immediate successors of Vertices[v] as vertex
+	// indices, sorted.
+	Edges [][]int
+
+	index map[WriteID]int
+}
+
+// WriteGraph computes the write causality graph from the →co closure.
+func (c *Causality) WriteGraph() *WriteGraph {
+	writes := c.h.Writes() // global op indices of writes, flattened order
+	g := &WriteGraph{index: make(map[WriteID]int, len(writes))}
+	for v, gi := range writes {
+		g.Vertices = append(g.Vertices, c.h.ops[gi].ID)
+		g.index[c.h.ops[gi].ID] = v
+	}
+	g.Edges = make([][]int, len(writes))
+	for a, ga := range writes {
+		for b, gb := range writes {
+			if a == b || !c.Before(ga, gb) {
+				continue
+			}
+			// Immediate iff no write w'' with ga →co w'' →co gb, i.e.
+			// succ(ga) ∩ pred(gb) contains no write.
+			immediate := true
+			for _, gm := range writes {
+				if gm != ga && gm != gb && c.succ[ga].has(gm) && c.pred[gb].has(gm) {
+					immediate = false
+					break
+				}
+			}
+			if immediate {
+				g.Edges[a] = append(g.Edges[a], b)
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		sort.Ints(e)
+	}
+	return g
+}
+
+// VertexOf returns the vertex index of id, or -1.
+func (g *WriteGraph) VertexOf(id WriteID) int {
+	if v, ok := g.index[id]; ok {
+		return v
+	}
+	return -1
+}
+
+// ImmediatePredecessors returns the IDs of the immediate →co⁰
+// predecessors of id. Per the paper there are at most n of them, one per
+// process.
+func (g *WriteGraph) ImmediatePredecessors(id WriteID) []WriteID {
+	v := g.VertexOf(id)
+	if v < 0 {
+		return nil
+	}
+	var preds []WriteID
+	for a, succs := range g.Edges {
+		for _, b := range succs {
+			if b == v {
+				preds = append(preds, g.Vertices[a])
+			}
+		}
+	}
+	return preds
+}
+
+// EdgeList returns the edges as "w1#1 -> w2#1" strings, sorted, a stable
+// form for tests and the Figure 7 renderer.
+func (g *WriteGraph) EdgeList() []string {
+	var out []string
+	for a, succs := range g.Edges {
+		for _, b := range succs {
+			out = append(out, fmt.Sprintf("%v -> %v", g.Vertices[a], g.Vertices[b]))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumEdges returns the number of edges.
+func (g *WriteGraph) NumEdges() int {
+	n := 0
+	for _, e := range g.Edges {
+		n += len(e)
+	}
+	return n
+}
+
+// DOT renders the graph in Graphviz format with operations labelled in
+// the paper's notation.
+func (g *WriteGraph) DOT(h *History) string {
+	var b strings.Builder
+	b.WriteString("digraph writeco {\n  rankdir=TB;\n")
+	for v, id := range g.Vertices {
+		label := id.String()
+		if gi := h.WriteIndex(id); gi >= 0 {
+			label = h.Ops()[gi].String()
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, label)
+	}
+	for a, succs := range g.Edges {
+		for _, bb := range succs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", a, bb)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package history
+
+import "fmt"
+
+// Violation describes one illegal read found while checking Definition 2.
+type Violation struct {
+	// Read is the global index of the illegal read.
+	Read int
+	// Op is the read operation itself.
+	Op Op
+	// Stale, when non-bottom, names a write w' on the same variable with
+	// readFrom →co w' →co read: the read returned an overwritten value.
+	Stale WriteID
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%v at %v: %s", v.Op, v.Read, v.Reason)
+}
+
+// LegalRead checks Definition 1 for the read at global index i:
+// r(x)v is legal iff ∃ w(x)v →co r and no w(x)v' with
+// w(x)v →co w(x)v' →co r. A read of ⊥ is legal iff no write to x lies
+// in its causal past.
+//
+// The second return is the zero Violation when the read is legal.
+func (c *Causality) LegalRead(i int) (bool, Violation) {
+	o := c.h.ops[i]
+	if !o.IsRead() {
+		panic(fmt.Sprintf("history: LegalRead on non-read %v", o))
+	}
+	if o.From.IsBottom() {
+		// Must be no write to o.Var in ↓(r, →co).
+		for _, j := range c.pred[i].members(nil) {
+			if w := c.h.ops[j]; w.IsWrite() && w.Var == o.Var {
+				return false, Violation{
+					Read: i, Op: o, Stale: w.ID,
+					Reason: fmt.Sprintf("reads ⊥ but %v is in its causal past", w),
+				}
+			}
+		}
+		return true, Violation{}
+	}
+	widx := c.h.WriteIndex(o.From)
+	if widx < 0 {
+		return false, Violation{Read: i, Op: o, Reason: fmt.Sprintf("reads from unknown write %v", o.From)}
+	}
+	if !c.Before(widx, i) {
+		// Read-from edges are →co generators, so this indicates a
+		// malformed history rather than a stale value.
+		return false, Violation{Read: i, Op: o, Reason: fmt.Sprintf("source write %v not in causal past", o.From)}
+	}
+	// No intervening write on the same variable: w →co w' →co r.
+	for _, j := range c.pred[i].members(nil) {
+		w2 := c.h.ops[j]
+		if !w2.IsWrite() || w2.Var != o.Var || j == widx {
+			continue
+		}
+		if c.Before(widx, j) {
+			return false, Violation{
+				Read: i, Op: o, Stale: w2.ID,
+				Reason: fmt.Sprintf("value from %v was overwritten by %v before the read", o.From, w2),
+			}
+		}
+	}
+	return true, Violation{}
+}
+
+// CheckCausallyConsistent checks Definition 2: every read in the history
+// is legal. It returns all violations found (nil means the history is
+// causally consistent).
+func (c *Causality) CheckCausallyConsistent() []Violation {
+	var vs []Violation
+	for i, o := range c.h.ops {
+		if !o.IsRead() {
+			continue
+		}
+		if ok, v := c.LegalRead(i); !ok {
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+// IsCausallyConsistent reports Definition 2 as a single boolean.
+func (c *Causality) IsCausallyConsistent() bool {
+	return len(c.CheckCausallyConsistent()) == 0
+}

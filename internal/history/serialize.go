@@ -1,0 +1,173 @@
+package history
+
+import "fmt"
+
+// This file implements the *serialization* formulation of causal
+// memory, due to Ahamad et al. [1]: a history is causally consistent
+// for process p_i iff there is a total order ("causal serialization")
+// of A_i = {all writes} ∪ {p_i's reads} that respects →co and in which
+// every read returns the value of the latest preceding write to its
+// variable (⊥ if none).
+//
+// The paper's Definition 2 (every read legal) is implied by
+// serializability but is strictly weaker: a process whose reads
+// oscillate between two concurrent writes (r(x)a; r(x)a'; r(x)a) has
+// only legal reads yet admits no serialization. See the package tests
+// for the worked counterexample. Protocol-generated executions always
+// satisfy the stronger form (replicas overwrite monotonically), which
+// checker.SerializationAudit verifies in linear time from the trace;
+// the exponential search here exists for analyzing hand-written
+// histories.
+
+// CausalSerialization searches for a causal serialization of process
+// proc's view. It returns the order as global op indices and whether
+// one exists. maxOps bounds the view size (the search is exponential in
+// the worst case); views larger than maxOps return an error.
+func (c *Causality) CausalSerialization(proc, maxOps int) ([]int, bool, error) {
+	// View: all writes + proc's reads.
+	var view []int
+	for i, o := range c.h.ops {
+		if o.IsWrite() || o.Proc == proc {
+			view = append(view, i)
+		}
+	}
+	if len(view) > maxOps {
+		return nil, false, fmt.Errorf("history: view of p%d has %d ops (limit %d)", proc+1, len(view), maxOps)
+	}
+	if len(view) > 64 {
+		return nil, false, fmt.Errorf("history: view of p%d has %d ops (bitmask limit 64)", proc+1, len(view))
+	}
+
+	// Precompute, per view position, the mask of view-internal →co
+	// predecessors.
+	pos := make(map[int]int, len(view)) // global idx → view idx
+	for vi, gi := range view {
+		pos[gi] = vi
+	}
+	preds := make([]uint64, len(view))
+	for vi, gi := range view {
+		for vj, gj := range view {
+			if vi != vj && c.Before(gj, gi) {
+				preds[vi] |= 1 << uint(vj)
+			}
+		}
+	}
+
+	type valKey struct {
+		mask uint64
+		// lastWrite[x] as a fingerprint: the serialization's outcome
+		// depends on the most recent write per variable, not just the
+		// placed set.
+		vals string
+	}
+	seen := make(map[valKey]bool)
+
+	lastWrite := make([]WriteID, c.h.NumVars)
+	order := make([]int, 0, len(view))
+
+	var search func(mask uint64) bool
+	search = func(mask uint64) bool {
+		if mask == (uint64(1)<<uint(len(view)))-1 {
+			return true
+		}
+		key := valKey{mask, fmt.Sprint(lastWrite)}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		for vi, gi := range view {
+			bit := uint64(1) << uint(vi)
+			if mask&bit != 0 || preds[vi]&^mask != 0 {
+				continue // placed, or some predecessor missing
+			}
+			o := c.h.ops[gi]
+			if o.IsRead() {
+				// A read is placeable iff the current value matches.
+				if lastWrite[o.Var] != o.From {
+					continue
+				}
+				order = append(order, gi)
+				if search(mask | bit) {
+					return true
+				}
+				order = order[:len(order)-1]
+				continue
+			}
+			// Write: place it, updating the variable.
+			saved := lastWrite[o.Var]
+			lastWrite[o.Var] = o.ID
+			order = append(order, gi)
+			if search(mask | bit) {
+				return true
+			}
+			order = order[:len(order)-1]
+			lastWrite[o.Var] = saved
+		}
+		return false
+	}
+
+	if !search(0) {
+		return nil, false, nil
+	}
+	out := make([]int, len(order))
+	copy(out, order)
+	return out, true, nil
+}
+
+// Serializable reports whether every process's view admits a causal
+// serialization (the Ahamad et al. definition of causal consistency).
+func (c *Causality) Serializable(maxOps int) (bool, error) {
+	for p := 0; p < c.h.NumProcs(); p++ {
+		_, ok, err := c.CausalSerialization(p, maxOps)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// VerifySerialization checks that a proposed order is a causal
+// serialization of proc's view: it contains exactly the view's ops,
+// respects →co, and every read returns the latest preceding write.
+func (c *Causality) VerifySerialization(proc int, order []int) error {
+	want := make(map[int]bool)
+	for i, o := range c.h.ops {
+		if o.IsWrite() || o.Proc == proc {
+			want[i] = true
+		}
+	}
+	if len(order) != len(want) {
+		return fmt.Errorf("history: order has %d ops, view has %d", len(order), len(want))
+	}
+	placed := make(map[int]int, len(order))
+	lastWrite := make([]WriteID, c.h.NumVars)
+	for pos, gi := range order {
+		if !want[gi] {
+			return fmt.Errorf("history: op %v not in p%d's view", c.h.ops[gi], proc+1)
+		}
+		if _, dup := placed[gi]; dup {
+			return fmt.Errorf("history: op %v placed twice", c.h.ops[gi])
+		}
+		placed[gi] = pos
+		o := c.h.ops[gi]
+		if o.IsRead() {
+			if lastWrite[o.Var] != o.From {
+				return fmt.Errorf("history: at position %d, %v reads %v but latest write is %v",
+					pos, o, o.From, lastWrite[o.Var])
+			}
+		} else {
+			lastWrite[o.Var] = o.ID
+		}
+	}
+	for gi := range want {
+		for gj := range want {
+			if c.Before(gi, gj) && placed[gi] > placed[gj] {
+				return fmt.Errorf("history: order violates →co: %v before %v", c.h.ops[gi], c.h.ops[gj])
+			}
+		}
+	}
+	return nil
+}

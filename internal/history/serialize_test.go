@@ -1,0 +1,163 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestH1Serializable(t *testing.T) {
+	h, _ := H1()
+	c, err := h.Causality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Serializable(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Ĥ1 must be serializable")
+	}
+	for p := 0; p < 3; p++ {
+		order, ok, err := c.CausalSerialization(p, 32)
+		if err != nil || !ok {
+			t.Fatalf("p%d: %v %v", p+1, ok, err)
+		}
+		if err := c.VerifySerialization(p, order); err != nil {
+			t.Fatalf("p%d: %v", p+1, err)
+		}
+	}
+}
+
+// Concurrent writes read in opposite orders by different processes are
+// serializable — each process picks its own write order.
+func TestOppositeOrdersSerializable(t *testing.T) {
+	b := NewBuilder(4)
+	wa := b.Write(0, 0, 1)
+	wb := b.Write(1, 0, 2)
+	b.ReadFrom(2, 0, 1, wa)
+	b.ReadFrom(2, 0, 2, wb)
+	b.ReadFrom(3, 0, 2, wb)
+	b.ReadFrom(3, 0, 1, wa)
+	h := b.MustFinish()
+	c, _ := h.Causality()
+	ok, err := c.Serializable(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("opposite read orders must be serializable")
+	}
+}
+
+// The definitional gap: oscillating reads of two CONCURRENT writes are
+// legal per Definition 1 (neither write is in the causal past of the
+// other, so nothing is "overwritten") but admit no serialization — the
+// Ahamad et al. definition is strictly stronger. Protocol executions
+// never produce this pattern (replicas overwrite monotonically).
+func TestOscillatingReadsLegalButNotSerializable(t *testing.T) {
+	b := NewBuilder(3)
+	wa := b.Write(0, 0, 1)
+	wb := b.Write(1, 0, 2)
+	b.ReadFrom(2, 0, 1, wa)
+	b.ReadFrom(2, 0, 2, wb)
+	b.ReadFrom(2, 0, 1, wa) // back to a — no single order can do this
+	h := b.MustFinish()
+	c, err := h.Causality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsCausallyConsistent() {
+		t.Fatal("oscillating reads are legal per Definition 1 (the writes are concurrent)")
+	}
+	ok, err := c.Serializable(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("oscillating reads must not be serializable")
+	}
+}
+
+// A stale read (illegal per Definition 1) is also non-serializable:
+// serializability ⇒ legality.
+func TestStaleReadNotSerializable(t *testing.T) {
+	b := NewBuilder(2)
+	w1 := b.Write(0, 0, 1)
+	b.Write(0, 0, 2)
+	b.Read(1, 0, 2)
+	b.ReadFrom(1, 0, 1, w1)
+	h := b.MustFinish()
+	c, _ := h.Causality()
+	ok, err := c.Serializable(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale read serialized")
+	}
+}
+
+// Property: serializable ⇒ every read legal (the implication direction
+// that does hold), on random small histories.
+func TestSerializableImpliesLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		h := randomHistory(rng, 2+rng.Intn(2), 2, 8+rng.Intn(6))
+		c, err := h.Causality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := c.Serializable(24)
+		if err != nil {
+			continue // view too large; skip
+		}
+		checked++
+		if ok && !c.IsCausallyConsistent() {
+			t.Fatalf("trial %d: serializable but illegal reads:\n%s", trial, h)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d trials checked", checked)
+	}
+}
+
+func TestVerifySerializationRejects(t *testing.T) {
+	h, _ := H1()
+	c, _ := h.Causality()
+	order, ok, err := c.CausalSerialization(0, 32)
+	if err != nil || !ok {
+		t.Fatal("no serialization for p1")
+	}
+	// Wrong length.
+	if err := c.VerifySerialization(0, order[:len(order)-1]); err == nil {
+		t.Error("short order accepted")
+	}
+	// Duplicated op.
+	dup := append(append([]int{}, order[:len(order)-1]...), order[0])
+	if err := c.VerifySerialization(0, dup); err == nil {
+		t.Error("duplicate accepted")
+	}
+	// Reversed order breaks →co.
+	rev := make([]int, len(order))
+	for i, v := range order {
+		rev[len(order)-1-i] = v
+	}
+	if err := c.VerifySerialization(0, rev); err == nil {
+		t.Error("reversed order accepted")
+	}
+	// An op outside the view.
+	foreign := append(append([]int{}, order[:len(order)-1]...), h.GlobalIndex(OpRef{Proc: 1, Index: 0}))
+	if err := c.VerifySerialization(0, foreign); err == nil {
+		t.Error("foreign op accepted")
+	}
+}
+
+func TestSerializationViewTooLarge(t *testing.T) {
+	h, _ := H1()
+	c, _ := h.Causality()
+	if _, _, err := c.CausalSerialization(0, 2); err == nil {
+		t.Fatal("expected limit error")
+	}
+}

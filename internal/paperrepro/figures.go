@@ -1,0 +1,220 @@
+package paperrepro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// sequenceAt renders process p's event sequence from a run in the
+// paper's "<_k" chain notation, e.g.
+//
+//	receipt3(w2(x2)b) <3 receipt3(w1(x1)a) <3 apply3(w1(x1)a) <3 ...
+//
+// Send and Token events are omitted; local writes (Issue) render as the
+// process's own apply events, matching the paper's figures.
+func sequenceAt(log *trace.Log, p int) string {
+	var parts []string
+	for _, e := range log.Events {
+		if e.Proc != p {
+			continue
+		}
+		switch e.Kind {
+		case trace.Receipt:
+			parts = append(parts, fmt.Sprintf("receipt%d(%s)", p+1, writeName(e.Write)))
+		case trace.Apply, trace.Issue:
+			parts = append(parts, fmt.Sprintf("apply%d(%s)", p+1, writeName(e.Write)))
+		case trace.Return:
+			parts = append(parts, fmt.Sprintf("return%d(x%d,%s)", p+1, e.Var+1, valName(e.Val)))
+		case trace.Discard:
+			parts = append(parts, fmt.Sprintf("discard%d(%s)", p+1, writeName(e.Write)))
+		}
+	}
+	return strings.Join(parts, fmt.Sprintf(" <%d ", p+1))
+}
+
+// delaySummary renders the classified write delays of a run.
+func delaySummary(rep *checker.Report) string {
+	if len(rep.Delays) == 0 {
+		return "write delays: none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "write delays: %d (%d necessary, %d unnecessary)",
+		len(rep.Delays), rep.NecessaryDelays, rep.UnnecessaryDelays)
+	for _, d := range rep.Delays {
+		verdict := "UNNECESSARY"
+		if d.Necessary {
+			verdict = fmt.Sprintf("necessary (missing %s)", writeName(d.MissingWrite))
+		}
+		fmt.Fprintf(&b, "\n  %s buffered at p%d for %d ticks — %s",
+			writeName(d.Write), d.Proc+1, d.Duration(), verdict)
+	}
+	return b.String()
+}
+
+// runAndAudit executes an Ĥ1 scenario and audits it.
+func runAndAudit(kind protocol.Kind, lat sim.Latency, readDelay int64) (*sim.Result, *checker.Report, error) {
+	res, err := RunH1(kind, lat, readDelay)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := checker.Audit(res.Log)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rep, nil
+}
+
+// Fig1 regenerates Figure 1: two sequences that could occur at p3
+// compliant with Ĥ1 — run (1) with no write delay, run (2) with one
+// (necessary) delay caused by b overtaking a.
+func Fig1() (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 1. Two sequences that could occur at process p3 compliant with Ĥ1.\n\n")
+
+	res1, rep1, err := runAndAudit(protocol.OptP, Fig1Run1Latency(), 0)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "(1) %s\n    %s\n\n", sequenceAt(res1.Log, 2), delaySummary(rep1))
+
+	res2, rep2, err := runAndAudit(protocol.OptP, Fig36Latency(), 40)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "(2) %s\n    %s\n", sequenceAt(res2.Log, 2), delaySummary(rep2))
+	return b.String(), nil
+}
+
+// Fig2 regenerates Figure 2 and the Section 3.5 analysis: a safe
+// protocol P with X_P(apply3(w2(x2)b)) = {apply3(a), apply3(c)}
+// (instantiated as the OptP read-merge ablation, which manufactures
+// exactly that enabling set) delays b although everything in its causal
+// past is applied; OptP executes no delay on the same arrival order.
+func Fig2() (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 2. A sequence that could occur at process p3 compliant with Ĥ1\n")
+	b.WriteString("under a safe but NON-optimal P (X_P ⊃ X_co-safe).\n\n")
+
+	resP, repP, err := runAndAudit(protocol.OptPNoReadMerge, Fig2Latency(), 0)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "P:    %s\n      %s\n\n", sequenceAt(resP.Log, 2), delaySummary(repP))
+
+	resO, repO, err := runAndAudit(protocol.OptP, Fig2Latency(), 0)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "OptP: %s\n      %s\n", sequenceAt(resO.Log, 2), delaySummary(repO))
+	return b.String(), nil
+}
+
+// Fig3 regenerates Figure 3: the ANBKH run of Ĥ1 in which
+// apply3(w2(x2)b) is postponed past apply3(w1(x1)c) — false causality.
+func Fig3() (string, error) {
+	res, rep, err := runAndAudit(protocol.ANBKH, Fig36Latency(), 0)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3. A run of ANBKH compliant with Ĥ1.\n\n")
+	for p := 0; p < 3; p++ {
+		fmt.Fprintf(&b, "p%d: %s\n", p+1, sequenceAt(res.Log, p))
+	}
+	fmt.Fprintf(&b, "\n%s\n", delaySummary(rep))
+	fmt.Fprintf(&b, "\nmessage clocks: b carries VT = %v (absorbs the applied-but-unread c)\n",
+		res.Updates[WB].Clock)
+	return b.String(), nil
+}
+
+// Fig6 regenerates Figure 6: the OptP run of Ĥ1, including the
+// Write_co evolution the figure annotates. p3 applies b as soon as a is
+// in, even though c has not arrived.
+func Fig6() (string, error) {
+	res, rep, err := runAndAudit(protocol.OptP, Fig36Latency(), 0)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 6. A run of OptP compliant with Ĥ1.\n\n")
+	for p := 0; p < 3; p++ {
+		fmt.Fprintf(&b, "p%d: %s\n", p+1, sequenceAt(res.Log, p))
+	}
+	fmt.Fprintf(&b, "\n%s\n\nWrite_co evolution:\n", delaySummary(rep))
+	for _, w := range writeOrder {
+		fmt.Fprintf(&b, "  %s.Write_co = %v\n", writeName(w), res.Updates[w].Clock)
+	}
+	for p, r := range res.Replicas {
+		in := r.(protocol.Introspector)
+		fmt.Fprintf(&b, "  p%d final: Write_co = %v, Apply = %v\n",
+			p+1, in.ControlClock(), in.ApplyClock())
+	}
+	b.WriteString("\nNote: w2(x2)b.Write_co = [1 1 0] does not track w1(x1)c even though c was\n")
+	b.WriteString("applied at p2 before b was issued — p2 never read it (no →co edge).\n")
+	return b.String(), nil
+}
+
+// Fig7 regenerates Figure 7: the write causality graph of Ĥ1, both as
+// an edge list and in Graphviz DOT.
+//
+// Per the definitions (and Example 1's own concurrency facts,
+// w1(x1)c ‖co w3(x2)d), the edge set is {a→c, a→b, b→d}; the paper's
+// prose claim that c is an immediate predecessor of d contradicts its
+// Example 1 and is recorded as a typo in EXPERIMENTS.md.
+func Fig7() (string, error) {
+	h, _ := history.H1()
+	c, err := h.Causality()
+	if err != nil {
+		return "", err
+	}
+	g := c.WriteGraph()
+	var b strings.Builder
+	b.WriteString("Figure 7. Causality graph of Ĥ1.\n\n")
+	for a, succs := range g.Edges {
+		for _, to := range succs {
+			fmt.Fprintf(&b, "  %s -> %s\n", writeName(g.Vertices[a]), writeName(g.Vertices[to]))
+		}
+	}
+	b.WriteString("\nDOT:\n")
+	b.WriteString(g.DOT(h))
+	return b.String(), nil
+}
+
+// Artifacts maps artifact names to their renderers, in paper order.
+func Artifacts() []struct {
+	Name   string
+	Render func() (string, error)
+} {
+	return []struct {
+		Name   string
+		Render func() (string, error)
+	}{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"fig1", Fig1},
+		{"fig2", Fig2},
+		{"fig3", Fig3},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+	}
+}
+
+// All renders every artifact separated by rules.
+func All() (string, error) {
+	var b strings.Builder
+	for _, a := range Artifacts() {
+		s, err := a.Render()
+		if err != nil {
+			return "", fmt.Errorf("paperrepro: %s: %w", a.Name, err)
+		}
+		b.WriteString(s)
+		b.WriteString("\n" + strings.Repeat("=", 78) + "\n\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,46 @@
+package paperrepro
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden artifact files")
+
+// TestGoldenArtifacts pins every rendered artifact byte-for-byte
+// against testdata/*.golden. The artifacts are fully deterministic
+// (scripted scenarios, fixed latencies), so any diff is a renderer or
+// protocol regression. Regenerate with:
+//
+//	go test ./internal/paperrepro -run Golden -update
+func TestGoldenArtifacts(t *testing.T) {
+	for _, a := range Artifacts() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			got, err := a.Render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", a.Name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("artifact %s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+					a.Name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+package paperrepro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's rows, translated: empty sets for a; {a} for c and b;
+	// {a, b} for d — identical at every process.
+	for _, frag := range []string{
+		"apply1(w1(x1)a)",
+		"∅",
+		"{apply1(w1(x1)a)}",
+		"{apply3(w1(x1)a), apply3(w2(x2)b)}",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 1 missing %q:\n%s", frag, out)
+		}
+	}
+	// X_co-safe(c) and X_co-safe(b) both = {a}; never contains c.
+	if strings.Contains(out, "w1(x1)c)}") {
+		t.Errorf("Table 1 contains c inside a set:\n%s", out)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	out, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The distinguishing rows: X_ANBKH(b) = {a, c}, X_ANBKH(d) = {a, c, b}.
+	for _, frag := range []string{
+		"{apply1(w1(x1)a), apply1(w1(x1)c)}",
+		"{apply2(w1(x1)a), apply2(w1(x1)c), apply2(w2(x2)b)}",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 2 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestXSetsContrast(t *testing.T) {
+	xA, safe, err := XSets(protocol.ANBKH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xA[WB]) != 2 || len(safe[WB]) != 1 {
+		t.Fatalf("X_ANBKH(b) = %v, X_co-safe(b) = %v", xA[WB], safe[WB])
+	}
+	xO, safeO, err := XSets(protocol.OptP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range writeOrder {
+		if len(xO[w]) != len(safeO[w]) {
+			t.Fatalf("OptP X(%v) = %v != X_co-safe = %v", w, xO[w], safeO[w])
+		}
+	}
+}
+
+func TestFig1Sequences(t *testing.T) {
+	out, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run (1): the paper's no-delay sequence.
+	want1 := "receipt3(w1(x1)a) <3 apply3(w1(x1)a) <3 receipt3(w2(x2)b) <3 apply3(w2(x2)b) <3 return3(x2,b) <3 apply3(w3(x2)d) <3 receipt3(w1(x1)c) <3 apply3(w1(x1)c)"
+	// Run (2): b overtakes a; the read happens after c lands.
+	want2 := "receipt3(w2(x2)b) <3 receipt3(w1(x1)a) <3 apply3(w1(x1)a) <3 apply3(w2(x2)b) <3 receipt3(w1(x1)c) <3 apply3(w1(x1)c) <3 return3(x2,b) <3 apply3(w3(x2)d)"
+	if !strings.Contains(out, want1) {
+		t.Errorf("Fig1 run (1) sequence wrong:\n%s", out)
+	}
+	if !strings.Contains(out, want2) {
+		t.Errorf("Fig1 run (2) sequence wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "write delays: none") {
+		t.Errorf("Fig1 run (1) should report no delays:\n%s", out)
+	}
+	if !strings.Contains(out, "1 necessary, 0 unnecessary") {
+		t.Errorf("Fig1 run (2) should report one necessary delay:\n%s", out)
+	}
+}
+
+func TestFig2NonOptimalDelay(t *testing.T) {
+	out, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 necessary, 1 unnecessary") {
+		t.Errorf("Fig2 P should show one unnecessary delay:\n%s", out)
+	}
+	if !strings.Contains(out, "write delays: none") {
+		t.Errorf("Fig2 OptP should show no delay:\n%s", out)
+	}
+}
+
+func TestFig3FalseCausality(t *testing.T) {
+	out, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's p3 sequence: b buffered until after c applies.
+	want := "receipt3(w2(x2)b) <3 receipt3(w1(x1)a) <3 apply3(w1(x1)a) <3 receipt3(w1(x1)c) <3 apply3(w1(x1)c) <3 apply3(w2(x2)b) <3 return3(x2,b) <3 apply3(w3(x2)d)"
+	if !strings.Contains(out, want) {
+		t.Errorf("Fig3 p3 sequence wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "VT = [2 1 0]") {
+		t.Errorf("Fig3 missing b's clock:\n%s", out)
+	}
+}
+
+func TestFig6OptPRun(t *testing.T) {
+	out, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's p3 sequence: b applies right after a, before c.
+	want := "receipt3(w2(x2)b) <3 receipt3(w1(x1)a) <3 apply3(w1(x1)a) <3 apply3(w2(x2)b) <3 return3(x2,b) <3 apply3(w3(x2)d) <3 receipt3(w1(x1)c) <3 apply3(w1(x1)c)"
+	if !strings.Contains(out, want) {
+		t.Errorf("Fig6 p3 sequence wrong:\n%s", out)
+	}
+	for _, frag := range []string{
+		"w1(x1)a.Write_co = [1 0 0]",
+		"w1(x1)c.Write_co = [2 0 0]",
+		"w2(x2)b.Write_co = [1 1 0]",
+		"w3(x2)d.Write_co = [1 1 1]",
+		"1 necessary, 0 unnecessary",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig6 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig7Graph(t *testing.T) {
+	out, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"w1(x1)a -> w1(x1)c",
+		"w1(x1)a -> w2(x2)b",
+		"w2(x2)b -> w3(x2)d",
+		"digraph",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig7 missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "w1(x1)c -> w3(x2)d") {
+		t.Errorf("Fig7 must not contain the paper's typo edge c -> d:\n%s", out)
+	}
+}
+
+func TestAllArtifactsRender(t *testing.T) {
+	out, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Artifacts() {
+		_ = a
+	}
+	for _, frag := range []string{"Table 1", "Table 2", "Figure 1", "Figure 2", "Figure 3", "Figure 6", "Figure 7"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("All() missing %q", frag)
+		}
+	}
+}
+
+func TestRunH1ReproducesH1(t *testing.T) {
+	res, err := RunH1(protocol.OptP, Fig36Latency(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := res.Log.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := history.H1()
+	if h.String() != want.String() {
+		t.Fatalf("history:\n%swant:\n%s", h, want)
+	}
+}
+
+func TestWriteNameFallback(t *testing.T) {
+	if writeName(history.WriteID{Proc: 7, Seq: 3}) != "w8#3" {
+		t.Fatal("fallback name wrong")
+	}
+	if valName(99) != "99" {
+		t.Fatal("fallback value wrong")
+	}
+	if setName(0, nil) != "∅" {
+		t.Fatal("empty set rendering wrong")
+	}
+}

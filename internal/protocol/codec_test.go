@@ -1,0 +1,108 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/history"
+	"repro/internal/vclock"
+)
+
+func TestUpdateRoundTrip(t *testing.T) {
+	cases := []Update{
+		{},
+		{
+			ID:  history.WriteID{Proc: 2, Seq: 17},
+			Var: 3, Val: -42,
+			Clock: vclock.VC{1, 0, 9},
+			Prev:  history.WriteID{Proc: 1, Seq: 3},
+		},
+		Marker(4, 7), // negative Seq, Var -1, Marker flag
+		{
+			ID:  history.WriteID{Proc: 0, Seq: 1},
+			Var: 0, Val: 1 << 40,
+			Clock: vclock.New(8),
+			Round: 12, Slot: 3, BatchSize: 5,
+		},
+	}
+	for _, u := range cases {
+		data, err := u.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", u, err)
+		}
+		var got Update
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal %v: %v", u, err)
+		}
+		if got.ID != u.ID || got.Var != u.Var || got.Val != u.Val ||
+			got.Prev != u.Prev || got.Round != u.Round || got.Slot != u.Slot ||
+			got.BatchSize != u.BatchSize || got.Marker != u.Marker {
+			t.Fatalf("round trip: got %+v, want %+v", got, u)
+		}
+		if (u.Clock == nil) != (got.Clock == nil) && u.Clock.Len() > 0 {
+			t.Fatalf("clock presence changed: %v vs %v", u.Clock, got.Clock)
+		}
+		if u.Clock.Len() > 0 && !got.Clock.Equal(u.Clock) {
+			t.Fatalf("clock round trip: %v vs %v", got.Clock, u.Clock)
+		}
+	}
+}
+
+func TestUpdateDecodeTruncated(t *testing.T) {
+	u := Update{
+		ID: history.WriteID{Proc: 1, Seq: 300}, Var: 2, Val: 99,
+		Clock: vclock.VC{5, 6, 700},
+	}
+	full := u.AppendBinary(nil)
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeUpdate(full[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded", i)
+		}
+	}
+}
+
+func TestUpdateUnmarshalTrailing(t *testing.T) {
+	data := (Update{}).AppendBinary(nil)
+	data = append(data, 0)
+	var u Update
+	if err := u.UnmarshalBinary(data); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestUpdateDecodeConsumed(t *testing.T) {
+	a := Update{ID: history.WriteID{Proc: 0, Seq: 1}, Val: 7, Clock: vclock.VC{1, 0}}
+	b := Update{ID: history.WriteID{Proc: 1, Seq: 1}, Val: 8, Clock: vclock.VC{0, 1}}
+	buf := b.AppendBinary(a.AppendBinary(nil))
+	g1, n1, err := DecodeUpdate(buf)
+	if err != nil || g1.Val != 7 {
+		t.Fatalf("first: %v %v", g1, err)
+	}
+	g2, n2, err := DecodeUpdate(buf[n1:])
+	if err != nil || g2.Val != 8 {
+		t.Fatalf("second: %v %v", g2, err)
+	}
+	if n1+n2 != len(buf) {
+		t.Fatalf("consumed %d of %d", n1+n2, len(buf))
+	}
+}
+
+func TestQuickUpdateRoundTrip(t *testing.T) {
+	f := func(proc, seq uint8, vr uint8, val int64, c0, c1, c2 uint16, marker bool) bool {
+		u := Update{
+			ID:     history.WriteID{Proc: int(proc), Seq: int(seq)},
+			Var:    int(vr),
+			Val:    val,
+			Clock:  vclock.VC{uint64(c0), uint64(c1), uint64(c2)},
+			Marker: marker,
+		}
+		data := u.AppendBinary(nil)
+		got, n, err := DecodeUpdate(data)
+		return err == nil && n == len(data) &&
+			got.ID == u.ID && got.Var == u.Var && got.Val == u.Val &&
+			got.Marker == u.Marker && got.Clock.Equal(u.Clock)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

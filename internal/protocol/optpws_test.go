@@ -1,0 +1,183 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/vclock"
+)
+
+// The footnote-8 combination keeps OptP's exact dependency tracking…
+func TestOptPWSNoFalseCausality(t *testing.T) {
+	p1 := NewOptPWS(0, 3, 2).(*optpws)
+	p2 := NewOptPWS(1, 3, 2).(*optpws)
+	p3 := NewOptPWS(2, 3, 2).(*optpws)
+	if p1.Kind() != OptPWS {
+		t.Fatalf("Kind = %v", p1.Kind())
+	}
+	ua, _ := p1.LocalWrite(0, 1)
+	uc, _ := p1.LocalWrite(0, 3)
+	p2.Apply(ua)
+	p2.Read(0)
+	p2.Apply(uc) // applied but never read
+	ub, _ := p2.LocalWrite(1, 2)
+	if !ub.Clock.Equal(vclock.VC{1, 1, 0}) {
+		t.Fatalf("b clock = %v, want [1 1 0]", ub.Clock)
+	}
+	p3.Apply(ua)
+	if p3.Status(ub) != Deliverable {
+		t.Fatal("OptP-WS must not block on the unread write")
+	}
+}
+
+// …and adds the overwrite skip: the second write to a variable can be
+// applied before the first, whose message is then discarded.
+func TestOptPWSSkipAndDiscard(t *testing.T) {
+	p1 := NewOptPWS(0, 2, 1).(*optpws)
+	p2 := NewOptPWS(1, 2, 1).(*optpws)
+	u1, _ := p1.LocalWrite(0, 1)
+	u2, _ := p1.LocalWrite(0, 2)
+	if got := p2.Status(u2); got != Deliverable {
+		t.Fatalf("Status(u2) = %v, want skip-deliverable", got)
+	}
+	if tgt := p2.SkipTarget(u2); tgt != u1.ID {
+		t.Fatalf("SkipTarget = %v", tgt)
+	}
+	p2.Apply(u2)
+	if v, id := p2.Read(0); v != 2 || id != u2.ID {
+		t.Fatalf("read = %d from %v", v, id)
+	}
+	if p2.Skips() != 1 {
+		t.Fatalf("Skips = %d", p2.Skips())
+	}
+	if got := p2.Status(u1); got != Discardable {
+		t.Fatalf("late u1 = %v", got)
+	}
+	p2.Discard(u1)
+	if v, _ := p2.Read(0); v != 2 {
+		t.Fatalf("value reverted to %d", v)
+	}
+}
+
+// Skip across processes with an OptP-visible dependency chain.
+func TestOptPWSSkipCrossProcess(t *testing.T) {
+	p1 := NewOptPWS(0, 3, 1).(*optpws)
+	p2 := NewOptPWS(1, 3, 1).(*optpws)
+	p3 := NewOptPWS(2, 3, 1).(*optpws)
+	u1, _ := p1.LocalWrite(0, 1)
+	p2.Apply(u1)
+	p2.Read(0) // read creates the →co edge, so u2 depends on u1
+	u2, _ := p2.LocalWrite(0, 2)
+	if u2.Prev != u1.ID {
+		t.Fatalf("Prev = %v", u2.Prev)
+	}
+	if got := p3.Status(u2); got != Deliverable {
+		t.Fatalf("Status(u2) = %v, want skip-deliverable", got)
+	}
+	p3.Apply(u2)
+	if got := p3.Status(u1); got != Discardable {
+		t.Fatalf("late u1 = %v", got)
+	}
+	p3.Discard(u1)
+	if got := p3.ApplyClock(); !got.Equal(vclock.VC{1, 1, 0}) {
+		t.Fatalf("apply clock = %v", got)
+	}
+}
+
+// The side condition: an intervening write on another variable forbids
+// the skip (it would be lost).
+func TestOptPWSNoSkipAcrossOtherVariable(t *testing.T) {
+	p1 := NewOptPWS(0, 3, 2).(*optpws)
+	p2 := NewOptPWS(1, 3, 2).(*optpws)
+	p3 := NewOptPWS(2, 3, 2).(*optpws)
+	u1, _ := p1.LocalWrite(0, 1)
+	p2.Apply(u1)
+	p2.Read(0)
+	u2, _ := p2.LocalWrite(1, 2) // w'' on another variable
+	p1.Apply(u2)
+	p1.Read(1)
+	u3, _ := p1.LocalWrite(0, 3) // overwrites u1 with u2 in between
+	if got := p3.Status(u3); got != Blocked {
+		t.Fatalf("Status(u3) = %v, want Blocked", got)
+	}
+	p3.Apply(u1)
+	p3.Apply(u2)
+	p3.Apply(u3)
+}
+
+// No multi-step skips.
+func TestOptPWSNoMultiSkip(t *testing.T) {
+	p1 := NewOptPWS(0, 2, 1).(*optpws)
+	p2 := NewOptPWS(1, 2, 1).(*optpws)
+	p1.LocalWrite(0, 1)
+	p1.LocalWrite(0, 2)
+	u3, _ := p1.LocalWrite(0, 3)
+	if got := p2.Status(u3); got != Blocked {
+		t.Fatalf("Status(u3) = %v", got)
+	}
+}
+
+// A write the sender never read is concurrent — OptP-WS applies the
+// overwriter WITHOUT a skip (no dependency to skip).
+func TestOptPWSConcurrentOverwriteNeedsNoSkip(t *testing.T) {
+	p1 := NewOptPWS(0, 3, 1).(*optpws)
+	p2 := NewOptPWS(1, 3, 1).(*optpws)
+	p3 := NewOptPWS(2, 3, 1).(*optpws)
+	u1, _ := p1.LocalWrite(0, 1)
+	p2.Apply(u1) // applied, never read: u1 ‖co u2
+	u2, _ := p2.LocalWrite(0, 2)
+	if got := p3.Status(u2); got != Deliverable {
+		t.Fatalf("Status(u2) = %v", got)
+	}
+	if tgt := p3.SkipTarget(u2); !tgt.IsBottom() {
+		t.Fatalf("SkipTarget = %v, want Bottom (plain delivery)", tgt)
+	}
+	p3.Apply(u2)
+	// u1 arrives later and applies normally (concurrent writes:
+	// last-applied wins locally).
+	if got := p3.Status(u1); got != Deliverable {
+		t.Fatalf("late u1 = %v", got)
+	}
+	p3.Apply(u1)
+}
+
+func TestOptPWSPanics(t *testing.T) {
+	t.Run("apply blocked", func(t *testing.T) {
+		p1 := NewOptPWS(0, 2, 1).(*optpws)
+		p2 := NewOptPWS(1, 2, 1).(*optpws)
+		p1.LocalWrite(0, 1)
+		p1.LocalWrite(0, 2)
+		u3, _ := p1.LocalWrite(0, 3)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		p2.Apply(u3)
+	})
+	t.Run("discard unskipped", func(t *testing.T) {
+		p1 := NewOptPWS(0, 2, 1).(*optpws)
+		u1, _ := p1.LocalWrite(0, 1)
+		p2 := NewOptPWS(1, 2, 1).(*optpws)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		p2.Discard(u1)
+	})
+}
+
+func TestOptPWSIntrospection(t *testing.T) {
+	p := NewOptPWS(0, 2, 2).(*optpws)
+	u, _ := p.LocalWrite(1, 7)
+	if v, id := p.Value(1); v != 7 || id != u.ID {
+		t.Fatalf("Value = %d %v", v, id)
+	}
+	if _, id := p.Value(0); id != history.Bottom {
+		t.Fatal("untouched var should be ⊥")
+	}
+	if !p.ControlClock().Equal(vclock.VC{1, 0}) {
+		t.Fatalf("ControlClock = %v", p.ControlClock())
+	}
+}

@@ -1,0 +1,248 @@
+// Package protocol implements the causal-memory protocols the paper
+// studies, behind a single state-machine interface:
+//
+//   - OptP     — the paper's write-delay-optimal protocol (Figures 4–5),
+//     built on the Write_co vector-clock system of Section 4.
+//   - ANBKH    — the Ahamad–Neiger–Burns–Kohli–Hutto baseline [1]:
+//     causal broadcast ordered by Fidge–Mattern clocks over apply
+//     events, the protocol Section 3.6 proves non-optimal.
+//   - WSRecv   — receiver-side writing semantics ([2,14]): overwritten
+//     values may be skipped and their late messages discarded.
+//   - WSSend   — sender-side writing semantics ([7]): a token ring where
+//     a holder releases only its last write per variable.
+//   - OptPNoReadMerge — ablation: OptP whose Write_co absorbs every
+//     applied update (not just read ones), reproducing ANBKH's false
+//     causality inside OptP's data structures.
+//   - OptPWS   — OptP extended with receiver-side writing semantics,
+//     the combination the paper's footnote 8 suggests.
+//
+// A Replica is a pure, single-threaded protocol state machine: it never
+// performs I/O and is driven by an engine (internal/sim for the
+// deterministic simulator, internal/core for the live goroutine
+// runtime) that owns message transmission, buffering of non-deliverable
+// updates, and write-delay accounting.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/vclock"
+)
+
+// Kind identifies a protocol.
+type Kind int
+
+// The implemented protocols.
+const (
+	OptP Kind = iota
+	ANBKH
+	WSRecv
+	WSSend
+	OptPNoReadMerge
+	OptPWS
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case OptP:
+		return "OptP"
+	case ANBKH:
+		return "ANBKH"
+	case WSRecv:
+		return "WS-recv"
+	case WSSend:
+		return "WS-send"
+	case OptPNoReadMerge:
+		return "OptP-noreadmerge"
+	case OptPWS:
+		return "OptP-WS"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a protocol name (as produced by String, case-exact) to
+// its Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("protocol: unknown kind %q", s)
+}
+
+// Update is the message a write operation broadcasts. Its Clock field
+// is protocol-specific: OptP ships the write's Write_co vector, ANBKH
+// ships the sender's Fidge–Mattern apply clock, WSSend ships a
+// (round, slot) pair encoded in a 2-component vector.
+type Update struct {
+	// ID names the write: (issuing process, per-process sequence).
+	ID history.WriteID
+	// Var and Val are the written location and value.
+	Var int
+	Val int64
+	// Clock is the protocol timestamp piggybacked on the message.
+	Clock vclock.VC
+	// Prev, used by WSRecv, names the write to the same variable that
+	// this write overwrites in the sender's view (Bottom if none).
+	Prev history.WriteID
+	// Round and Slot, used by WSSend, order token batches totally:
+	// Round is the global token visit number, Slot the position within
+	// the visit's batch of BatchSize updates.
+	Round     int
+	Slot      int
+	BatchSize int
+	// Marker flags an empty-batch announcement (WSSend): it carries no
+	// write, only the (Round, holder) needed to advance receivers.
+	Marker bool
+}
+
+// From returns the sending process.
+func (u Update) From() int { return u.ID.Proc }
+
+// String renders the update compactly for logs and test failures.
+func (u Update) String() string {
+	return fmt.Sprintf("%v x%d=%d %v", u.ID, u.Var+1, u.Val, u.Clock)
+}
+
+// Deliverability classifies a received update against a replica's
+// current state.
+type Deliverability int
+
+// Deliverability outcomes.
+const (
+	// Blocked: some enabling event has not occurred; the engine buffers
+	// the update. Per Definition 3 this receipt is a write delay.
+	Blocked Deliverability = iota
+	// Deliverable: the update can be applied now.
+	Deliverable
+	// Discardable: writing semantics has already logically applied this
+	// write (its value was overwritten); the engine calls Discard, which
+	// advances control state without installing the value.
+	Discardable
+)
+
+// String implements fmt.Stringer.
+func (d Deliverability) String() string {
+	switch d {
+	case Blocked:
+		return "blocked"
+	case Deliverable:
+		return "deliverable"
+	case Discardable:
+		return "discardable"
+	default:
+		return fmt.Sprintf("Deliverability(%d)", int(d))
+	}
+}
+
+// Replica is a per-process causal-memory state machine. Implementations
+// are not safe for concurrent use; engines serialize all calls.
+type Replica interface {
+	// ProcID returns the replica's 0-based process index.
+	ProcID() int
+	// Kind returns the protocol this replica runs.
+	Kind() Kind
+
+	// LocalWrite performs w_i(x)v: updates control state, applies the
+	// value locally, and returns the update to propagate. broadcast is
+	// false when the protocol defers propagation (WSSend batches until
+	// the token arrives), in which case the returned Update is only
+	// meaningful for its ID.
+	LocalWrite(x int, v int64) (u Update, broadcast bool)
+
+	// Read performs r_i(x): it returns the current value and the ID of
+	// the write that produced it (Bottom for ⊥), updating any
+	// read-tracking control state (OptP's Write_co merge).
+	Read(x int) (int64, history.WriteID)
+
+	// Status classifies a received update against current state.
+	Status(u Update) Deliverability
+
+	// Apply installs a remote update. The caller must have observed
+	// Status(u) == Deliverable.
+	Apply(u Update)
+
+	// Discard logically applies a remote update without installing its
+	// value. The caller must have observed Status(u) == Discardable.
+	Discard(u Update)
+}
+
+// TokenBatcher is implemented by token-circulating protocols (WSSend).
+// Engines that see this interface schedule token arrivals and broadcast
+// the returned batch each time the replica receives the token.
+type TokenBatcher interface {
+	// OnToken is invoked when the token reaches this replica for the
+	// given round; it returns the updates to broadcast (possibly empty —
+	// an empty batch must still be announced so receivers can advance
+	// past this round, which engines do by broadcasting the Marker
+	// update).
+	OnToken(round int) []Update
+	// PendingWrites reports how many local writes await the token;
+	// engines keep the token circulating while any replica has some.
+	PendingWrites() int
+}
+
+// Skipper is implemented by writing-semantics replicas that can
+// logically apply an overwritten write as part of applying its
+// overwriter. Engines consult it before Apply so the trace records the
+// logical apply of the skipped write immediately before the apply of
+// the skipping one — the paper's "it is like apply(w') is logically
+// executed immediately before apply(w)".
+type Skipper interface {
+	// SkipTarget returns the write that Apply(u) would logically apply
+	// first, or Bottom when Apply(u) is an ordinary delivery.
+	SkipTarget(u Update) history.WriteID
+}
+
+// Introspector exposes protocol control state for renderers (the
+// Figure 6 Write_co evolution) and white-box tests. All replicas in
+// this package implement it.
+type Introspector interface {
+	// ControlClock returns a copy of the replica's primary vector
+	// (Write_co for OptP, the FM apply clock for ANBKH and WSRecv,
+	// a round counter pair for WSSend).
+	ControlClock() vclock.VC
+	// ApplyClock returns a copy of the Apply vector: component j counts
+	// writes of p_j applied (or logically applied) here.
+	ApplyClock() vclock.VC
+	// Value returns the current (value, writer) of variable x without
+	// updating control state.
+	Value(x int) (int64, history.WriteID)
+}
+
+// New constructs a replica of the given kind for process p of n
+// processes over m variables.
+func New(kind Kind, p, n, m int) Replica {
+	switch kind {
+	case OptP:
+		return NewOptP(p, n, m)
+	case ANBKH:
+		return NewANBKH(p, n, m)
+	case WSRecv:
+		return NewWSRecv(p, n, m)
+	case WSSend:
+		return NewWSSend(p, n, m)
+	case OptPNoReadMerge:
+		return NewOptPAblated(p, n, m)
+	case OptPWS:
+		return NewOptPWS(p, n, m)
+	default:
+		panic(fmt.Sprintf("protocol: unknown kind %d", int(kind)))
+	}
+}
+
+// Kinds lists all implemented protocol kinds, in display order.
+func Kinds() []Kind {
+	return []Kind{OptP, ANBKH, WSRecv, WSSend, OptPNoReadMerge, OptPWS}
+}
+
+// BroadcastKinds lists the protocols that propagate each write
+// immediately via broadcast (every member of class 𝒫 we implement plus
+// WSRecv, which broadcasts but may discard).
+func BroadcastKinds() []Kind {
+	return []Kind{OptP, ANBKH, WSRecv, OptPNoReadMerge, OptPWS}
+}

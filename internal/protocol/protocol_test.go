@@ -1,0 +1,162 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/history"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		OptP:            "OptP",
+		ANBKH:           "ANBKH",
+		WSRecv:          "WS-recv",
+		WSSend:          "WS-send",
+		OptPNoReadMerge: "OptP-noreadmerge",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("String(%d) = %q, want %q", int(k), k.String(), s)
+		}
+		parsed, err := ParseKind(s)
+		if err != nil || parsed != k {
+			t.Errorf("ParseKind(%q) = %v, %v", s, parsed, err)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind should reject unknown names")
+	}
+}
+
+func TestNewConstructsAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		r := New(k, 1, 3, 2)
+		if r.Kind() != k {
+			t.Errorf("New(%v).Kind() = %v", k, r.Kind())
+		}
+		if r.ProcID() != 1 {
+			t.Errorf("New(%v).ProcID() = %d", k, r.ProcID())
+		}
+		if _, ok := r.(Introspector); !ok {
+			t.Errorf("%v does not implement Introspector", k)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New of unknown kind should panic")
+		}
+	}()
+	New(Kind(99), 0, 1, 1)
+}
+
+func TestBroadcastKindsSubset(t *testing.T) {
+	all := map[Kind]bool{}
+	for _, k := range Kinds() {
+		all[k] = true
+	}
+	for _, k := range BroadcastKinds() {
+		if !all[k] {
+			t.Errorf("BroadcastKinds contains unknown %v", k)
+		}
+		if k == WSSend {
+			t.Error("WSSend is not a broadcast protocol")
+		}
+	}
+}
+
+func TestDeliverabilityStrings(t *testing.T) {
+	for d, s := range map[Deliverability]string{Blocked: "blocked", Deliverable: "deliverable", Discardable: "discardable"} {
+		if d.String() != s {
+			t.Errorf("String = %q, want %q", d.String(), s)
+		}
+	}
+	_ = Deliverability(9).String()
+}
+
+func TestUpdateAccessors(t *testing.T) {
+	u := Update{ID: history.WriteID{Proc: 2, Seq: 5}, Var: 1, Val: 9}
+	if u.From() != 2 {
+		t.Fatalf("From = %d", u.From())
+	}
+	if u.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Cross-protocol property: for OptP and ANBKH, randomly interleaved
+// deliveries (respecting Status) always converge — every replica ends
+// with identical Apply clocks once all updates are applied.
+func TestBroadcastProtocolsConverge(t *testing.T) {
+	for _, kind := range []Kind{OptP, ANBKH, OptPNoReadMerge} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 20; trial++ {
+				n, m := 3, 2
+				reps := make([]Replica, n)
+				for i := range reps {
+					reps[i] = New(kind, i, n, m)
+				}
+				// Issue random writes/reads; collect updates per receiver.
+				type envelope struct {
+					to int
+					u  Update
+				}
+				var inflight []envelope
+				for op := 0; op < 25; op++ {
+					p := rng.Intn(n)
+					if rng.Intn(2) == 0 {
+						u, bc := reps[p].LocalWrite(rng.Intn(m), int64(op+1))
+						if !bc {
+							t.Fatal("broadcast protocol deferred")
+						}
+						for q := 0; q < n; q++ {
+							if q != p {
+								inflight = append(inflight, envelope{q, u})
+							}
+						}
+					} else {
+						reps[p].Read(rng.Intn(m))
+					}
+					// Randomly deliver some deliverable envelopes.
+					for len(inflight) > 0 && rng.Intn(3) != 0 {
+						i := rng.Intn(len(inflight))
+						e := inflight[i]
+						if reps[e.to].Status(e.u) != Deliverable {
+							break
+						}
+						reps[e.to].Apply(e.u)
+						inflight = append(inflight[:i], inflight[i+1:]...)
+					}
+				}
+				// Drain: deliver everything remaining.
+				for len(inflight) > 0 {
+					progress := false
+					for i := 0; i < len(inflight); i++ {
+						e := inflight[i]
+						if reps[e.to].Status(e.u) == Deliverable {
+							reps[e.to].Apply(e.u)
+							inflight = append(inflight[:i], inflight[i+1:]...)
+							progress = true
+							i--
+						}
+					}
+					if !progress {
+						t.Fatalf("trial %d: no progress with %d in flight", trial, len(inflight))
+					}
+				}
+				base := reps[0].(Introspector).ApplyClock()
+				for i := 1; i < n; i++ {
+					if !reps[i].(Introspector).ApplyClock().Equal(base) {
+						t.Fatalf("trial %d: apply clocks diverge: %v vs %v",
+							trial, base, reps[i].(Introspector).ApplyClock())
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+// The signature writing-semantics scenario: p1 writes x twice; p2
+// receives the second write before the first. WS-recv skips the first
+// (its value is overwritten anyway), applies the second, and discards
+// the first when it finally arrives.
+func TestWSRecvSkipAndDiscard(t *testing.T) {
+	p1 := NewWSRecv(0, 2, 1).(*wsrecv)
+	p2 := NewWSRecv(1, 2, 1).(*wsrecv)
+
+	u1, _ := p1.LocalWrite(0, 1)
+	u2, _ := p1.LocalWrite(0, 2)
+	if u2.Prev != u1.ID {
+		t.Fatalf("u2.Prev = %v, want %v", u2.Prev, u1.ID)
+	}
+
+	// u2 first: ANBKH would block; WS-recv may skip u1.
+	if got := p2.Status(u2); got != Deliverable {
+		t.Fatalf("Status(u2) = %v, want Deliverable via skip", got)
+	}
+	p2.Apply(u2)
+	if v, id := p2.Read(0); v != 2 || id != u2.ID {
+		t.Fatalf("read = %d from %v", v, id)
+	}
+	if p2.Skips() != 1 {
+		t.Fatalf("Skips = %d", p2.Skips())
+	}
+	// u1 arrives late: discard, never installing value 1.
+	if got := p2.Status(u1); got != Discardable {
+		t.Fatalf("Status(u1) = %v, want Discardable", got)
+	}
+	p2.Discard(u1)
+	if v, _ := p2.Read(0); v != 2 {
+		t.Fatalf("value after discard = %d", v)
+	}
+	// Control state saw both writes.
+	if got := p2.ApplyClock().Get(0); got != 2 {
+		t.Fatalf("ApplyClock[0] = %d", got)
+	}
+}
+
+// The side condition: if a write on ANOTHER variable sits between the
+// overwritten write and the overwriting one, the skip is forbidden and
+// WS-recv blocks like ANBKH.
+func TestWSRecvNoSkipAcrossOtherVariable(t *testing.T) {
+	p1 := NewWSRecv(0, 3, 2).(*wsrecv)
+	p2 := NewWSRecv(1, 3, 2).(*wsrecv)
+	p3 := NewWSRecv(2, 3, 2).(*wsrecv)
+
+	u1, _ := p1.LocalWrite(0, 1) // w1(x1)1
+	// p2 applies u1 and writes x2 — w'' on another variable.
+	p2.Apply(u1)
+	p2.Read(0)
+	u2, _ := p2.LocalWrite(1, 2) // w2(x2)2, depends on u1
+	// p1 overwrites x1 after applying u2 (so u1 →co u2 →co u3 via clocks).
+	p1.Apply(u2)
+	p1.Read(1)
+	u3, _ := p1.LocalWrite(0, 3) // w1(x1)3, Prev = u1
+	if u3.Prev != u1.ID {
+		t.Fatalf("u3.Prev = %v", u3.Prev)
+	}
+
+	// p3 receives u3 first. Missing deps: u1 (same var, skippable alone)
+	// AND u2 (different variable) — so the skip must be refused.
+	if got := p3.Status(u3); got != Blocked {
+		t.Fatalf("Status(u3) = %v, want Blocked (w'' on another variable)", got)
+	}
+	// After u1 and u2 arrive, u3 is plainly deliverable.
+	p3.Apply(u1)
+	p3.Apply(u2)
+	if got := p3.Status(u3); got != Deliverable {
+		t.Fatalf("Status(u3) after deps = %v", got)
+	}
+	p3.Apply(u3)
+}
+
+// Skip of a predecessor from a DIFFERENT process: p1 writes x, p2
+// overwrites x (after applying, without an intervening foreign write);
+// p3 gets p2's write first.
+func TestWSRecvSkipCrossProcess(t *testing.T) {
+	p1 := NewWSRecv(0, 3, 1).(*wsrecv)
+	p2 := NewWSRecv(1, 3, 1).(*wsrecv)
+	p3 := NewWSRecv(2, 3, 1).(*wsrecv)
+
+	u1, _ := p1.LocalWrite(0, 1)
+	p2.Apply(u1)
+	u2, _ := p2.LocalWrite(0, 2)
+	if u2.Prev != u1.ID {
+		t.Fatalf("Prev = %v", u2.Prev)
+	}
+	if got := p3.Status(u2); got != Deliverable {
+		t.Fatalf("Status(u2) = %v, want skip-deliverable", got)
+	}
+	p3.Apply(u2)
+	if v, _ := p3.Read(0); v != 2 {
+		t.Fatalf("read = %d", v)
+	}
+	if got := p3.Status(u1); got != Discardable {
+		t.Fatalf("late u1: %v", got)
+	}
+	p3.Discard(u1)
+}
+
+// Multi-step gaps are NOT skippable (single-step heuristic): three
+// writes to the same variable, the last arriving first, stays blocked.
+func TestWSRecvNoMultiSkip(t *testing.T) {
+	p1 := NewWSRecv(0, 2, 1).(*wsrecv)
+	p2 := NewWSRecv(1, 2, 1).(*wsrecv)
+	p1.LocalWrite(0, 1)
+	p1.LocalWrite(0, 2)
+	u3, _ := p1.LocalWrite(0, 3)
+	if got := p2.Status(u3); got != Blocked {
+		t.Fatalf("Status(u3) = %v, want Blocked (two missing writes)", got)
+	}
+}
+
+// A skipped write's Prev pointer must not be skippable through an
+// already-skipped write.
+func TestWSRecvNoSkipThroughSkipped(t *testing.T) {
+	p1 := NewWSRecv(0, 2, 1).(*wsrecv)
+	p2 := NewWSRecv(1, 2, 1).(*wsrecv)
+	u1, _ := p1.LocalWrite(0, 1)
+	u2, _ := p1.LocalWrite(0, 2)
+	u3, _ := p1.LocalWrite(0, 3)
+	// u2 arrives: skips u1, applies. u3 arrives: plain deliverable.
+	p2.Apply(u2)
+	if got := p2.Status(u3); got != Deliverable {
+		t.Fatalf("Status(u3) = %v", got)
+	}
+	p2.Apply(u3)
+	// u1 is discardable exactly once.
+	if got := p2.Status(u1); got != Discardable {
+		t.Fatalf("Status(u1) = %v", got)
+	}
+	p2.Discard(u1)
+	if got := p2.Status(u1); got == Discardable {
+		t.Fatal("u1 discardable twice")
+	}
+}
+
+func TestWSRecvDiscardPanicsWhenNotSkipped(t *testing.T) {
+	p1 := NewWSRecv(0, 2, 1).(*wsrecv)
+	u1, _ := p1.LocalWrite(0, 1)
+	p2 := NewWSRecv(1, 2, 1).(*wsrecv)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p2.Discard(u1)
+}
+
+func TestWSRecvApplyPanicsWhenBlocked(t *testing.T) {
+	p1 := NewWSRecv(0, 2, 1).(*wsrecv)
+	p2 := NewWSRecv(1, 2, 1).(*wsrecv)
+	p1.LocalWrite(0, 1)
+	p1.LocalWrite(0, 2)
+	u3, _ := p1.LocalWrite(0, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p2.Apply(u3)
+}
+
+func TestWSRecvKind(t *testing.T) {
+	p := NewWSRecv(0, 2, 1)
+	if p.Kind() != WSRecv || p.ProcID() != 0 {
+		t.Fatalf("Kind=%v ProcID=%d", p.Kind(), p.ProcID())
+	}
+}
+
+func TestWSRecvValueIntrospection(t *testing.T) {
+	p := NewWSRecv(0, 2, 2).(*wsrecv)
+	u, _ := p.LocalWrite(1, 9)
+	if v, id := p.Value(1); v != 9 || id != u.ID {
+		t.Fatalf("Value = %d %v", v, id)
+	}
+	if _, id := p.Value(0); id != history.Bottom {
+		t.Fatal("untouched var should be ⊥")
+	}
+}

@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// Analysis is the full report on a parsed scenario.
+type Analysis struct {
+	Scenario  *Scenario
+	Causality *history.Causality
+	Graph     *history.WriteGraph
+
+	// Consistent is Definition 2 for the history.
+	Consistent bool
+	Violations []history.Violation
+
+	// Serializable is the stronger Ahamad et al. criterion (per-process
+	// causal serializations); SerializableKnown is false when the
+	// history is too large for the exponential search.
+	Serializable      bool
+	SerializableKnown bool
+
+	// ConcurrentWritePairs counts unordered write pairs — the degree of
+	// concurrency causal (vs sequential) consistency exploits.
+	ConcurrentWritePairs int
+}
+
+// Analyze computes →co and all derived artifacts. It fails on cyclic
+// histories (which no protocol in 𝒫 can produce).
+func Analyze(s *Scenario) (*Analysis, error) {
+	c, err := s.History.Causality()
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Scenario:  s,
+		Causality: c,
+		Graph:     c.WriteGraph(),
+	}
+	a.Violations = c.CheckCausallyConsistent()
+	a.Consistent = len(a.Violations) == 0
+
+	if ok, err := c.Serializable(20); err == nil {
+		a.Serializable = ok
+		a.SerializableKnown = true
+	}
+
+	ids := s.SortedWriteIDs()
+	for i, w := range ids {
+		for _, w2 := range ids[i+1:] {
+			if c.WriteConcurrent(w, w2) {
+				a.ConcurrentWritePairs++
+			}
+		}
+	}
+	return a, nil
+}
+
+// AnalyzeString parses and analyzes in one step.
+func AnalyzeString(src string) (*Analysis, error) {
+	s, err := ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(s)
+}
+
+// CoFacts renders every ordered or concurrent pair of writes, in the
+// paper's "w →co w'" / "w ‖co w'" notation, sorted deterministically.
+func (a *Analysis) CoFacts() []string {
+	ids := a.Scenario.SortedWriteIDs()
+	var facts []string
+	for i, w := range ids {
+		for j, w2 := range ids {
+			if i >= j {
+				continue
+			}
+			switch {
+			case a.Causality.WriteBefore(w, w2):
+				facts = append(facts, fmt.Sprintf("%s →co %s", a.Scenario.WriteName(w), a.Scenario.WriteName(w2)))
+			case a.Causality.WriteBefore(w2, w):
+				facts = append(facts, fmt.Sprintf("%s →co %s", a.Scenario.WriteName(w2), a.Scenario.WriteName(w)))
+			default:
+				facts = append(facts, fmt.Sprintf("%s ‖co %s", a.Scenario.WriteName(w), a.Scenario.WriteName(w2)))
+			}
+		}
+	}
+	return facts
+}
+
+// XcoSafeTable renders X_co-safe(w) for every write (Definition 4) —
+// the generalization of the paper's Table 1 to any history.
+func (a *Analysis) XcoSafeTable() []string {
+	var rows []string
+	for _, w := range a.Scenario.SortedWriteIDs() {
+		idx := a.Scenario.History.WriteIndex(w)
+		deps := a.Causality.WritesBefore(idx)
+		var names []string
+		for _, d := range deps {
+			names = append(names, a.Scenario.WriteName(d))
+		}
+		set := "∅"
+		if len(names) > 0 {
+			set = "{" + strings.Join(names, ", ") + "}"
+		}
+		rows = append(rows, fmt.Sprintf("X_co-safe(%s) = %s", a.Scenario.WriteName(w), set))
+	}
+	return rows
+}
+
+// GraphEdges renders the write causality graph (Figure 7 generalized).
+func (a *Analysis) GraphEdges() []string {
+	var edges []string
+	for v, succs := range a.Graph.Edges {
+		for _, to := range succs {
+			edges = append(edges, fmt.Sprintf("%s -> %s",
+				a.Scenario.WriteName(a.Graph.Vertices[v]),
+				a.Scenario.WriteName(a.Graph.Vertices[to])))
+		}
+	}
+	return edges
+}
+
+// Report renders the complete analysis as text.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	b.WriteString("History:\n")
+	for p, local := range a.Scenario.History.Locals {
+		fmt.Fprintf(&b, "  h%d:", p+1)
+		for _, o := range local {
+			fmt.Fprintf(&b, " %s;", a.Scenario.OpName(o))
+		}
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("\n→co facts:\n")
+	for _, f := range a.CoFacts() {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+
+	b.WriteString("\nX_co-safe sets (Definition 4):\n")
+	for _, r := range a.XcoSafeTable() {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+
+	b.WriteString("\nWrite causality graph (transitive reduction of →co over writes):\n")
+	for _, e := range a.GraphEdges() {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+
+	fmt.Fprintf(&b, "\nconcurrent write pairs: %d\n", a.ConcurrentWritePairs)
+
+	if a.Consistent {
+		b.WriteString("\nVERDICT: causally consistent (every read is legal, Definition 2)\n")
+	} else {
+		fmt.Fprintf(&b, "\nVERDICT: NOT causally consistent — %d illegal read(s):\n", len(a.Violations))
+		for _, v := range a.Violations {
+			fmt.Fprintf(&b, "  %s: %s\n", a.Scenario.OpName(v.Op), v.Reason)
+		}
+	}
+	if a.SerializableKnown {
+		if a.Serializable {
+			b.WriteString("serializable per Ahamad et al. (each process view admits a causal serialization)\n")
+		} else {
+			b.WriteString("NOT serializable per Ahamad et al. (no per-process causal serialization exists)\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the scenario parser with arbitrary input: it must
+// never panic, and any input it accepts must survive analysis or fail
+// with a proper error (cyclic histories are the one legal Analyze
+// failure).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		h1Src,
+		"p1: w(x)1",
+		"p1: r(x)_",
+		"p1: w1(x1)a ; r1(x1)a\np2: r2(x1)a",
+		"p1: w(flag)up\np2: r(flag)up ; w(data)7",
+		"# comment only\np1: w(x)v",
+		"p1:",
+		"p1: w(x)1 ; w(y)2 ; r(x)1",
+		"p3: w(x)1", // gap: invalid
+		"p1: w(x)⊥",
+		strings.Repeat("p1: w(x)1\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseString(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		a, err := Analyze(s)
+		if err != nil {
+			return // cyclic histories are legitimately rejected here
+		}
+		// Whatever parsed must render and self-report without panicking.
+		_ = a.Report()
+		_ = a.CoFacts()
+		_ = a.XcoSafeTable()
+		_ = a.GraphEdges()
+	})
+}
+
+// FuzzRoundTrip: any history the parser accepts renders back to a
+// string that parses to the same shape.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(h1Src)
+	f.Add("p1: w(x)1 ; r(x)1\np2: r(x)1")
+	f.Fuzz(func(t *testing.T, src string) {
+		s1, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		// Re-render via OpName and re-parse.
+		var b strings.Builder
+		for p, local := range s1.History.Locals {
+			b.WriteString("p")
+			b.WriteString(strconv.Itoa(p + 1))
+			b.WriteString(":")
+			for _, o := range local {
+				b.WriteString(" ")
+				b.WriteString(s1.OpName(o))
+				b.WriteString(" ;")
+			}
+			b.WriteString("\n")
+		}
+		s2, err := ParseString(b.String())
+		if err != nil {
+			t.Fatalf("re-parse of rendered scenario failed: %v\nsource:\n%s\nrendered:\n%s", err, src, b.String())
+		}
+		if s1.History.NumOps() != s2.History.NumOps() || s1.History.NumProcs() != s2.History.NumProcs() {
+			t.Fatalf("round trip changed shape: %d/%d ops, %d/%d procs",
+				s1.History.NumOps(), s2.History.NumOps(),
+				s1.History.NumProcs(), s2.History.NumProcs())
+		}
+	})
+}

@@ -1,0 +1,298 @@
+// Package scenario parses histories written in the paper's notation
+// and analyzes them: →co facts, the write causality graph, X_co-safe
+// sets, and causal-consistency checking. It is the front end of
+// cmd/cocheck and lets any history of the paper (or a user's own) be
+// machine-checked from plain text.
+//
+// Grammar (one process per line, '#' comments, ';' separates ops):
+//
+//	p1: w(x1)a ; w(x1)c
+//	p2: r(x1)a ; w(x2)b
+//	p3: r(x2)b ; w(x2)d
+//
+// Operation forms:
+//
+//	w(x)v      — write value v to variable x
+//	w1(x)v     — same, with an explicit process subscript that must
+//	             match the line's process
+//	r(x)v      — read returning value v; the source write is inferred
+//	             from v (values must be write-unique, as in the paper)
+//	r(x)_      — read returning the initial value ⊥ (also: r(x)⊥)
+//
+// Variables and values are identifiers or integers; each distinct
+// value token denotes one write.
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// Scenario is a parsed history plus the naming needed to render
+// results back in the source's vocabulary.
+type Scenario struct {
+	History *history.History
+	// VarNames maps variable index → source name.
+	VarNames []string
+	// ValNames maps encoded value → source token.
+	ValNames map[int64]string
+}
+
+// ParseError reports a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("scenario: line %d: %s", e.Line, e.Msg)
+}
+
+type parser struct {
+	vars   map[string]int
+	vals   map[string]int64
+	nextV  int64
+	orderV []string
+}
+
+// Parse reads a scenario from r.
+func Parse(r io.Reader) (*Scenario, error) {
+	p := &parser{vars: make(map[string]int), vals: make(map[string]int64)}
+
+	type rawOp struct {
+		line int
+		kind history.Kind
+		sub  int // explicit process subscript, -1 if absent
+		vr   string
+		val  string
+	}
+	type procLine struct {
+		proc int
+		ops  []rawOp
+	}
+	var lines []procLine
+	procSeen := map[int]bool{}
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, &ParseError{lineNo, "expected 'pN: ops'"}
+		}
+		procTok := strings.TrimSpace(line[:colon])
+		var proc int
+		if _, err := fmt.Sscanf(procTok, "p%d", &proc); err != nil || proc < 1 {
+			return nil, &ParseError{lineNo, fmt.Sprintf("bad process name %q (want p1, p2, ...)", procTok)}
+		}
+		proc-- // 0-based
+		if procSeen[proc] {
+			return nil, &ParseError{lineNo, fmt.Sprintf("duplicate process p%d", proc+1)}
+		}
+		procSeen[proc] = true
+
+		pl := procLine{proc: proc}
+		for _, opTok := range strings.Split(line[colon+1:], ";") {
+			opTok = strings.TrimSpace(opTok)
+			if opTok == "" {
+				continue
+			}
+			op, err := p.parseOp(lineNo, opTok)
+			if err != nil {
+				return nil, err
+			}
+			if op.sub >= 0 && op.sub != proc {
+				return nil, &ParseError{lineNo, fmt.Sprintf("op %q subscript p%d on line of p%d", opTok, op.sub+1, proc+1)}
+			}
+			pl.ops = append(pl.ops, rawOp{line: lineNo, kind: op.kind, sub: op.sub, vr: op.vr, val: op.val})
+		}
+		lines = append(lines, pl)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: read: %w", err)
+	}
+	if len(lines) == 0 {
+		return nil, &ParseError{lineNo, "empty scenario"}
+	}
+
+	// Processes must be p1..pn contiguous.
+	n := 0
+	for proc := range procSeen {
+		if proc+1 > n {
+			n = proc + 1
+		}
+	}
+	for q := 0; q < n; q++ {
+		if !procSeen[q] {
+			return nil, &ParseError{0, fmt.Sprintf("missing process p%d (processes must be contiguous)", q+1)}
+		}
+	}
+
+	b := history.NewBuilder(n)
+	for _, pl := range lines {
+		for _, op := range pl.ops {
+			x := p.varIndex(op.vr)
+			switch op.kind {
+			case history.Write:
+				v, fresh := p.valFor(op.val)
+				if !fresh {
+					return nil, &ParseError{op.line, fmt.Sprintf("value %q written twice; values must be write-unique", op.val)}
+				}
+				b.Write(pl.proc, x, v)
+			case history.Read:
+				if op.val == "_" || op.val == "⊥" {
+					b.ReadFrom(pl.proc, x, 0, history.Bottom)
+					continue
+				}
+				v, ok := p.vals[op.val]
+				if !ok {
+					return nil, &ParseError{op.line, fmt.Sprintf("read of value %q that no write produces", op.val)}
+				}
+				b.Read(pl.proc, x, v)
+			}
+		}
+	}
+	h, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	s := &Scenario{History: h, ValNames: make(map[int64]string)}
+	s.VarNames = make([]string, len(p.orderV))
+	copy(s.VarNames, p.orderV)
+	for tok, v := range p.vals {
+		s.ValNames[v] = tok
+	}
+	return s, nil
+}
+
+// ParseString parses a scenario from a string.
+func ParseString(src string) (*Scenario, error) {
+	return Parse(strings.NewReader(src))
+}
+
+type parsedOp struct {
+	kind history.Kind
+	sub  int
+	vr   string
+	val  string
+}
+
+// parseOp parses one "w(x)v" / "w2(x)v" / "r(x)v" token.
+func (p *parser) parseOp(line int, tok string) (parsedOp, error) {
+	op := parsedOp{sub: -1}
+	rest := tok
+	switch {
+	case strings.HasPrefix(rest, "w"):
+		op.kind = history.Write
+		rest = rest[1:]
+	case strings.HasPrefix(rest, "r"):
+		op.kind = history.Read
+		rest = rest[1:]
+	default:
+		return op, &ParseError{line, fmt.Sprintf("op %q must start with w or r", tok)}
+	}
+	open := strings.IndexByte(rest, '(')
+	if open < 0 {
+		return op, &ParseError{line, fmt.Sprintf("op %q missing '('", tok)}
+	}
+	if open > 0 {
+		var sub int
+		if _, err := fmt.Sscanf(rest[:open], "%d", &sub); err != nil || sub < 1 {
+			return op, &ParseError{line, fmt.Sprintf("bad process subscript in %q", tok)}
+		}
+		op.sub = sub - 1
+	}
+	closeIdx := strings.IndexByte(rest, ')')
+	if closeIdx < open {
+		return op, &ParseError{line, fmt.Sprintf("op %q missing ')'", tok)}
+	}
+	op.vr = strings.TrimSpace(rest[open+1 : closeIdx])
+	if op.vr == "" {
+		return op, &ParseError{line, fmt.Sprintf("op %q has empty variable", tok)}
+	}
+	op.val = strings.TrimSpace(rest[closeIdx+1:])
+	if op.val == "" {
+		return op, &ParseError{line, fmt.Sprintf("op %q has no value", tok)}
+	}
+	return op, nil
+}
+
+func (p *parser) varIndex(name string) int {
+	if i, ok := p.vars[name]; ok {
+		return i
+	}
+	i := len(p.orderV)
+	p.vars[name] = i
+	p.orderV = append(p.orderV, name)
+	return i
+}
+
+// valFor returns the encoded value for a token and whether it is fresh
+// (first write of that token).
+func (p *parser) valFor(tok string) (int64, bool) {
+	if v, ok := p.vals[tok]; ok {
+		return v, false
+	}
+	p.nextV++
+	p.vals[tok] = p.nextV
+	return p.nextV, true
+}
+
+// OpName renders an operation in the scenario's own vocabulary.
+func (s *Scenario) OpName(o history.Op) string {
+	vr := fmt.Sprintf("x%d", o.Var+1)
+	if o.Var < len(s.VarNames) {
+		vr = s.VarNames[o.Var]
+	}
+	val := fmt.Sprintf("%d", o.Val)
+	if n, ok := s.ValNames[o.Val]; ok {
+		val = n
+	} else if o.Val == 0 {
+		val = "⊥"
+	}
+	k := "w"
+	if o.IsRead() {
+		k = "r"
+	}
+	return fmt.Sprintf("%s%d(%s)%s", k, o.Proc+1, vr, val)
+}
+
+// WriteName renders a write by ID.
+func (s *Scenario) WriteName(id history.WriteID) string {
+	idx := s.History.WriteIndex(id)
+	if idx < 0 {
+		return id.String()
+	}
+	return s.OpName(s.History.Ops()[idx])
+}
+
+// SortedWriteIDs returns the scenario's writes sorted by (Proc, Seq).
+func (s *Scenario) SortedWriteIDs() []history.WriteID {
+	var ids []history.WriteID
+	for _, gi := range s.History.Writes() {
+		ids = append(ids, s.History.Ops()[gi].ID)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Proc != ids[j].Proc {
+			return ids[i].Proc < ids[j].Proc
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	return ids
+}

@@ -1,0 +1,271 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+)
+
+// The paper's Example 1 in scenario notation.
+const h1Src = `
+# Example 1 of the paper (history Ĥ1)
+p1: w(x1)a ; w(x1)c
+p2: r(x1)a ; w(x2)b
+p3: r(x2)b ; w(x2)d
+`
+
+func TestParseH1(t *testing.T) {
+	s, err := ParseString(h1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.History
+	if h.NumProcs() != 3 || h.NumOps() != 6 || h.NumVars != 2 {
+		t.Fatalf("shape: procs=%d ops=%d vars=%d", h.NumProcs(), h.NumOps(), h.NumVars)
+	}
+	// Parsed structure must equal the built-in fixture up to value
+	// encoding: same kinds, procs, vars, read-from shape.
+	want, _ := history.H1()
+	for i, o := range h.Ops() {
+		wo := want.Ops()[i]
+		if o.Kind != wo.Kind || o.Proc != wo.Proc || o.Var != wo.Var {
+			t.Fatalf("op %d = %+v, want shape of %+v", i, o, wo)
+		}
+		if o.IsRead() && (o.From.Proc != wo.From.Proc || o.From.Seq != wo.From.Seq) {
+			t.Fatalf("op %d read-from %v, want %v", i, o.From, wo.From)
+		}
+	}
+	if s.VarNames[0] != "x1" || s.VarNames[1] != "x2" {
+		t.Fatalf("var names = %v", s.VarNames)
+	}
+}
+
+func TestAnalyzeH1(t *testing.T) {
+	a, err := AnalyzeString(h1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Consistent {
+		t.Fatalf("H1 flagged inconsistent: %v", a.Violations)
+	}
+	facts := strings.Join(a.CoFacts(), "\n")
+	for _, want := range []string{
+		"w1(x1)a →co w1(x1)c",
+		"w1(x1)a →co w2(x2)b",
+		"w1(x1)a →co w3(x2)d",
+		"w1(x1)c ‖co w2(x2)b",
+		"w1(x1)c ‖co w3(x2)d",
+		"w2(x2)b →co w3(x2)d",
+	} {
+		if !strings.Contains(facts, want) {
+			t.Errorf("facts missing %q:\n%s", want, facts)
+		}
+	}
+	edges := strings.Join(a.GraphEdges(), "\n")
+	for _, want := range []string{
+		"w1(x1)a -> w1(x1)c",
+		"w1(x1)a -> w2(x2)b",
+		"w2(x2)b -> w3(x2)d",
+	} {
+		if !strings.Contains(edges, want) {
+			t.Errorf("edges missing %q:\n%s", want, edges)
+		}
+	}
+	xs := strings.Join(a.XcoSafeTable(), "\n")
+	for _, want := range []string{
+		"X_co-safe(w1(x1)a) = ∅",
+		"X_co-safe(w1(x1)c) = {w1(x1)a}",
+		"X_co-safe(w2(x2)b) = {w1(x1)a}",
+		"X_co-safe(w3(x2)d) = {w1(x1)a, w2(x2)b}",
+	} {
+		if !strings.Contains(xs, want) {
+			t.Errorf("X table missing %q:\n%s", want, xs)
+		}
+	}
+	rep := a.Report()
+	if !strings.Contains(rep, "causally consistent") {
+		t.Errorf("report verdict:\n%s", rep)
+	}
+}
+
+func TestParseSubscripts(t *testing.T) {
+	s, err := ParseString("p1: w1(x)5\np2: r2(x)5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.History.NumOps() != 2 {
+		t.Fatal("ops wrong")
+	}
+	if _, err := ParseString("p1: w2(x)5"); err == nil {
+		t.Fatal("mismatched subscript accepted")
+	}
+}
+
+func TestParseBottomRead(t *testing.T) {
+	for _, bot := range []string{"_", "⊥"} {
+		s, err := ParseString("p1: r(x)" + bot)
+		if err != nil {
+			t.Fatalf("%q: %v", bot, err)
+		}
+		op := s.History.Ops()[0]
+		if !op.From.IsBottom() {
+			t.Fatalf("%q: From = %v", bot, op.From)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no colon":           "p1 w(x)1",
+		"bad proc":           "q1: w(x)1",
+		"zero proc":          "p0: w(x)1",
+		"dup proc":           "p1: w(x)1\np1: w(x)2",
+		"gap proc":           "p2: w(x)1",
+		"bad op letter":      "p1: z(x)1",
+		"missing paren":      "p1: wx1",
+		"missing close":      "p1: w(x1",
+		"empty var":          "p1: w()1",
+		"no value":           "p1: w(x)",
+		"dup value":          "p1: w(x)5 ; w(x)5",
+		"unknown read value": "p1: r(x)9",
+		"bad subscript":      "p1: wq(x)1",
+		"empty":              "   \n# only comments\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := ParseString("p1: w(x)1\np2: r(y)7")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if pe.Line != 2 || !strings.Contains(pe.Error(), "line 2") {
+		t.Fatalf("error = %v", pe)
+	}
+}
+
+// A stale-read history must be detected by the analyzer.
+func TestAnalyzeInconsistent(t *testing.T) {
+	src := `
+p1: w(x)old ; w(x)new
+p2: r(x)new ; r(x)old
+`
+	a, err := AnalyzeString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Consistent {
+		t.Fatal("stale read not detected")
+	}
+	rep := a.Report()
+	if !strings.Contains(rep, "NOT causally consistent") {
+		t.Fatalf("report:\n%s", rep)
+	}
+}
+
+// A cyclic history must be rejected by Analyze.
+func TestAnalyzeCyclic(t *testing.T) {
+	src := `
+p1: r(y)bv ; w(x)av
+p2: r(x)av ; w(y)bv
+`
+	if _, err := AnalyzeString(src); err == nil {
+		t.Fatal("cyclic history accepted")
+	}
+}
+
+// Named variables and integer values work.
+func TestParseNamedVarsIntValues(t *testing.T) {
+	src := `
+p1: w(flag)1 ; w(data)42
+p2: r(data)42 ; r(flag)1
+`
+	a, err := AnalyzeString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Consistent {
+		t.Fatalf("violations: %v", a.Violations)
+	}
+	if a.Scenario.VarNames[0] != "flag" || a.Scenario.VarNames[1] != "data" {
+		t.Fatalf("vars = %v", a.Scenario.VarNames)
+	}
+	// Rendering uses source tokens.
+	if name := a.Scenario.WriteName(history.WriteID{Proc: 0, Seq: 2}); name != "w1(data)42" {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+// Concurrent-writes-read-in-both-orders parses and verifies as
+// consistent (the paper's hallmark of causal vs sequential).
+func TestAnalyzeConcurrentOrders(t *testing.T) {
+	src := `
+p1: w(x)u
+p2: w(x)v
+p3: r(x)u ; r(x)v
+p4: r(x)v ; r(x)u
+`
+	a, err := AnalyzeString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Consistent {
+		t.Fatalf("violations: %v", a.Violations)
+	}
+	facts := strings.Join(a.CoFacts(), "\n")
+	if !strings.Contains(facts, "w1(x)u ‖co w2(x)v") {
+		t.Fatalf("facts:\n%s", facts)
+	}
+}
+
+func TestWriteNameUnknown(t *testing.T) {
+	s, err := ParseString("p1: w(x)1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WriteName(history.WriteID{Proc: 5, Seq: 9}); got != "w6#9" {
+		t.Fatalf("fallback = %q", got)
+	}
+}
+
+func TestAnalysisSerializationAndConcurrency(t *testing.T) {
+	a, err := AnalyzeString(h1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.SerializableKnown || !a.Serializable {
+		t.Fatalf("H1 should be known-serializable: known=%v ok=%v", a.SerializableKnown, a.Serializable)
+	}
+	// c‖b and c‖d: exactly 2 concurrent write pairs.
+	if a.ConcurrentWritePairs != 2 {
+		t.Fatalf("concurrent pairs = %d", a.ConcurrentWritePairs)
+	}
+	if !strings.Contains(a.Report(), "serializable per Ahamad") {
+		t.Fatalf("report missing serialization verdict:\n%s", a.Report())
+	}
+	// The oscillating-reads history: legal but NOT serializable.
+	osc, err := AnalyzeString(`
+p1: w(x)u
+p2: w(x)v
+p3: r(x)u ; r(x)v ; r(x)u
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !osc.Consistent {
+		t.Fatal("oscillating reads are legal per Definition 1")
+	}
+	if !osc.SerializableKnown || osc.Serializable {
+		t.Fatalf("oscillating reads must be known-unserializable: known=%v ok=%v",
+			osc.SerializableKnown, osc.Serializable)
+	}
+	if !strings.Contains(osc.Report(), "NOT serializable") {
+		t.Fatalf("report:\n%s", osc.Report())
+	}
+}

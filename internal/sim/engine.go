@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a simulated run.
+type Config struct {
+	// Procs and Vars size the system (n processes, m variables).
+	Procs, Vars int
+	// Protocol selects the replica implementation.
+	Protocol protocol.Kind
+	// NewReplica optionally overrides replica construction (tests).
+	NewReplica func(p, n, m int) protocol.Replica
+	// Latency is the network model; nil defaults to ConstantLatency(10).
+	Latency Latency
+	// TokenInterval is the virtual time between token visits for
+	// token-based protocols; 0 defaults to 50.
+	TokenInterval int64
+	// FIFO, when true, never reorders two messages on the same
+	// (sender, receiver) link: a later send arrives strictly after an
+	// earlier one (TCP-like channels). Cross-link reordering — the
+	// source of false causality — is unaffected.
+	FIFO bool
+	// MaxEvents caps the run as a runaway guard; 0 defaults to 10M.
+	MaxEvents int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Log is the full event trace.
+	Log *trace.Log
+	// Updates maps every issued write to its update (protocol clocks
+	// included), the input of X_P reconstruction.
+	Updates map[history.WriteID]protocol.Update
+	// Replicas exposes final replica state for introspection.
+	Replicas []protocol.Replica
+	// End is the virtual time of the last processed event.
+	End int64
+}
+
+// Errors returned by Run.
+var (
+	// ErrDeadlock reports a run that stopped with buffered updates or
+	// unfinished scripts and no events left — some enabling event can
+	// never occur.
+	ErrDeadlock = errors.New("sim: deadlock")
+	// ErrEventBudget reports a run that exceeded MaxEvents.
+	ErrEventBudget = errors.New("sim: event budget exhausted")
+)
+
+type evKind int
+
+const (
+	evWake evKind = iota
+	evArrival
+	evToken
+)
+
+type event struct {
+	time  int64
+	seq   int
+	kind  evKind
+	proc  int // destination (arrival) or waking process (wake)
+	u     protocol.Update
+	visit int
+}
+
+// eventHeap is a binary min-heap on (time, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.less(l, small) {
+			small = l
+		}
+		if r < last && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+type node struct {
+	replica protocol.Replica
+	intro   protocol.Introspector
+	script  Script
+	pc      int
+	pending []protocol.Update
+	// sleeping is true while a wake event for a SleepStep is scheduled;
+	// the script must not advance from other triggers meanwhile.
+	sleeping bool
+}
+
+func (n *node) done() bool { return n.pc >= len(n.script) }
+
+// engine is the run state; it lives for one Run call.
+type engine struct {
+	cfg      Config
+	nodes    []*node
+	heap     eventHeap
+	now      int64
+	seq      int
+	log      *trace.Log
+	updates  map[history.WriteID]protocol.Update
+	inflight int
+	lat      Latency
+	// lastArrival[from*n+to] enforces per-link FIFO when cfg.FIFO.
+	lastArrival []int64
+}
+
+// Run executes scripts (one per process) under cfg and returns the
+// trace. len(scripts) must equal cfg.Procs.
+func Run(cfg Config, scripts []Script) (*Result, error) {
+	if len(scripts) != cfg.Procs {
+		return nil, fmt.Errorf("sim: %d scripts for %d processes", len(scripts), cfg.Procs)
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = ConstantLatency(10)
+	}
+	if cfg.TokenInterval == 0 {
+		cfg.TokenInterval = 50
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 10_000_000
+	}
+
+	e := &engine{
+		cfg:         cfg,
+		log:         trace.NewLog(cfg.Procs, cfg.Vars),
+		updates:     make(map[history.WriteID]protocol.Update),
+		lat:         cfg.Latency,
+		lastArrival: make([]int64, cfg.Procs*cfg.Procs),
+	}
+	newReplica := cfg.NewReplica
+	if newReplica == nil {
+		newReplica = func(p, n, m int) protocol.Replica { return protocol.New(cfg.Protocol, p, n, m) }
+	}
+	tokenized := false
+	for p := 0; p < cfg.Procs; p++ {
+		r := newReplica(p, cfg.Procs, cfg.Vars)
+		intro, ok := r.(protocol.Introspector)
+		if !ok {
+			return nil, fmt.Errorf("sim: replica %d (%v) lacks Introspector", p, r.Kind())
+		}
+		if _, ok := r.(protocol.TokenBatcher); ok {
+			tokenized = true
+		}
+		e.nodes = append(e.nodes, &node{replica: r, intro: intro, script: scripts[p]})
+		e.schedule(event{time: 0, kind: evWake, proc: p})
+	}
+	if tokenized {
+		e.schedule(event{time: cfg.TokenInterval, kind: evToken, visit: 0})
+	}
+
+	processed := 0
+	for len(e.heap) > 0 {
+		if processed++; processed > cfg.MaxEvents {
+			return nil, fmt.Errorf("%w after %d events", ErrEventBudget, cfg.MaxEvents)
+		}
+		ev := e.heap.pop()
+		e.now = ev.time
+		switch ev.kind {
+		case evWake:
+			n := e.nodes[ev.proc]
+			n.sleeping = false
+			e.advance(ev.proc)
+		case evArrival:
+			e.inflight--
+			e.handleArrival(ev.proc, ev.u)
+		case evToken:
+			if e.quiescedForToken() {
+				continue // stop circulating; run is complete
+			}
+			e.handleToken(ev.visit)
+		}
+	}
+
+	if err := e.checkQuiescent(); err != nil {
+		return &Result{Log: e.log, Updates: e.updates, Replicas: e.replicas(), End: e.now}, err
+	}
+	return &Result{Log: e.log, Updates: e.updates, Replicas: e.replicas(), End: e.now}, nil
+}
+
+func (e *engine) replicas() []protocol.Replica {
+	out := make([]protocol.Replica, len(e.nodes))
+	for i, n := range e.nodes {
+		out[i] = n.replica
+	}
+	return out
+}
+
+func (e *engine) schedule(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.heap.push(ev)
+}
+
+// quiescedForToken reports whether token circulation can stop: all
+// scripts done, nothing in flight, no buffered updates, no unsent
+// writes.
+func (e *engine) quiescedForToken() bool {
+	if e.inflight > 0 {
+		return false
+	}
+	for _, n := range e.nodes {
+		if !n.done() || len(n.pending) > 0 {
+			return false
+		}
+		if tb, ok := n.replica.(protocol.TokenBatcher); ok {
+			if tb.PendingWrites() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkQuiescent validates that the run ended cleanly.
+func (e *engine) checkQuiescent() error {
+	for p, n := range e.nodes {
+		if !n.done() {
+			return fmt.Errorf("%w: p%d stuck at step %d (%v)", ErrDeadlock, p+1, n.pc, n.script[n.pc])
+		}
+		if len(n.pending) > 0 {
+			return fmt.Errorf("%w: p%d holds %d undeliverable updates (first: %v)", ErrDeadlock, p+1, len(n.pending), n.pending[0])
+		}
+	}
+	if e.inflight != 0 {
+		return fmt.Errorf("%w: %d messages still in flight", ErrDeadlock, e.inflight)
+	}
+	return nil
+}
+
+// advance runs the script of process p until it blocks or finishes.
+func (e *engine) advance(p int) {
+	n := e.nodes[p]
+	for !n.done() && !n.sleeping {
+		switch s := n.script[n.pc].(type) {
+		case WriteStep:
+			n.pc++
+			u, broadcast := n.replica.LocalWrite(s.Var, s.Val)
+			e.updates[u.ID] = u
+			e.log.Append(trace.Event{
+				Kind: trace.Issue, Proc: p, Time: e.now,
+				Write: u.ID, Var: s.Var, Val: s.Val,
+			})
+			if broadcast {
+				e.broadcast(p, u)
+			}
+		case ReadStep:
+			n.pc++
+			v, from := n.replica.Read(s.Var)
+			e.log.Append(trace.Event{
+				Kind: trace.Return, Proc: p, Time: e.now,
+				Var: s.Var, Val: v, From: from,
+			})
+		case AwaitStep:
+			if v, _ := n.intro.Value(s.Var); v != s.Val {
+				return // re-checked after each apply at p
+			}
+			n.pc++
+		case SleepStep:
+			n.pc++
+			n.sleeping = true
+			e.schedule(event{time: e.now + s.D, kind: evWake, proc: p})
+			return
+		default:
+			panic(fmt.Sprintf("sim: unknown step %T", n.script[n.pc]))
+		}
+	}
+}
+
+// broadcast ships u from p to every other process with modeled latency.
+func (e *engine) broadcast(p int, u protocol.Update) {
+	e.log.Append(trace.Event{
+		Kind: trace.Send, Proc: p, Time: e.now,
+		Write: u.ID, Var: u.Var, Val: u.Val,
+	})
+	for q := 0; q < e.cfg.Procs; q++ {
+		if q == p {
+			continue
+		}
+		d := e.lat.Delay(p, q, u)
+		if d < 0 {
+			panic(fmt.Sprintf("sim: negative latency %d for %v", d, u))
+		}
+		at := e.now + d
+		if e.cfg.FIFO {
+			link := p*e.cfg.Procs + q
+			if at <= e.lastArrival[link] {
+				at = e.lastArrival[link] + 1
+			}
+			e.lastArrival[link] = at
+		}
+		e.inflight++
+		e.schedule(event{time: at, kind: evArrival, proc: q, u: u})
+	}
+}
+
+// handleArrival processes the receipt of u at process p.
+func (e *engine) handleArrival(p int, u protocol.Update) {
+	n := e.nodes[p]
+	st := n.replica.Status(u)
+	kind := trace.Receipt
+	if u.Marker {
+		// Markers carry no write: record them as Token events so they
+		// never count as write delays.
+		kind = trace.Token
+	}
+	e.log.Append(trace.Event{
+		Kind: kind, Proc: p, Time: e.now,
+		Write: u.ID, Var: u.Var, Val: u.Val,
+		Buffered: st == protocol.Blocked,
+	})
+	switch st {
+	case protocol.Blocked:
+		n.pending = append(n.pending, u)
+	case protocol.Deliverable:
+		e.apply(p, u)
+	case protocol.Discardable:
+		e.discard(p, u)
+	}
+	e.drain(p)
+	e.advance(p)
+}
+
+// apply installs u at p and records the event. Marker applies record as
+// Token. When the delivery skips an overwritten write (writing
+// semantics), its logical apply is recorded immediately before.
+func (e *engine) apply(p int, u protocol.Update) {
+	if sk, ok := e.nodes[p].replica.(protocol.Skipper); ok {
+		if tgt := sk.SkipTarget(u); !tgt.IsBottom() {
+			e.log.Append(trace.Event{
+				Kind: trace.Discard, Proc: p, Time: e.now, Write: tgt,
+			})
+		}
+	}
+	e.nodes[p].replica.Apply(u)
+	kind := trace.Apply
+	if u.Marker {
+		kind = trace.Token
+	}
+	e.log.Append(trace.Event{
+		Kind: kind, Proc: p, Time: e.now,
+		Write: u.ID, Var: u.Var, Val: u.Val,
+	})
+}
+
+// discard drops the late message of an already logically-applied write.
+func (e *engine) discard(p int, u protocol.Update) {
+	e.nodes[p].replica.Discard(u)
+	e.log.Append(trace.Event{
+		Kind: trace.Drop, Proc: p, Time: e.now,
+		Write: u.ID, Var: u.Var, Val: u.Val,
+	})
+}
+
+// drain repeatedly applies or discards deliverable buffered updates at
+// p until a fixpoint.
+func (e *engine) drain(p int) {
+	n := e.nodes[p]
+	for {
+		progressed := false
+		for i := 0; i < len(n.pending); i++ {
+			u := n.pending[i]
+			switch n.replica.Status(u) {
+			case protocol.Deliverable:
+				n.pending = append(n.pending[:i], n.pending[i+1:]...)
+				e.apply(p, u)
+				progressed = true
+			case protocol.Discardable:
+				n.pending = append(n.pending[:i], n.pending[i+1:]...)
+				e.discard(p, u)
+				progressed = true
+			}
+			if progressed {
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// handleToken runs token visit v at holder v mod n, broadcasts the
+// batch (or a marker), and schedules the next visit.
+func (e *engine) handleToken(visit int) {
+	holder := visit % e.cfg.Procs
+	n := e.nodes[holder]
+	tb, ok := n.replica.(protocol.TokenBatcher)
+	if !ok {
+		panic(fmt.Sprintf("sim: token visit at non-token replica %v", n.replica.Kind()))
+	}
+	e.log.Append(trace.Event{Kind: trace.Token, Proc: holder, Time: e.now})
+	batch := tb.OnToken(visit)
+	if len(batch) == 0 {
+		e.broadcast(holder, protocol.Marker(holder, visit))
+	} else {
+		for _, u := range batch {
+			e.updates[u.ID] = u
+			e.broadcast(holder, u)
+		}
+	}
+	// The holder's own visit consumption may unblock buffered batches.
+	e.drain(holder)
+	e.advance(holder)
+	e.schedule(event{time: e.now + e.cfg.TokenInterval, kind: evToken, visit: visit + 1})
+}

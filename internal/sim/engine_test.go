@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// h1Scripts builds the process scripts of the paper's history Ĥ1:
+//
+//	p1: w1(x1)a; w1(x1)c
+//	p2: r2(x1)a; w2(x2)b   (issues b only after a is read AND c applied)
+//	p3: r3(x2)b; w3(x2)d
+func h1Scripts() []Script {
+	return []Script{
+		NewScript().Write(0, history.ValA).Write(0, history.ValC),
+		NewScript().Await(0, history.ValA).Read(0).Await(0, history.ValC).Write(1, history.ValB),
+		NewScript().Await(1, history.ValB).Read(1).Write(1, history.ValD),
+	}
+}
+
+// fig36Latency pins the paper's arrival order at p3: b first, then a,
+// then c (Figures 3 and 6).
+func fig36Latency() *ScriptedLatency {
+	wa := history.WriteID{Proc: 0, Seq: 1}
+	wc := history.WriteID{Proc: 0, Seq: 2}
+	wb := history.WriteID{Proc: 1, Seq: 1}
+	return NewScriptedLatency(10).
+		Set(wa, 1, 10).Set(wa, 2, 40).
+		Set(wc, 1, 20).Set(wc, 2, 60).
+		Set(wb, 0, 10).Set(wb, 2, 10) // b sent at t=20, reaches p3 at t=30
+}
+
+func runH1(t *testing.T, kind protocol.Kind) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Procs: 3, Vars: 2, Protocol: kind, Latency: fig36Latency(),
+	}, h1Scripts())
+	if err != nil {
+		t.Fatalf("%v run: %v", kind, err)
+	}
+	return res
+}
+
+// applyOrder extracts the apply/issue order of writes at proc p.
+func applyOrder(res *Result, p int) []history.WriteID {
+	return res.Log.AppliesAt(p)
+}
+
+// TestFigure6OptPRun drives the Figure 6 scenario end to end: at p3 the
+// update for b is buffered until a arrives, then applied BEFORE c.
+func TestFigure6OptPRun(t *testing.T) {
+	res := runH1(t, protocol.OptP)
+	wa := history.WriteID{Proc: 0, Seq: 1}
+	wc := history.WriteID{Proc: 0, Seq: 2}
+	wb := history.WriteID{Proc: 1, Seq: 1}
+	wd := history.WriteID{Proc: 2, Seq: 1}
+	want := []history.WriteID{wa, wb, wd, wc} // p3: a, b, d(own), c
+	if got := applyOrder(res, 2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("p3 apply order = %v, want %v", got, want)
+	}
+	if got := res.Log.DelayCount(); got != 1 {
+		t.Fatalf("OptP delays = %d, want exactly 1 (b before a at p3)", got)
+	}
+	// The one delay is b at p3.
+	d := res.Log.Delays()
+	if len(d) != 1 || d[0].Proc != 2 || d[0].Write != wb {
+		t.Fatalf("delays = %v", d)
+	}
+	// b applied at t=40 (when a arrives), not t=60 (when c arrives).
+	if d[0].AppliedAt != 40 {
+		t.Fatalf("b applied at %d, want 40", d[0].AppliedAt)
+	}
+	// Update clocks match Figure 6.
+	if got := res.Updates[wb].Clock.String(); got != "[1 1 0]" {
+		t.Fatalf("b clock = %s", got)
+	}
+	if got := res.Updates[wd].Clock.String(); got != "[1 1 1]" {
+		t.Fatalf("d clock = %s", got)
+	}
+}
+
+// TestFigure3ANBKHRun drives the same scenario under ANBKH: b stays
+// buffered past a's arrival and applies only after c — false causality.
+func TestFigure3ANBKHRun(t *testing.T) {
+	res := runH1(t, protocol.ANBKH)
+	wa := history.WriteID{Proc: 0, Seq: 1}
+	wc := history.WriteID{Proc: 0, Seq: 2}
+	wb := history.WriteID{Proc: 1, Seq: 1}
+	wd := history.WriteID{Proc: 2, Seq: 1}
+	want := []history.WriteID{wa, wc, wb, wd} // p3 applies c BEFORE b
+	if got := applyOrder(res, 2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("p3 apply order = %v, want %v", got, want)
+	}
+	d := res.Log.Delays()
+	if len(d) != 1 || d[0].Write != wb {
+		t.Fatalf("delays = %v", d)
+	}
+	if d[0].AppliedAt != 60 {
+		t.Fatalf("b applied at %d, want 60 (after c)", d[0].AppliedAt)
+	}
+	if got := res.Updates[wb].Clock.String(); got != "[2 1 0]" {
+		t.Fatalf("b clock = %s (must absorb c)", got)
+	}
+}
+
+// falseCausalityLatency reorders only c: at p3, a arrives (15), then b
+// (30), then c (60). OptP applies b instantly; ANBKH buffers it.
+func falseCausalityLatency() *ScriptedLatency {
+	wa := history.WriteID{Proc: 0, Seq: 1}
+	wc := history.WriteID{Proc: 0, Seq: 2}
+	wb := history.WriteID{Proc: 1, Seq: 1}
+	return NewScriptedLatency(10).
+		Set(wa, 1, 10).Set(wa, 2, 15).
+		Set(wc, 1, 20).Set(wc, 2, 60).
+		Set(wb, 0, 10).Set(wb, 2, 10)
+}
+
+func TestFalseCausalityDelayGap(t *testing.T) {
+	for _, tc := range []struct {
+		kind  protocol.Kind
+		wantD int
+	}{
+		{protocol.OptP, 0},
+		{protocol.ANBKH, 1},
+		{protocol.OptPNoReadMerge, 1},
+	} {
+		res, err := Run(Config{Procs: 3, Vars: 2, Protocol: tc.kind, Latency: falseCausalityLatency()}, h1Scripts())
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if got := res.Log.DelayCount(); got != tc.wantD {
+			t.Errorf("%v delays = %d, want %d", tc.kind, got, tc.wantD)
+		}
+	}
+}
+
+// The reconstructed history of every H1 run must be exactly Ĥ1 and
+// causally consistent.
+func TestH1RunHistory(t *testing.T) {
+	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH, protocol.WSRecv} {
+		res := runH1(t, kind)
+		h, err := res.Log.History()
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		want, _ := history.H1()
+		if h.String() != want.String() {
+			t.Fatalf("%v history:\n%swant:\n%s", kind, h.String(), want.String())
+		}
+		c, err := h.Causality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.IsCausallyConsistent() {
+			t.Fatalf("%v produced inconsistent history", kind)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{
+			Procs: 3, Vars: 2, Protocol: protocol.OptP,
+			Latency: NewUniformLatency(5, 50, 42),
+		}, h1Scripts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Log.Events, b.Log.Events) {
+		t.Fatal("same seed produced different logs")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// p1 awaits a value nobody writes.
+	scripts := []Script{
+		NewScript().Await(0, 99),
+		NewScript().Write(0, 1),
+	}
+	_, err := Run(Config{Procs: 2, Vars: 1, Protocol: protocol.OptP}, scripts)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestScriptCountMismatch(t *testing.T) {
+	_, err := Run(Config{Procs: 3, Vars: 1, Protocol: protocol.OptP}, []Script{nil})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSleepOrdersOperations(t *testing.T) {
+	// p1 writes at t=0 and t=100; p2 sleeps 50 then reads: sees only
+	// the first write (constant latency 10).
+	scripts := []Script{
+		NewScript().Write(0, 1).Sleep(100).Write(0, 2),
+		NewScript().Sleep(50).Read(0),
+	}
+	res, err := Run(Config{Procs: 2, Vars: 1, Protocol: protocol.OptP, Latency: ConstantLatency(10)}, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ret *trace.Event
+	for i := range res.Log.Events {
+		if res.Log.Events[i].Kind == trace.Return {
+			ret = &res.Log.Events[i]
+		}
+	}
+	if ret == nil || ret.Val != 1 || ret.Time != 50 {
+		t.Fatalf("return = %+v", ret)
+	}
+}
+
+// WS-send end-to-end: a full run where suppression happens and all
+// survivors reach every process in token order.
+func TestWSSendEndToEnd(t *testing.T) {
+	scripts := []Script{
+		NewScript().Write(0, 1).Write(0, 2), // first write suppressed
+		NewScript().Sleep(500).Read(0),
+		NewScript().Sleep(500).Read(0),
+	}
+	res, err := Run(Config{
+		Procs: 3, Vars: 1, Protocol: protocol.WSSend,
+		Latency: ConstantLatency(5), TokenInterval: 40,
+	}, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both readers see value 2; value 1 was never propagated.
+	returns := 0
+	for _, e := range res.Log.Events {
+		if e.Kind == trace.Return {
+			returns++
+			if e.Val != 2 {
+				t.Fatalf("read %d, want 2: %v", e.Val, e)
+			}
+		}
+	}
+	if returns != 2 {
+		t.Fatalf("returns = %d", returns)
+	}
+	// The suppressed write is applied nowhere but its issuer.
+	w1 := history.WriteID{Proc: 0, Seq: 1}
+	for p := 1; p < 3; p++ {
+		for _, id := range res.Log.AppliesAt(p) {
+			if id == w1 {
+				t.Fatalf("suppressed write applied at p%d", p+1)
+			}
+		}
+	}
+}
+
+// Liveness property (Theorem 5): under randomized latency every issued
+// write is eventually applied at every process, for all protocols in 𝒫.
+func TestLivenessAllApplied(t *testing.T) {
+	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH, protocol.OptPNoReadMerge} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			rng := NewRNG(seed)
+			n, m := 4, 3
+			scripts := make([]Script, n)
+			for p := 0; p < n; p++ {
+				s := NewScript()
+				for op := 0; op < 10; op++ {
+					s = s.Sleep(int64(1 + rng.Intn(30)))
+					if rng.Intn(2) == 0 {
+						s = s.Write(rng.Intn(m), int64(p*1000+op+1))
+					} else {
+						s = s.Read(rng.Intn(m))
+					}
+				}
+				scripts[p] = s
+			}
+			res, err := Run(Config{
+				Procs: n, Vars: m, Protocol: kind,
+				Latency: NewUniformLatency(1, 200, seed),
+			}, scripts)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", kind, seed, err)
+			}
+			issued := res.Log.WritesIssued()
+			for p := 0; p < n; p++ {
+				if got := len(res.Log.AppliesAt(p)); got != issued {
+					t.Fatalf("%v seed %d: p%d applied %d of %d writes", kind, seed, p+1, got, issued)
+				}
+			}
+		}
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	scripts := []Script{
+		NewScript().Write(0, 1),
+		NewScript(),
+	}
+	_, err := Run(Config{Procs: 2, Vars: 1, Protocol: protocol.OptP, MaxEvents: 2}, scripts)
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+	if f := NewRNG(3).Float64(); f < 0 || f >= 1 {
+		t.Fatalf("Float64 = %f", f)
+	}
+	if e := NewRNG(3).Exp(10); e < 0 {
+		t.Fatalf("Exp = %f", e)
+	}
+	fork := NewRNG(5).Fork()
+	if fork == nil {
+		t.Fatal("Fork returned nil")
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	u := protocol.Update{}
+	if d := ConstantLatency(7).Delay(0, 1, u); d != 7 {
+		t.Fatalf("constant = %d", d)
+	}
+	ul := NewUniformLatency(5, 10, 1)
+	for i := 0; i < 100; i++ {
+		if d := ul.Delay(0, 1, u); d < 5 || d > 10 {
+			t.Fatalf("uniform out of range: %d", d)
+		}
+	}
+	if d := NewUniformLatency(5, 5, 1).Delay(0, 1, u); d != 5 {
+		t.Fatalf("degenerate uniform = %d", d)
+	}
+	el := NewExpLatency(3, 10, 2)
+	for i := 0; i < 100; i++ {
+		if d := el.Delay(0, 1, u); d < 3 {
+			t.Fatalf("exp below base: %d", d)
+		}
+	}
+	ml := NewMatrixLatency([][]int64{{0, 100}, {100, 0}}, 0, 3)
+	if d := ml.Delay(0, 1, u); d != 100 {
+		t.Fatalf("matrix = %d", d)
+	}
+	mlj := NewMatrixLatency([][]int64{{0, 100}, {100, 0}}, 10, 3)
+	if d := mlj.Delay(0, 1, u); d < 100 || d > 110 {
+		t.Fatalf("matrix+jitter = %d", d)
+	}
+}
+
+func TestLatencyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"uniform-empty": func() { NewUniformLatency(10, 5, 1) },
+		"exp-negative":  func() { NewExpLatency(-1, 1, 1) },
+		"matrix-ragged": func() { NewMatrixLatency([][]int64{{0}, {0, 0}}, 0, 1) },
+		"intn-zero":     func() { NewRNG(1).Intn(0) },
+		"int63n-zero":   func() { NewRNG(1).Int63n(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestScriptBuilders(t *testing.T) {
+	s := NewScript().Write(0, 1).Read(1).Await(2, 3).Sleep(4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d", len(s))
+	}
+	wants := []string{"write(x1, 1)", "read(x2)", "await(x3 == 3)", "sleep(4)"}
+	for i, w := range wants {
+		if s[i].String() != w {
+			t.Errorf("step %d = %q, want %q", i, s[i].String(), w)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+)
+
+// Latency models message transmission delay. Implementations must be
+// deterministic given their construction parameters (randomized models
+// own a seeded RNG). Delays are virtual nanoseconds and must be ≥ 0;
+// channels are reliable, so a delay is always finite.
+type Latency interface {
+	// Delay returns the transit time of update u from process `from` to
+	// process `to`.
+	Delay(from, to int, u protocol.Update) int64
+}
+
+// ConstantLatency delivers every message after a fixed delay (a
+// synchronous-looking network: no reordering, hence no write delays for
+// any safe protocol).
+type ConstantLatency int64
+
+// Delay implements Latency.
+func (c ConstantLatency) Delay(from, to int, u protocol.Update) int64 { return int64(c) }
+
+// UniformLatency draws each delay uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max int64
+	rng      *RNG
+}
+
+// NewUniformLatency returns a uniform model over [min, max] seeded by
+// seed. It panics on an empty interval.
+func NewUniformLatency(min, max int64, seed uint64) *UniformLatency {
+	if max < min || min < 0 {
+		panic(fmt.Sprintf("sim: invalid uniform latency [%d, %d]", min, max))
+	}
+	return &UniformLatency{Min: min, Max: max, rng: NewRNG(seed)}
+}
+
+// Delay implements Latency.
+func (u *UniformLatency) Delay(from, to int, up protocol.Update) int64 {
+	if u.Max == u.Min {
+		return u.Min
+	}
+	return u.Min + u.rng.Int63n(u.Max-u.Min+1)
+}
+
+// ExpLatency draws Base plus an exponential jitter with the given mean —
+// the long-tail model used by the jitter sweeps (experiment E1).
+type ExpLatency struct {
+	Base int64
+	Mean float64
+	rng  *RNG
+}
+
+// NewExpLatency returns an exponential-jitter model.
+func NewExpLatency(base int64, mean float64, seed uint64) *ExpLatency {
+	if base < 0 || mean < 0 {
+		panic(fmt.Sprintf("sim: invalid exp latency base=%d mean=%f", base, mean))
+	}
+	return &ExpLatency{Base: base, Mean: mean, rng: NewRNG(seed)}
+}
+
+// Delay implements Latency.
+func (e *ExpLatency) Delay(from, to int, u protocol.Update) int64 {
+	return e.Base + int64(e.rng.Exp(e.Mean))
+}
+
+// MatrixLatency assigns a fixed base delay per (from, to) pair plus an
+// optional uniform jitter — an asymmetric-topology model (e.g. two
+// sites with a slow inter-site link).
+type MatrixLatency struct {
+	Base   [][]int64
+	Jitter int64
+	rng    *RNG
+}
+
+// NewMatrixLatency returns a matrix model; base must be square.
+func NewMatrixLatency(base [][]int64, jitter int64, seed uint64) *MatrixLatency {
+	for _, row := range base {
+		if len(row) != len(base) {
+			panic("sim: latency matrix not square")
+		}
+	}
+	return &MatrixLatency{Base: base, Jitter: jitter, rng: NewRNG(seed)}
+}
+
+// Delay implements Latency.
+func (m *MatrixLatency) Delay(from, to int, u protocol.Update) int64 {
+	d := m.Base[from][to]
+	if m.Jitter > 0 {
+		d += m.rng.Int63n(m.Jitter + 1)
+	}
+	return d
+}
+
+// ScriptedLatency gives exact control over individual message arrivals:
+// overrides are keyed by (write, destination) and fall back to Default.
+// It is how the paper's Figure 3 and Figure 6 runs pin their arrival
+// orders.
+type ScriptedLatency struct {
+	Default  int64
+	override map[scriptedKey]int64
+}
+
+type scriptedKey struct {
+	w  history.WriteID
+	to int
+}
+
+// NewScriptedLatency returns a scripted model with the given fallback.
+func NewScriptedLatency(def int64) *ScriptedLatency {
+	return &ScriptedLatency{Default: def, override: make(map[scriptedKey]int64)}
+}
+
+// Set pins the transit time of write w's update toward process to.
+func (s *ScriptedLatency) Set(w history.WriteID, to int, d int64) *ScriptedLatency {
+	s.override[scriptedKey{w, to}] = d
+	return s
+}
+
+// Delay implements Latency.
+func (s *ScriptedLatency) Delay(from, to int, u protocol.Update) int64 {
+	if d, ok := s.override[scriptedKey{u.ID, to}]; ok {
+		return d
+	}
+	return s.Default
+}

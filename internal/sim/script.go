@@ -1,0 +1,78 @@
+package sim
+
+import "fmt"
+
+// Step is one action of a process script. Scripts model the paper's
+// sequential processes: each process executes its steps in order,
+// instantaneously in virtual time except where a step blocks (Await) or
+// sleeps (Sleep).
+type Step interface {
+	isStep()
+	fmt.Stringer
+}
+
+// WriteStep performs w_p(x)v.
+type WriteStep struct {
+	Var int
+	Val int64
+}
+
+func (WriteStep) isStep() {}
+
+// String implements fmt.Stringer.
+func (s WriteStep) String() string { return fmt.Sprintf("write(x%d, %d)", s.Var+1, s.Val) }
+
+// ReadStep performs r_p(x); the returned value is whatever the local
+// replica holds.
+type ReadStep struct {
+	Var int
+}
+
+func (ReadStep) isStep() {}
+
+// String implements fmt.Stringer.
+func (s ReadStep) String() string { return fmt.Sprintf("read(x%d)", s.Var+1) }
+
+// AwaitStep blocks the script until the local copy of Var holds Val.
+// It is a scripting device (meta-level synchronization used to pin
+// read-from edges in paper scenarios), not a memory operation: it
+// produces no history event and does not touch protocol control state.
+type AwaitStep struct {
+	Var int
+	Val int64
+}
+
+func (AwaitStep) isStep() {}
+
+// String implements fmt.Stringer.
+func (s AwaitStep) String() string { return fmt.Sprintf("await(x%d == %d)", s.Var+1, s.Val) }
+
+// SleepStep advances the process's local time by D virtual nanoseconds
+// (think time between operations).
+type SleepStep struct {
+	D int64
+}
+
+func (SleepStep) isStep() {}
+
+// String implements fmt.Stringer.
+func (s SleepStep) String() string { return fmt.Sprintf("sleep(%d)", s.D) }
+
+// Script is the ordered step list of one process.
+type Script []Step
+
+// NewScript builds a Script from steps, a readability helper for
+// fixtures.
+func NewScript(steps ...Step) Script { return steps }
+
+// Write appends a WriteStep and returns the extended script.
+func (s Script) Write(x int, v int64) Script { return append(s, WriteStep{x, v}) }
+
+// Read appends a ReadStep.
+func (s Script) Read(x int) Script { return append(s, ReadStep{x}) }
+
+// Await appends an AwaitStep.
+func (s Script) Await(x int, v int64) Script { return append(s, AwaitStep{x, v}) }
+
+// Sleep appends a SleepStep.
+func (s Script) Sleep(d int64) Script { return append(s, SleepStep{d}) }

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diagram renders the run as an ASCII space-time table — one column
+// per process, one row per (virtual) timestamp at which anything
+// happened — the textual cousin of the paper's Figures 3 and 6.
+//
+// Event notation:
+//
+//	w x2=5        write issued locally (and applied)
+//	->w1#2        update broadcast
+//	?w1#2         receipt, immediately deliverable
+//	?w1#2 BUF     receipt, buffered (a write delay, Definition 3)
+//	+w1#2         apply of a remote update
+//	r x2=5        read returning 5
+//	~w1#2         logical apply of a skipped write (writing semantics)
+//	xw1#2         late message of a skipped write dropped
+//	tok           token event
+type Diagram struct {
+	// MaxRows truncates the table (0 = no limit).
+	MaxRows int
+}
+
+// Render produces the diagram for log.
+func (d Diagram) Render(log *Log) string {
+	type cellKey struct {
+		t int64
+		p int
+	}
+	cells := make(map[cellKey][]string)
+	timesSeen := make(map[int64]bool)
+	for _, e := range log.Events {
+		k := cellKey{e.Time, e.Proc}
+		cells[k] = append(cells[k], eventLabel(e))
+		timesSeen[e.Time] = true
+	}
+	times := make([]int64, 0, len(timesSeen))
+	for t := range timesSeen {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	if d.MaxRows > 0 && len(times) > d.MaxRows {
+		times = times[:d.MaxRows]
+	}
+
+	// Column widths.
+	widths := make([]int, log.NumProcs)
+	for p := range widths {
+		widths[p] = len(fmt.Sprintf("p%d", p+1))
+	}
+	rows := make([][]string, len(times))
+	for i, t := range times {
+		row := make([]string, log.NumProcs)
+		for p := 0; p < log.NumProcs; p++ {
+			row[p] = strings.Join(cells[cellKey{t, p}], "  ")
+			if len(row[p]) > widths[p] {
+				widths[p] = len(row[p])
+			}
+		}
+		rows[i] = row
+	}
+	timeW := len("time")
+	for _, t := range times {
+		if w := len(fmt.Sprintf("%d", t)); w > timeW {
+			timeW = w
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s", timeW, "time")
+	for p := 0; p < log.NumProcs; p++ {
+		fmt.Fprintf(&b, " | %-*s", widths[p], fmt.Sprintf("p%d", p+1))
+	}
+	b.WriteByte('\n')
+	total := timeW
+	for _, w := range widths {
+		total += 3 + w
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for i, t := range times {
+		fmt.Fprintf(&b, "%*d", timeW, t)
+		for p := 0; p < log.NumProcs; p++ {
+			fmt.Fprintf(&b, " | %-*s", widths[p], rows[i][p])
+		}
+		b.WriteByte('\n')
+	}
+	if d.MaxRows > 0 && len(timesSeen) > d.MaxRows {
+		fmt.Fprintf(&b, "... (%d more timestamps)\n", len(timesSeen)-d.MaxRows)
+	}
+	return b.String()
+}
+
+func eventLabel(e Event) string {
+	switch e.Kind {
+	case Issue:
+		return fmt.Sprintf("w x%d=%d", e.Var+1, e.Val)
+	case Send:
+		return fmt.Sprintf("->%v", e.Write)
+	case Receipt:
+		if e.Buffered {
+			return fmt.Sprintf("?%v BUF", e.Write)
+		}
+		return fmt.Sprintf("?%v", e.Write)
+	case Apply:
+		return fmt.Sprintf("+%v", e.Write)
+	case Return:
+		return fmt.Sprintf("r x%d=%d", e.Var+1, e.Val)
+	case Discard:
+		return fmt.Sprintf("~%v", e.Write)
+	case Drop:
+		return fmt.Sprintf("x%v", e.Write)
+	case Token:
+		return "tok"
+	default:
+		return e.Kind.String()
+	}
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+)
+
+func TestDiagramRender(t *testing.T) {
+	out := Diagram{}.Render(sampleLog())
+	for _, frag := range []string{
+		"time", "p1", "p2",
+		"w x1=1",    // issue
+		"->w1#1",    // send
+		"?w1#2 BUF", // buffered receipt
+		"+w1#1",     // apply
+		"r x1=2",    // return
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("diagram missing %q:\n%s", frag, out)
+		}
+	}
+	// Rows sorted by time: first data row is t=0, last t=30.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(strings.TrimSpace(lines[2]), "0 ") {
+		t.Errorf("first row not t=0:\n%s", out)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[len(lines)-1]), "30 ") {
+		t.Errorf("last row not t=30:\n%s", out)
+	}
+}
+
+func TestDiagramTruncation(t *testing.T) {
+	out := Diagram{MaxRows: 2}.Render(sampleLog())
+	if !strings.Contains(out, "more timestamps") {
+		t.Fatalf("truncation note missing:\n%s", out)
+	}
+}
+
+func TestDiagramWritingSemanticsLabels(t *testing.T) {
+	l := NewLog(2, 1)
+	w := history.WriteID{Proc: 0, Seq: 1}
+	l.Append(Event{Kind: Discard, Proc: 1, Time: 5, Write: w})
+	l.Append(Event{Kind: Drop, Proc: 1, Time: 9, Write: w})
+	l.Append(Event{Kind: Token, Proc: 0, Time: 9})
+	out := Diagram{}.Render(l)
+	for _, frag := range []string{"~w1#1", "xw1#1", "tok"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q:\n%s", frag, out)
+		}
+	}
+}

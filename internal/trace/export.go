@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV streams the log as CSV with a header row, one event per
+// line. Columns: seq, kind, proc, time, write_proc, write_seq, var,
+// val, from_proc, from_seq, buffered.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"seq", "kind", "proc", "time",
+		"write_proc", "write_seq", "var", "val",
+		"from_proc", "from_seq", "buffered",
+	}); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	for _, e := range l.Events {
+		rec := []string{
+			strconv.Itoa(e.Seq),
+			e.Kind.String(),
+			strconv.Itoa(e.Proc),
+			strconv.FormatInt(e.Time, 10),
+			strconv.Itoa(e.Write.Proc),
+			strconv.Itoa(e.Write.Seq),
+			strconv.Itoa(e.Var),
+			strconv.FormatInt(e.Val, 10),
+			strconv.Itoa(e.From.Proc),
+			strconv.Itoa(e.From.Seq),
+			strconv.FormatBool(e.Buffered),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: csv row %d: %w", e.Seq, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonLog is the stable JSON schema of a log.
+type jsonLog struct {
+	NumProcs int         `json:"num_procs"`
+	NumVars  int         `json:"num_vars"`
+	Events   []jsonEvent `json:"events"`
+}
+
+type jsonEvent struct {
+	Seq      int    `json:"seq"`
+	Kind     string `json:"kind"`
+	Proc     int    `json:"proc"`
+	Time     int64  `json:"time"`
+	Write    [2]int `json:"write"`
+	Var      int    `json:"var"`
+	Val      int64  `json:"val"`
+	From     [2]int `json:"from"`
+	Buffered bool   `json:"buffered,omitempty"`
+}
+
+// WriteJSON streams the log as a single JSON document.
+func (l *Log) WriteJSON(w io.Writer) error {
+	jl := jsonLog{NumProcs: l.NumProcs, NumVars: l.NumVars, Events: make([]jsonEvent, 0, len(l.Events))}
+	for _, e := range l.Events {
+		jl.Events = append(jl.Events, jsonEvent{
+			Seq: e.Seq, Kind: e.Kind.String(), Proc: e.Proc, Time: e.Time,
+			Write: [2]int{e.Write.Proc, e.Write.Seq},
+			Var:   e.Var, Val: e.Val,
+			From:     [2]int{e.From.Proc, e.From.Seq},
+			Buffered: e.Buffered,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jl); err != nil {
+		return fmt.Errorf("trace: json encode: %w", err)
+	}
+	return nil
+}

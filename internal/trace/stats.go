@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary aggregates a sample of int64 measurements (delay durations,
+// latencies) into the statistics the experiment tables report.
+type Summary struct {
+	Count         int
+	Min, Max      int64
+	Mean          float64
+	P50, P95, P99 int64
+	StdDev        float64
+	Total         int64
+}
+
+// Summarize computes a Summary. The input slice is not modified.
+func Summarize(xs []int64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]int64, len(xs))
+	copy(s, xs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum, sumSq float64
+	for _, x := range s {
+		sum += float64(x)
+		sumSq += float64(x) * float64(x)
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		P50:    quantile(s, 0.50),
+		P95:    quantile(s, 0.95),
+		P99:    quantile(s, 0.99),
+		StdDev: math.Sqrt(variance),
+		Total:  int64(sum),
+	}
+}
+
+// quantile returns the q-th quantile of a sorted sample using the
+// nearest-rank method.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%d p50=%d mean=%.1f p95=%d p99=%d max=%d",
+		s.Count, s.Min, s.P50, s.Mean, s.P95, s.P99, s.Max)
+}
+
+// RunStats is the per-run scorecard that experiment sweeps aggregate.
+type RunStats struct {
+	Protocol string
+	Procs    int
+	Vars     int
+
+	Writes   int
+	Reads    int
+	Receipts int
+
+	// Delays is the number of write delays (buffered receipts,
+	// Definition 3); DelayRate = Delays/Receipts.
+	Delays    int
+	DelayRate float64
+	// DelayDurations summarizes how long buffered updates waited.
+	DelayDurations Summary
+
+	// Discards counts writing-semantics discards (0 for protocols in 𝒫).
+	Discards int
+
+	// BufferMax and BufferMean describe pending-queue occupancy.
+	BufferMax  int
+	BufferMean float64
+}
+
+// Stats computes the scorecard for a log.
+func (l *Log) Stats(protocol string) RunStats {
+	delays := l.Delays()
+	durs := make([]int64, 0, len(delays))
+	for _, d := range delays {
+		durs = append(durs, d.Duration())
+	}
+	occ := l.BufferOccupancy()
+	receipts := l.ReceiptCount()
+	st := RunStats{
+		Protocol:       protocol,
+		Procs:          l.NumProcs,
+		Vars:           l.NumVars,
+		Writes:         l.WritesIssued(),
+		Reads:          l.ReadsReturned(),
+		Receipts:       receipts,
+		Delays:         l.DelayCount(),
+		Discards:       l.DiscardCount(),
+		DelayDurations: Summarize(durs),
+		BufferMax:      occ.Max,
+		BufferMean:     occ.MeanTimeWeighted,
+	}
+	if receipts > 0 {
+		st.DelayRate = float64(st.Delays) / float64(receipts)
+	}
+	return st
+}
+
+// String renders the scorecard in one line, the row format of the
+// dsmbench tables.
+func (s RunStats) String() string {
+	return fmt.Sprintf("%-18s n=%d writes=%d reads=%d receipts=%d delays=%d (%.2f%%) discards=%d bufmax=%d bufmean=%.2f",
+		s.Protocol, s.Procs, s.Writes, s.Reads, s.Receipts, s.Delays, 100*s.DelayRate, s.Discards, s.BufferMax, s.BufferMean)
+}

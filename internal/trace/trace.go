@@ -1,0 +1,382 @@
+// Package trace records the event structure of a protocol run — the E_i
+// sequences of Section 3.1 — and derives from it everything the
+// checkers and experiment harnesses need: the global history Ĥ, write
+// delays (Definition 3), pending-buffer occupancy, and per-run summary
+// statistics.
+//
+// Both execution backends produce the same log format: the
+// deterministic simulator stamps virtual nanoseconds, the live runtime
+// wall-clock nanoseconds.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// EventKind enumerates the event types of the model.
+type EventKind int
+
+// Event kinds. Issue marks a write operation at its issuing process
+// (the send event of Section 3.2 plus the local apply); Send marks
+// actual network propagation (distinct from Issue only for deferred
+// protocols like WS-send); Receipt, Apply and Return follow the
+// paper's nomenclature. Discard is the *logical apply* of a write
+// skipped by writing semantics, recorded immediately before the apply
+// of its overwriter; Drop is the subsequent arrival of the skipped
+// write's message, dropped without effect.
+const (
+	Issue EventKind = iota
+	Send
+	Receipt
+	Apply
+	Discard
+	Drop
+	Return
+	Token
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Issue:
+		return "issue"
+	case Send:
+		return "send"
+	case Receipt:
+		return "receipt"
+	case Apply:
+		return "apply"
+	case Discard:
+		return "discard"
+	case Drop:
+		return "drop"
+	case Return:
+		return "return"
+	case Token:
+		return "token"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of a run log.
+type Event struct {
+	// Seq is the global recording order (a total order consistent with
+	// each process's local order).
+	Seq int
+	// Kind is the event type.
+	Kind EventKind
+	// Proc is the process at which the event occurred.
+	Proc int
+	// Time is the event timestamp in (virtual or wall) nanoseconds.
+	Time int64
+
+	// Write names the subject write for Issue/Send/Receipt/Apply/Discard.
+	Write history.WriteID
+	// Var and Val carry the location and value for write-bearing events
+	// and for Return.
+	Var int
+	Val int64
+	// From names, for Return, the write whose value the read returned.
+	From history.WriteID
+
+	// Buffered marks a Receipt whose update was not immediately
+	// deliverable — a write delay per Definition 3.
+	Buffered bool
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case Return:
+		return fmt.Sprintf("[%d] p%d %s x%d=%d from %v @%d", e.Seq, e.Proc+1, e.Kind, e.Var+1, e.Val, e.From, e.Time)
+	case Receipt:
+		buf := ""
+		if e.Buffered {
+			buf = " BUFFERED"
+		}
+		return fmt.Sprintf("[%d] p%d %s %v%s @%d", e.Seq, e.Proc+1, e.Kind, e.Write, buf, e.Time)
+	default:
+		return fmt.Sprintf("[%d] p%d %s %v @%d", e.Seq, e.Proc+1, e.Kind, e.Write, e.Time)
+	}
+}
+
+// Log is a complete run record.
+type Log struct {
+	NumProcs int
+	NumVars  int
+	Events   []Event
+}
+
+// NewLog returns an empty log for n processes over m variables.
+func NewLog(n, m int) *Log {
+	return &Log{NumProcs: n, NumVars: m}
+}
+
+// Append records an event, assigning its global sequence number, and
+// returns the stored event.
+func (l *Log) Append(e Event) Event {
+	e.Seq = len(l.Events)
+	l.Events = append(l.Events, e)
+	return e
+}
+
+// PerProc splits the log into the per-process sequences E_i, preserving
+// global order within each.
+func (l *Log) PerProc() [][]Event {
+	out := make([][]Event, l.NumProcs)
+	for _, e := range l.Events {
+		out[e.Proc] = append(out[e.Proc], e)
+	}
+	return out
+}
+
+// History reconstructs the global history Ĥ from the log: each
+// process's Issue events become its writes (in order) and Return events
+// its reads, with the read-from relation taken from the recorded From
+// fields.
+func (l *Log) History() (*history.History, error) {
+	locals := make([][]history.Op, l.NumProcs)
+	for _, e := range l.Events {
+		switch e.Kind {
+		case Issue:
+			locals[e.Proc] = append(locals[e.Proc], history.Op{
+				Kind: history.Write, Proc: e.Proc, Var: e.Var, Val: e.Val, ID: e.Write,
+			})
+		case Return:
+			locals[e.Proc] = append(locals[e.Proc], history.Op{
+				Kind: history.Read, Proc: e.Proc, Var: e.Var, Val: e.Val, From: e.From,
+			})
+		}
+	}
+	return history.FromOps(locals)
+}
+
+// Delay describes one write delay (Definition 3): the receipt at Proc
+// of Write was buffered, and the update applied only DelayTime
+// nanoseconds later.
+type Delay struct {
+	Proc      int
+	Write     history.WriteID
+	ReceiptAt int64
+	AppliedAt int64
+	// Discarded marks delays resolved by a Discard rather than an Apply.
+	Discarded bool
+}
+
+// Duration returns the buffering time in nanoseconds.
+func (d Delay) Duration() int64 { return d.AppliedAt - d.ReceiptAt }
+
+// Delays extracts every write delay from the log by matching buffered
+// Receipt events with their later Apply/Discard at the same process.
+func (l *Log) Delays() []Delay {
+	type key struct {
+		p int
+		w history.WriteID
+	}
+	pendingAt := make(map[key]int64)
+	var out []Delay
+	for _, e := range l.Events {
+		k := key{e.Proc, e.Write}
+		switch e.Kind {
+		case Receipt:
+			if e.Buffered {
+				pendingAt[k] = e.Time
+			}
+		case Apply, Discard, Drop:
+			if t0, ok := pendingAt[k]; ok {
+				out = append(out, Delay{
+					Proc: e.Proc, Write: e.Write,
+					ReceiptAt: t0, AppliedAt: e.Time,
+					Discarded: e.Kind != Apply,
+				})
+				delete(pendingAt, k)
+			}
+		}
+	}
+	return out
+}
+
+// DelayCount returns the total number of write delays in the run.
+func (l *Log) DelayCount() int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == Receipt && e.Buffered {
+			n++
+		}
+	}
+	return n
+}
+
+// DelayCountPerProc returns write delays broken down by process.
+func (l *Log) DelayCountPerProc() []int {
+	out := make([]int, l.NumProcs)
+	for _, e := range l.Events {
+		if e.Kind == Receipt && e.Buffered {
+			out[e.Proc]++
+		}
+	}
+	return out
+}
+
+// ReceiptCount returns the total number of receipts (delayed or not),
+// the denominator of the delay-rate metric.
+func (l *Log) ReceiptCount() int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == Receipt {
+			n++
+		}
+	}
+	return n
+}
+
+// DiscardCount returns the number of updates discarded (writing
+// semantics only; always 0 for protocols in 𝒫).
+func (l *Log) DiscardCount() int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == Discard {
+			n++
+		}
+	}
+	return n
+}
+
+// Occupancy tracks the pending-buffer population over the run.
+type Occupancy struct {
+	// MaxPerProc[p] is the largest pending-buffer size seen at p.
+	MaxPerProc []int
+	// Max is the largest pending-buffer size seen anywhere.
+	Max int
+	// MeanTimeWeighted is the time-weighted mean of the total buffered
+	// population across all processes (0 when the run has no duration).
+	MeanTimeWeighted float64
+}
+
+// BufferOccupancy reconstructs pending-buffer population from buffered
+// receipts and their resolving applies/discards.
+func (l *Log) BufferOccupancy() Occupancy {
+	occ := Occupancy{MaxPerProc: make([]int, l.NumProcs)}
+	cur := make([]int, l.NumProcs)
+	type key struct {
+		p int
+		w history.WriteID
+	}
+	buffered := make(map[key]bool)
+	total := 0
+	var lastT, start int64
+	var area float64
+	first := true
+	for _, e := range l.Events {
+		if first {
+			start, lastT = e.Time, e.Time
+			first = false
+		}
+		area += float64(total) * float64(e.Time-lastT)
+		lastT = e.Time
+		k := key{e.Proc, e.Write}
+		switch e.Kind {
+		case Receipt:
+			if e.Buffered {
+				buffered[k] = true
+				cur[e.Proc]++
+				total++
+				if cur[e.Proc] > occ.MaxPerProc[e.Proc] {
+					occ.MaxPerProc[e.Proc] = cur[e.Proc]
+				}
+				if total > occ.Max {
+					occ.Max = total
+				}
+			}
+		case Apply, Discard, Drop:
+			if buffered[k] {
+				delete(buffered, k)
+				cur[e.Proc]--
+				total--
+			}
+		}
+	}
+	if lastT > start {
+		occ.MeanTimeWeighted = area / float64(lastT-start)
+	}
+	return occ
+}
+
+// WritesIssued returns the number of Issue events.
+func (l *Log) WritesIssued() int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == Issue {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadsReturned returns the number of Return events.
+func (l *Log) ReadsReturned() int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == Return {
+			n++
+		}
+	}
+	return n
+}
+
+// AppliesAt returns, for process p, the ordered list of writes applied
+// (Apply events) there, including local applies recorded as Issue.
+func (l *Log) AppliesAt(p int) []history.WriteID {
+	var out []history.WriteID
+	for _, e := range l.Events {
+		if e.Proc != p {
+			continue
+		}
+		if e.Kind == Apply || e.Kind == Issue {
+			out = append(out, e.Write)
+		}
+	}
+	return out
+}
+
+// VisibilityLatencies returns, for every (write, remote process) pair,
+// the time from the write's Issue to its Apply (or logical apply via
+// Discard) at that process — the propagation latency end users
+// experience. Writes never applied at a process contribute nothing.
+func (l *Log) VisibilityLatencies() []int64 {
+	issued := make(map[history.WriteID]int64)
+	for _, e := range l.Events {
+		if e.Kind == Issue {
+			issued[e.Write] = e.Time
+		}
+	}
+	var out []int64
+	for _, e := range l.Events {
+		if e.Kind != Apply && e.Kind != Discard {
+			continue
+		}
+		if t0, ok := issued[e.Write]; ok {
+			out = append(out, e.Time-t0)
+		}
+	}
+	return out
+}
+
+// LogicallyAppliedAt is AppliesAt but also counting Discards as logical
+// applies (the writing-semantics reading of "applied").
+func (l *Log) LogicallyAppliedAt(p int) []history.WriteID {
+	var out []history.WriteID
+	for _, e := range l.Events {
+		if e.Proc != p {
+			continue
+		}
+		switch e.Kind {
+		case Apply, Issue, Discard:
+			out = append(out, e.Write)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/protocol"
+)
+
+// TCPNet is a Transport over real loopback TCP sockets: every process
+// listens on 127.0.0.1 and keeps one outbound connection per peer.
+// Frames are length-prefixed (uvarint) encoded updates plus a one-byte
+// sender id, so the receiving end reconstructs the Message exactly.
+//
+// Per-link ordering is whatever TCP provides — FIFO — so this transport
+// models the common deployment; cross-link reordering (the source of
+// write delays) still happens freely.
+type TCPNet struct {
+	procs    int
+	handlers []atomic.Pointer[Handler]
+
+	listeners []net.Listener
+	addrs     []string
+
+	mu    sync.Mutex
+	conns [][]net.Conn // conns[from][to], lazily dialed
+
+	inflight sync.WaitGroup
+	accept   sync.WaitGroup
+	closed   atomic.Bool
+}
+
+// NewTCP starts a TCP mesh for n processes on loopback.
+func NewTCP(n int) (*TCPNet, error) {
+	if n < 1 || n > 255 {
+		return nil, fmt.Errorf("transport: tcp procs = %d (want 1..255, sender id is one frame byte)", n)
+	}
+	t := &TCPNet{
+		procs:    n,
+		handlers: make([]atomic.Pointer[Handler], n),
+		conns:    make([][]net.Conn, n),
+	}
+	for i := range t.conns {
+		t.conns[i] = make([]net.Conn, n)
+	}
+	for p := 0; p < n; p++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen for p%d: %w", p+1, err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.addrs = append(t.addrs, ln.Addr().String())
+		t.accept.Add(1)
+		go t.acceptLoop(p, ln)
+	}
+	return t, nil
+}
+
+// Addr returns the listen address of process p (for diagnostics).
+func (t *TCPNet) Addr(p int) string { return t.addrs[p] }
+
+// Register implements Transport.
+func (t *TCPNet) Register(id int, h Handler) {
+	if id < 0 || id >= t.procs {
+		panic(fmt.Sprintf("transport: Register(%d) out of range", id))
+	}
+	t.handlers[id].Store(&h)
+}
+
+// Send implements Transport: it frames and writes the message on the
+// (lazily dialed) from→to connection. Writes to one link are serialized
+// by a per-link mutex embedded in conn access; TCP preserves their
+// order.
+func (t *TCPNet) Send(m Message) {
+	if t.closed.Load() {
+		return
+	}
+	if m.To < 0 || m.To >= t.procs || m.From < 0 || m.From >= t.procs || m.To == m.From {
+		panic(fmt.Sprintf("transport: bad route %d -> %d", m.From, m.To))
+	}
+	t.inflight.Add(1)
+	// Synchronous framing keeps per-link FIFO without extra goroutines;
+	// loopback writes are fast and the kernel buffers them.
+	defer t.inflight.Done()
+
+	conn, err := t.conn(m.From, m.To)
+	if err != nil {
+		if t.closed.Load() {
+			return
+		}
+		panic(fmt.Sprintf("transport: dial %d->%d: %v", m.From, m.To, err))
+	}
+	payload := m.Update.AppendBinary([]byte{byte(m.From)})
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = append(frame, payload...)
+	t.mu.Lock()
+	_, err = conn.Write(frame)
+	t.mu.Unlock()
+	if err != nil && !t.closed.Load() {
+		panic(fmt.Sprintf("transport: write %d->%d: %v", m.From, m.To, err))
+	}
+}
+
+// conn returns (dialing if needed) the from→to connection.
+func (t *TCPNet) conn(from, to int) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c := t.conns[from][to]; c != nil {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, err
+	}
+	t.conns[from][to] = c
+	return c, nil
+}
+
+// acceptLoop serves inbound connections for process p.
+func (t *TCPNet) acceptLoop(p int, ln net.Listener) {
+	defer t.accept.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.accept.Add(1)
+		go func() {
+			defer t.accept.Done()
+			t.readLoop(p, conn)
+		}()
+	}
+}
+
+// readLoop decodes frames from one inbound connection and dispatches
+// them to p's handler.
+func (t *TCPNet) readLoop(p int, conn net.Conn) {
+	defer conn.Close()
+	r := newByteReader(conn)
+	for {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return
+		}
+		if len(buf) < 1 {
+			return
+		}
+		from := int(buf[0])
+		u, _, err := protocol.DecodeUpdate(buf[1:])
+		if err != nil {
+			if !t.closed.Load() {
+				panic(fmt.Sprintf("transport: decode frame for p%d: %v", p+1, err))
+			}
+			return
+		}
+		hp := t.handlers[p].Load()
+		if hp == nil {
+			panic(fmt.Sprintf("transport: no handler registered for process %d", p))
+		}
+		(*hp)(Message{From: from, To: p, Update: u})
+	}
+}
+
+// Flush implements Transport. TCP sends are synchronous on the sender
+// side; Flush waits for sends in progress. Delivery on the receiver
+// side is confirmed by the callers' own accounting (core.Quiesce), as
+// with any real network.
+func (t *TCPNet) Flush() {
+	t.inflight.Wait()
+}
+
+// Close implements Transport.
+func (t *TCPNet) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	t.inflight.Wait()
+	t.mu.Lock()
+	for _, row := range t.conns {
+		for _, c := range row {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	t.mu.Unlock()
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	t.accept.Wait()
+	return nil
+}
+
+// byteReader adapts a net.Conn to io.ByteReader for ReadUvarint while
+// keeping buffered semantics minimal (one byte at a time is fine for
+// the tiny frame headers; payloads use ReadFull on the same reader).
+type byteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+// ReadByte implements io.ByteReader.
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}
+
+// Read implements io.Reader.
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }

@@ -1,0 +1,216 @@
+// Package transport implements the in-process message substrate of the
+// live runtime: reliable point-to-point links between goroutine-hosted
+// processes, with configurable delay and optional per-link FIFO
+// ordering.
+//
+// The paper's system model needs exactly two properties, both provided
+// here: every message sent is eventually delivered exactly once, and no
+// spurious message is ever delivered. Ordering is deliberately NOT
+// guaranteed in reorder mode — out-of-order arrival is what exercises
+// the protocols' buffering logic.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Message is the wire unit: one protocol update in transit.
+type Message struct {
+	From, To int
+	Update   protocol.Update
+}
+
+// Handler consumes delivered messages at a destination process. It is
+// invoked from transport goroutines; implementations synchronize
+// internally.
+type Handler func(Message)
+
+// Transport moves messages between processes.
+type Transport interface {
+	// Register installs the delivery handler for process id. All
+	// processes must be registered before the first Send.
+	Register(id int, h Handler)
+	// Send enqueues m for asynchronous delivery. It never blocks the
+	// caller on network progress. Sends after Close are dropped.
+	Send(m Message)
+	// Flush blocks until every message accepted so far has been
+	// delivered.
+	Flush()
+	// Close tears the transport down, waiting for in-flight deliveries.
+	Close() error
+}
+
+// Config parameterizes a Net.
+type Config struct {
+	// Procs is the number of processes.
+	Procs int
+	// MinDelay and MaxDelay bound the uniform artificial delay applied
+	// to each message. Zero values mean immediate delivery.
+	MinDelay, MaxDelay time.Duration
+	// FIFO preserves per-link send order (TCP-like). When false each
+	// message delays independently and links may reorder.
+	FIFO bool
+	// Seed drives delay sampling.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("transport: Procs = %d", c.Procs)
+	}
+	if c.MinDelay < 0 || c.MaxDelay < c.MinDelay {
+		return fmt.Errorf("transport: delay range [%v, %v]", c.MinDelay, c.MaxDelay)
+	}
+	return nil
+}
+
+// Net is the standard Transport implementation.
+type Net struct {
+	cfg      Config
+	handlers []atomic.Pointer[Handler]
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	links  [][]chan Message // FIFO mode: links[from][to]
+	wg     sync.WaitGroup   // link goroutines (FIFO) or per-message (reorder)
+	closed atomic.Bool
+
+	inflight sync.WaitGroup // every accepted, not-yet-delivered message
+}
+
+// ErrClosed is returned by Close when called twice.
+var ErrClosed = errors.New("transport: already closed")
+
+// New constructs a started Net.
+func New(cfg Config) (*Net, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Net{
+		cfg:      cfg,
+		handlers: make([]atomic.Pointer[Handler], cfg.Procs),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.FIFO {
+		n.links = make([][]chan Message, cfg.Procs)
+		for i := range n.links {
+			n.links[i] = make([]chan Message, cfg.Procs)
+			for j := range n.links[i] {
+				if i == j {
+					continue
+				}
+				ch := make(chan Message, 1024)
+				n.links[i][j] = ch
+				n.wg.Add(1)
+				go n.runLink(ch)
+			}
+		}
+	}
+	return n, nil
+}
+
+// Register implements Transport.
+func (n *Net) Register(id int, h Handler) {
+	if id < 0 || id >= n.cfg.Procs {
+		panic(fmt.Sprintf("transport: Register(%d) out of range", id))
+	}
+	n.handlers[id].Store(&h)
+}
+
+// Send implements Transport.
+func (n *Net) Send(m Message) {
+	if n.closed.Load() {
+		return
+	}
+	if m.To < 0 || m.To >= n.cfg.Procs || m.From < 0 || m.From >= n.cfg.Procs || m.To == m.From {
+		panic(fmt.Sprintf("transport: bad route %d -> %d", m.From, m.To))
+	}
+	n.inflight.Add(1)
+	if n.cfg.FIFO {
+		n.links[m.From][m.To] <- m
+		return
+	}
+	d := n.sampleDelay()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer n.inflight.Done()
+		if d > 0 {
+			time.Sleep(d)
+		}
+		n.deliver(m)
+	}()
+}
+
+// Flush implements Transport.
+func (n *Net) Flush() {
+	n.inflight.Wait()
+}
+
+// Close implements Transport.
+func (n *Net) Close() error {
+	if !n.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	if n.cfg.FIFO {
+		for _, row := range n.links {
+			for _, ch := range row {
+				if ch != nil {
+					close(ch)
+				}
+			}
+		}
+	}
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Net) runLink(ch chan Message) {
+	defer n.wg.Done()
+	for m := range ch {
+		if d := n.sampleDelay(); d > 0 {
+			time.Sleep(d)
+		}
+		n.deliver(m)
+		n.inflight.Done()
+	}
+}
+
+func (n *Net) deliver(m Message) {
+	hp := n.handlers[m.To].Load()
+	if hp == nil {
+		panic(fmt.Sprintf("transport: no handler registered for process %d", m.To))
+	}
+	(*hp)(m)
+}
+
+func (n *Net) sampleDelay() time.Duration {
+	if n.cfg.MaxDelay == 0 {
+		return 0
+	}
+	if n.cfg.MaxDelay == n.cfg.MinDelay {
+		return n.cfg.MinDelay
+	}
+	n.mu.Lock()
+	d := n.cfg.MinDelay + time.Duration(n.rng.Int63n(int64(n.cfg.MaxDelay-n.cfg.MinDelay+1)))
+	n.mu.Unlock()
+	return d
+}
+
+// Broadcast sends u from process `from` to every other process.
+func Broadcast(t Transport, procs, from int, u protocol.Update) {
+	for q := 0; q < procs; q++ {
+		if q != from {
+			t.Send(Message{From: from, To: q, Update: u})
+		}
+	}
+}

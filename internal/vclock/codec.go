@@ -1,0 +1,147 @@
+package vclock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format: uvarint dimension, then each component as uvarint.
+// Delta format: uvarint count of non-zero-delta components, then
+// (uvarint index, uvarint delta) pairs relative to a base clock.
+//
+// The codec exists so the live transport can ship Write_co vectors and
+// the trace exporter can serialize runs; it uses no reflection and
+// allocates only the destination slice.
+
+var (
+	// ErrTruncated reports a buffer that ends inside an encoded clock.
+	ErrTruncated = errors.New("vclock: truncated encoding")
+	// ErrDimension reports a decoded dimension that disagrees with the caller's.
+	ErrDimension = errors.New("vclock: dimension mismatch")
+)
+
+// AppendBinary appends the wire encoding of v to dst and returns the
+// extended slice.
+func (v VC) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	for _, x := range v {
+		dst = binary.AppendUvarint(dst, x)
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (v VC) MarshalBinary() ([]byte, error) {
+	return v.AppendBinary(make([]byte, 0, 1+2*len(v))), nil
+}
+
+// DecodeVC decodes one clock from the front of buf, returning the clock
+// and the number of bytes consumed.
+func DecodeVC(buf []byte) (VC, int, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	off := k
+	if n > uint64(len(buf)) { // cheap sanity bound: ≥1 byte per component
+		return nil, 0, fmt.Errorf("%w: dimension %d exceeds buffer", ErrTruncated, n)
+	}
+	v := make(VC, n)
+	for i := range v {
+		x, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		v[i] = x
+		off += k
+	}
+	return v, off, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *VC) UnmarshalBinary(data []byte) error {
+	d, n, err := DecodeVC(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("vclock: %d trailing bytes", len(data)-n)
+	}
+	*v = d
+	return nil
+}
+
+// AppendDelta appends a delta encoding of v relative to base. Both
+// clocks must have the same dimension and base must be ≤ v component-wise
+// (the common case on a FIFO link where clocks only grow); AppendDelta
+// panics otherwise, because emitting a wrong delta would silently corrupt
+// the receiver's clock.
+func (v VC) AppendDelta(dst []byte, base VC) []byte {
+	if len(v) != len(base) {
+		panic(fmt.Sprintf("vclock: delta dimension mismatch %d != %d", len(v), len(base)))
+	}
+	nz := 0
+	for i, x := range v {
+		if x < base[i] {
+			panic(fmt.Sprintf("vclock: delta base component %d exceeds value (%d > %d)", i, base[i], x))
+		}
+		if x != base[i] {
+			nz++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(nz))
+	for i, x := range v {
+		if d := x - base[i]; d != 0 {
+			dst = binary.AppendUvarint(dst, uint64(i))
+			dst = binary.AppendUvarint(dst, d)
+		}
+	}
+	return dst
+}
+
+// DecodeDelta decodes a delta produced by AppendDelta, applying it on
+// top of base and returning the reconstructed clock plus bytes consumed.
+func DecodeDelta(buf []byte, base VC) (VC, int, error) {
+	nz, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	off := k
+	v := base.Clone()
+	for j := uint64(0); j < nz; j++ {
+		idx, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		off += k
+		d, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		off += k
+		if idx >= uint64(len(v)) {
+			return nil, 0, fmt.Errorf("%w: delta index %d ≥ dimension %d", ErrDimension, idx, len(v))
+		}
+		v[idx] += d
+	}
+	return v, off, nil
+}
+
+// EncodedSize returns the exact wire size of v without allocating.
+func (v VC) EncodedSize() int {
+	n := uvarintLen(uint64(len(v)))
+	for _, x := range v {
+		n += uvarintLen(x)
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

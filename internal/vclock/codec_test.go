@@ -1,0 +1,176 @@
+package vclock
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripBinary(t *testing.T) {
+	cases := []VC{
+		{},
+		{0},
+		{1, 2, 3},
+		{0, 0, 0, 0},
+		{1 << 40, 127, 128, 300},
+	}
+	for _, v := range cases {
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got VC
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal %v: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+		if v.EncodedSize() != len(data) {
+			t.Fatalf("EncodedSize(%v) = %d, want %d", v, v.EncodedSize(), len(data))
+		}
+	}
+}
+
+func TestDecodeVCConsumed(t *testing.T) {
+	v := VC{5, 6, 7}
+	buf := v.AppendBinary(nil)
+	buf = append(buf, 0xAA, 0xBB) // trailing junk
+	got, n, err := DecodeVC(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatalf("decode = %v", got)
+	}
+	if n != len(buf)-2 {
+		t.Fatalf("consumed %d, want %d", n, len(buf)-2)
+	}
+}
+
+func TestUnmarshalTrailing(t *testing.T) {
+	buf := (VC{1}).AppendBinary(nil)
+	buf = append(buf, 0x00)
+	var v VC
+	if err := v.UnmarshalBinary(buf); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := (VC{1, 200, 3}).AppendBinary(nil)
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeVC(full[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeAbsurdDimension(t *testing.T) {
+	// Claim dimension 2^40 with a 6-byte buffer.
+	buf := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x40}
+	if _, _, err := DecodeVC(buf); err == nil {
+		t.Fatal("expected error on absurd dimension")
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	base := VC{3, 0, 9, 1}
+	v := VC{3, 5, 9, 4}
+	buf := v.AppendDelta(nil, base)
+	got, n, err := DecodeDelta(buf, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if !got.Equal(v) {
+		t.Fatalf("delta round trip = %v, want %v", got, v)
+	}
+	// An equal clock encodes as a single zero byte.
+	if same := base.AppendDelta(nil, base); !bytes.Equal(same, []byte{0}) {
+		t.Fatalf("identity delta = %v", same)
+	}
+}
+
+func TestDeltaPanicsOnRegression(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when base exceeds value")
+		}
+	}()
+	(VC{1, 0}).AppendDelta(nil, VC{2, 0})
+}
+
+func TestDeltaBadIndex(t *testing.T) {
+	// count=1, index=7, delta=1 against dimension-2 base.
+	buf := []byte{1, 7, 1}
+	if _, _, err := DecodeDelta(buf, VC{0, 0}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw % 9)
+		rng := rand.New(rand.NewSource(seed))
+		v := New(n)
+		for i := range v {
+			v[i] = uint64(rng.Int63n(1 << 30))
+		}
+		buf := v.AppendBinary(nil)
+		got, k, err := DecodeVC(buf)
+		return err == nil && k == len(buf) && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		base := New(n)
+		v := New(n)
+		for i := range v {
+			base[i] = uint64(rng.Intn(100))
+			v[i] = base[i] + uint64(rng.Intn(5))
+		}
+		buf := v.AppendDelta(nil, base)
+		got, k, err := DecodeDelta(buf, base)
+		return err == nil && k == len(buf) && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	x := quickVC(16, 1)
+	y := quickVC(16, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Merge(y)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	x := quickVC(16, 1)
+	y := quickVC(16, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Compare(y)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	x := quickVC(16, 1)
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = x.AppendBinary(buf[:0])
+	}
+}

@@ -1,0 +1,210 @@
+// Package vclock implements dense vector clocks and the comparison
+// lattice used throughout the causal-memory protocols.
+//
+// A vector clock VC over n processes maps process index i (0-based) to a
+// non-negative counter. The paper's Write_co vectors, the Fidge–Mattern
+// clocks of the ANBKH baseline, and the per-variable LastWriteOn vectors
+// of OptP are all values of this type.
+//
+// The ordering relations follow Section 4.3 of the paper:
+//
+//	V ≤ V' ⇔ ∀k: V[k] ≤ V'[k]
+//	V < V' ⇔ V ≤ V' ∧ ∃k: V[k] < V'[k]
+//	V ‖ V' ⇔ ¬(V < V') ∧ ¬(V' < V)
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a dense vector clock. The zero-length VC is valid and compares
+// as the bottom element against any clock of any dimension (all absent
+// components are treated as zero).
+type VC []uint64
+
+// New returns a zero clock for n processes.
+func New(n int) VC {
+	return make(VC, n)
+}
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	if v == nil {
+		return nil
+	}
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Len returns the number of components.
+func (v VC) Len() int { return len(v) }
+
+// Get returns component i, treating out-of-range components as zero.
+func (v VC) Get(i int) uint64 {
+	if i < 0 || i >= len(v) {
+		return 0
+	}
+	return v[i]
+}
+
+// Set assigns component i. It panics if i is out of range: clocks are
+// fixed-dimension in this system, and silently growing them would mask
+// configuration bugs.
+func (v VC) Set(i int, x uint64) {
+	v[i] = x
+}
+
+// Tick increments component i and returns the new value.
+func (v VC) Tick(i int) uint64 {
+	v[i]++
+	return v[i]
+}
+
+// Merge sets v to the component-wise maximum of v and o, the read-side
+// merge of OptP's read procedure (line 1 of Figure 5). The two clocks
+// must have the same dimension; Merge panics otherwise.
+func (v VC) Merge(o VC) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: merge dimension mismatch %d != %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// Max returns a fresh clock holding the component-wise maximum of a and b.
+func Max(a, b VC) VC {
+	c := a.Clone()
+	c.Merge(b)
+	return c
+}
+
+// Equal reports whether the two clocks agree on every component.
+func (v VC) Equal(o VC) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i, x := range v {
+		if x != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LessEq reports V ≤ V' (component-wise).
+func (v VC) LessEq(o VC) bool {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: compare dimension mismatch %d != %d", len(v), len(o)))
+	}
+	for i, x := range v {
+		if x > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports V < V': V ≤ V' and V ≠ V'.
+func (v VC) Less(o VC) bool {
+	return v.LessEq(o) && !v.Equal(o)
+}
+
+// Ordering is the outcome of comparing two vector clocks.
+type Ordering int
+
+// The four possible outcomes of Compare.
+const (
+	Equal Ordering = iota
+	Before
+	After
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "="
+	case Before:
+		return "<"
+	case After:
+		return ">"
+	case Concurrent:
+		return "||"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Compare classifies the pair (v, o) in the vector-clock lattice with a
+// single pass over the components.
+func (v VC) Compare(o VC) Ordering {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: compare dimension mismatch %d != %d", len(v), len(o)))
+	}
+	var less, greater bool
+	for i, x := range v {
+		switch {
+		case x < o[i]:
+			less = true
+		case x > o[i]:
+			greater = true
+		}
+		if less && greater {
+			return Concurrent
+		}
+	}
+	switch {
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Concurrent reports V ‖ V'.
+func (v VC) Concurrent(o VC) bool {
+	return v.Compare(o) == Concurrent
+}
+
+// String renders the clock as "[a b c]".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Sum returns the sum of all components. The sum of a Write_co vector is
+// the number of writes in the operation's causal past plus itself on the
+// issuing component, a useful cheap progress metric.
+func (v VC) Sum() uint64 {
+	var s uint64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// IsZero reports whether every component is zero.
+func (v VC) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,247 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(5)
+	if v.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", v.Len())
+	}
+	if !v.IsZero() {
+		t.Fatalf("New(5) not zero: %v", v)
+	}
+	if v.Sum() != 0 {
+		t.Fatalf("Sum = %d, want 0", v.Sum())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := VC{1, 2, 3}
+	c := v.Clone()
+	c.Tick(0)
+	if v[0] != 1 {
+		t.Fatalf("Clone aliases original: %v", v)
+	}
+	if c[0] != 2 {
+		t.Fatalf("Tick on clone = %d, want 2", c[0])
+	}
+	var nilVC VC
+	if nilVC.Clone() != nil {
+		t.Fatal("Clone(nil) should be nil")
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	v := VC{7}
+	if v.Get(0) != 7 {
+		t.Fatalf("Get(0) = %d", v.Get(0))
+	}
+	if v.Get(1) != 0 || v.Get(-1) != 0 {
+		t.Fatal("out-of-range Get should be 0")
+	}
+}
+
+func TestTick(t *testing.T) {
+	v := New(3)
+	if got := v.Tick(1); got != 1 {
+		t.Fatalf("Tick = %d, want 1", got)
+	}
+	if got := v.Tick(1); got != 2 {
+		t.Fatalf("Tick = %d, want 2", got)
+	}
+	if !v.Equal(VC{0, 2, 0}) {
+		t.Fatalf("after ticks: %v", v)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := VC{1, 5, 0}
+	b := VC{3, 2, 0}
+	a.Merge(b)
+	if !a.Equal(VC{3, 5, 0}) {
+		t.Fatalf("Merge = %v", a)
+	}
+	if !b.Equal(VC{3, 2, 0}) {
+		t.Fatalf("Merge mutated argument: %v", b)
+	}
+}
+
+func TestMergeDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	a := VC{1}
+	a.Merge(VC{1, 2})
+}
+
+func TestMaxFresh(t *testing.T) {
+	a := VC{1, 2}
+	b := VC{2, 1}
+	c := Max(a, b)
+	if !c.Equal(VC{2, 2}) {
+		t.Fatalf("Max = %v", c)
+	}
+	c.Tick(0)
+	if a[0] != 1 || b[0] != 2 {
+		t.Fatal("Max aliases an input")
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want Ordering
+	}{
+		{VC{0, 0}, VC{0, 0}, Equal},
+		{VC{1, 0}, VC{1, 0}, Equal},
+		{VC{1, 0}, VC{1, 1}, Before},
+		{VC{1, 1}, VC{1, 0}, After},
+		{VC{1, 0}, VC{0, 1}, Concurrent},
+		{VC{2, 1, 0}, VC{1, 2, 0}, Concurrent},
+		{VC{1, 1, 1}, VC{2, 2, 2}, Before},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(6)
+		a, b := New(n), New(n)
+		for j := 0; j < n; j++ {
+			a[j] = uint64(rng.Intn(4))
+			b[j] = uint64(rng.Intn(4))
+		}
+		ord := a.Compare(b)
+		switch {
+		case a.Equal(b):
+			if ord != Equal {
+				t.Fatalf("%v vs %v: ord %v, want Equal", a, b, ord)
+			}
+		case a.Less(b):
+			if ord != Before {
+				t.Fatalf("%v vs %v: ord %v, want Before", a, b, ord)
+			}
+		case b.Less(a):
+			if ord != After {
+				t.Fatalf("%v vs %v: ord %v, want After", a, b, ord)
+			}
+		default:
+			if ord != Concurrent || !a.Concurrent(b) {
+				t.Fatalf("%v vs %v: ord %v, want Concurrent", a, b, ord)
+			}
+		}
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for ord, want := range map[Ordering]string{Equal: "=", Before: "<", After: ">", Concurrent: "||"} {
+		if ord.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(ord), ord.String(), want)
+		}
+	}
+	if got := Ordering(99).String(); got != "Ordering(99)" {
+		t.Errorf("unknown ordering String = %q", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 0, 12}).String(); got != "[1 0 12]" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (VC{}).String(); got != "[]" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// quickVC adapts random byte seeds to small clocks for testing/quick.
+func quickVC(n int, seed int64) VC {
+	rng := rand.New(rand.NewSource(seed))
+	v := New(n)
+	for i := range v {
+		v[i] = uint64(rng.Intn(8))
+	}
+	return v
+}
+
+// Property: Merge is the least upper bound — it dominates both inputs
+// and is dominated by every common upper bound candidate we can build.
+func TestQuickMergeIsLUB(t *testing.T) {
+	f := func(sa, sb int64) bool {
+		a, b := quickVC(4, sa), quickVC(4, sb)
+		m := Max(a, b)
+		if !a.LessEq(m) || !b.LessEq(m) {
+			return false
+		}
+		// Any upper bound u of {a,b} must dominate m.
+		u := Max(a, b)
+		u.Tick(0)
+		return m.LessEq(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is antisymmetric — swapping arguments maps
+// Before↔After and fixes Equal/Concurrent.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(sa, sb int64) bool {
+		a, b := quickVC(5, sa), quickVC(5, sb)
+		x, y := a.Compare(b), b.Compare(a)
+		switch x {
+		case Equal:
+			return y == Equal
+		case Before:
+			return y == After
+		case After:
+			return y == Before
+		default:
+			return y == Concurrent
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: < is transitive.
+func TestQuickLessTransitive(t *testing.T) {
+	f := func(sa, sb, sc int64) bool {
+		a, b, c := quickVC(4, sa), quickVC(4, sb), quickVC(4, sc)
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge is commutative, associative, idempotent.
+func TestQuickMergeAlgebra(t *testing.T) {
+	f := func(sa, sb, sc int64) bool {
+		a, b, c := quickVC(4, sa), quickVC(4, sb), quickVC(4, sc)
+		if !Max(a, b).Equal(Max(b, a)) {
+			return false
+		}
+		if !Max(Max(a, b), c).Equal(Max(a, Max(b, c))) {
+			return false
+		}
+		return Max(a, a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

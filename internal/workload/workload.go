@@ -1,0 +1,163 @@
+// Package workload generates the seeded synthetic workloads of the
+// experiment sweeps (DESIGN.md E1–E8): per-process operation scripts
+// with controllable write ratio, think time, and read locality, plus
+// the adversarial patterns that maximize false causality.
+//
+// Every write carries a globally unique value encoding its WriteID, so
+// reconstructed histories always have a well-defined read-from
+// relation.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config parameterizes a random workload.
+type Config struct {
+	// Procs and Vars size the system.
+	Procs, Vars int
+	// OpsPerProc is the number of read/write operations per process.
+	OpsPerProc int
+	// WriteRatio is the probability an operation is a write (0..1).
+	WriteRatio float64
+	// ThinkMin/ThinkMax bound the uniform think time between
+	// operations, in virtual nanoseconds.
+	ThinkMin, ThinkMax int64
+	// Hot is the probability an operation targets variable 0 (a
+	// hotspot); the rest spread uniformly. 0 means uniform access.
+	Hot float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Procs < 1:
+		return fmt.Errorf("workload: Procs = %d", c.Procs)
+	case c.Vars < 1:
+		return fmt.Errorf("workload: Vars = %d", c.Vars)
+	case c.OpsPerProc < 0:
+		return fmt.Errorf("workload: OpsPerProc = %d", c.OpsPerProc)
+	case c.WriteRatio < 0 || c.WriteRatio > 1:
+		return fmt.Errorf("workload: WriteRatio = %f", c.WriteRatio)
+	case c.Hot < 0 || c.Hot > 1:
+		return fmt.Errorf("workload: Hot = %f", c.Hot)
+	case c.ThinkMin < 0 || c.ThinkMax < c.ThinkMin:
+		return fmt.Errorf("workload: think time [%d, %d]", c.ThinkMin, c.ThinkMax)
+	}
+	return nil
+}
+
+// Value encodes the globally unique payload of process p's k-th write
+// (k starting at 1).
+func Value(p, k int) int64 {
+	return int64(p)*1_000_000 + int64(k)
+}
+
+// Scripts generates one script per process.
+func Scripts(cfg Config) ([]sim.Script, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	scripts := make([]sim.Script, cfg.Procs)
+	for p := 0; p < cfg.Procs; p++ {
+		prng := rng.Fork()
+		s := sim.NewScript()
+		writes := 0
+		for op := 0; op < cfg.OpsPerProc; op++ {
+			if cfg.ThinkMax > 0 {
+				d := cfg.ThinkMin
+				if cfg.ThinkMax > cfg.ThinkMin {
+					d += prng.Int63n(cfg.ThinkMax - cfg.ThinkMin + 1)
+				}
+				if d > 0 {
+					s = s.Sleep(d)
+				}
+			}
+			x := cfg.pickVar(prng)
+			if prng.Float64() < cfg.WriteRatio {
+				writes++
+				s = s.Write(x, Value(p, writes))
+			} else {
+				s = s.Read(x)
+			}
+		}
+		scripts[p] = s
+	}
+	return scripts, nil
+}
+
+func (c Config) pickVar(rng *sim.RNG) int {
+	if c.Vars == 1 {
+		return 0
+	}
+	if c.Hot > 0 && rng.Float64() < c.Hot {
+		return 0
+	}
+	return rng.Intn(c.Vars)
+}
+
+// FalseCausality generates the adversarial pattern of Figure 3 at
+// scale: each process owns a private variable it writes in bursts, and
+// occasionally reads a neighbour's variable before writing — so →co
+// stays sparse while the message pattern is dense. ANBKH's
+// happened-before enabling sets then vastly exceed X_co-safe.
+//
+// Layout: variable p is owned by process p (requires Vars ≥ Procs; use
+// NewFalseCausality to build a valid config).
+type FalseCausality struct {
+	Procs     int
+	Bursts    int   // write bursts per process
+	BurstLen  int   // writes per burst
+	ReadEvery int   // read a neighbour's variable every k-th burst
+	Think     int64 // pause between bursts
+	Seed      uint64
+}
+
+// NewFalseCausality returns a validated default-shaped config.
+func NewFalseCausality(procs int, seed uint64) FalseCausality {
+	return FalseCausality{
+		Procs: procs, Bursts: 6, BurstLen: 3, ReadEvery: 2, Think: 40, Seed: seed,
+	}
+}
+
+// Scripts generates the adversarial scripts; the system needs
+// Vars = Procs.
+func (f FalseCausality) Scripts() ([]sim.Script, error) {
+	if f.Procs < 2 {
+		return nil, fmt.Errorf("workload: FalseCausality needs ≥ 2 processes, got %d", f.Procs)
+	}
+	if f.Bursts < 1 || f.BurstLen < 1 || f.ReadEvery < 1 {
+		return nil, fmt.Errorf("workload: FalseCausality shape %+v invalid", f)
+	}
+	rng := sim.NewRNG(f.Seed)
+	scripts := make([]sim.Script, f.Procs)
+	for p := 0; p < f.Procs; p++ {
+		prng := rng.Fork()
+		s := sim.NewScript()
+		writes := 0
+		for b := 0; b < f.Bursts; b++ {
+			if f.Think > 0 {
+				s = s.Sleep(f.Think/2 + prng.Int63n(f.Think))
+			}
+			if b%f.ReadEvery == 1 {
+				// Read a random neighbour's variable: the only source
+				// of cross-process →co edges.
+				s = s.Read((p + 1 + prng.Intn(f.Procs-1)) % f.Procs)
+			}
+			for i := 0; i < f.BurstLen; i++ {
+				writes++
+				s = s.Write(p, Value(p, writes))
+			}
+		}
+		scripts[p] = s
+	}
+	return scripts, nil
+}
+
+// Vars returns the variable count the FalseCausality workload needs.
+func (f FalseCausality) Vars() int { return f.Procs }

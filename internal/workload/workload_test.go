@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+func TestValidate(t *testing.T) {
+	good := Config{Procs: 2, Vars: 1, OpsPerProc: 5, WriteRatio: 0.5, ThinkMin: 1, ThinkMax: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Procs: 0, Vars: 1},
+		{Procs: 1, Vars: 0},
+		{Procs: 1, Vars: 1, OpsPerProc: -1},
+		{Procs: 1, Vars: 1, WriteRatio: 1.5},
+		{Procs: 1, Vars: 1, Hot: -0.1},
+		{Procs: 1, Vars: 1, ThinkMin: 5, ThinkMax: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := Scripts(bad[0]); err == nil {
+		t.Error("Scripts accepted invalid config")
+	}
+}
+
+func TestValueUniqueness(t *testing.T) {
+	seen := map[int64]bool{}
+	for p := 0; p < 5; p++ {
+		for k := 1; k <= 100; k++ {
+			v := Value(p, k)
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestScriptsShape(t *testing.T) {
+	cfg := Config{Procs: 3, Vars: 2, OpsPerProc: 20, WriteRatio: 0.5, ThinkMin: 1, ThinkMax: 10, Seed: 1}
+	scripts, err := Scripts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) != 3 {
+		t.Fatalf("scripts = %d", len(scripts))
+	}
+	for p, s := range scripts {
+		ops := 0
+		for _, step := range s {
+			switch step.(type) {
+			case sim.WriteStep, sim.ReadStep:
+				ops++
+			case sim.AwaitStep:
+				t.Fatalf("p%d: random workload must not contain awaits", p+1)
+			}
+		}
+		if ops != cfg.OpsPerProc {
+			t.Fatalf("p%d has %d ops", p+1, ops)
+		}
+	}
+}
+
+func TestScriptsDeterministic(t *testing.T) {
+	cfg := Config{Procs: 2, Vars: 2, OpsPerProc: 10, WriteRatio: 0.7, ThinkMin: 1, ThinkMax: 5, Seed: 9}
+	a, _ := Scripts(cfg)
+	b, _ := Scripts(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different scripts")
+	}
+	cfg.Seed = 10
+	c, _ := Scripts(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+}
+
+func TestWriteRatioExtremes(t *testing.T) {
+	all, _ := Scripts(Config{Procs: 1, Vars: 1, OpsPerProc: 30, WriteRatio: 1, Seed: 3})
+	for _, step := range all[0] {
+		if _, ok := step.(sim.ReadStep); ok {
+			t.Fatal("WriteRatio=1 produced a read")
+		}
+	}
+	none, _ := Scripts(Config{Procs: 1, Vars: 1, OpsPerProc: 30, WriteRatio: 0, Seed: 3})
+	for _, step := range none[0] {
+		if _, ok := step.(sim.WriteStep); ok {
+			t.Fatal("WriteRatio=0 produced a write")
+		}
+	}
+}
+
+func TestHotSpotSkew(t *testing.T) {
+	cfg := Config{Procs: 1, Vars: 10, OpsPerProc: 400, WriteRatio: 1, Hot: 0.9, Seed: 5}
+	scripts, _ := Scripts(cfg)
+	hot := 0
+	for _, step := range scripts[0] {
+		if w, ok := step.(sim.WriteStep); ok && w.Var == 0 {
+			hot++
+		}
+	}
+	if hot < 300 {
+		t.Fatalf("hot accesses = %d of 400, want skew toward var 0", hot)
+	}
+}
+
+// Workload runs must produce valid, causally consistent histories under
+// OptP.
+func TestWorkloadRunsClean(t *testing.T) {
+	cfg := Config{Procs: 3, Vars: 3, OpsPerProc: 25, WriteRatio: 0.5, ThinkMin: 1, ThinkMax: 30, Hot: 0.3, Seed: 17}
+	scripts, err := Scripts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Procs: cfg.Procs, Vars: cfg.Vars, Protocol: protocol.OptP,
+		Latency: sim.NewUniformLatency(1, 100, 3),
+	}, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := checker.Audit(res.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe() || !rep.CausallyConsistent() || !rep.InP() || !rep.WriteDelayOptimal() {
+		t.Fatalf("audit failed: %+v", rep)
+	}
+}
+
+func TestFalseCausalityShape(t *testing.T) {
+	f := NewFalseCausality(4, 1)
+	if f.Vars() != 4 {
+		t.Fatalf("Vars = %d", f.Vars())
+	}
+	scripts, err := f.Scripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) != 4 {
+		t.Fatalf("scripts = %d", len(scripts))
+	}
+	// Each process writes only its own variable.
+	for p, s := range scripts {
+		for _, step := range s {
+			if w, ok := step.(sim.WriteStep); ok && w.Var != p {
+				t.Fatalf("p%d writes x%d", p+1, w.Var+1)
+			}
+		}
+	}
+}
+
+func TestFalseCausalityValidation(t *testing.T) {
+	if _, err := (FalseCausality{Procs: 1}).Scripts(); err == nil {
+		t.Fatal("accepted 1 process")
+	}
+	if _, err := (FalseCausality{Procs: 3, Bursts: 0, BurstLen: 1, ReadEvery: 1}).Scripts(); err == nil {
+		t.Fatal("accepted 0 bursts")
+	}
+}
+
+// The adversarial workload actually separates the protocols: ANBKH
+// suffers strictly more delays than OptP, and OptP stays optimal.
+func TestFalseCausalitySeparates(t *testing.T) {
+	f := NewFalseCausality(4, 7)
+	scripts, err := f.Scripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := map[protocol.Kind]int{}
+	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH} {
+		// FIFO links remove sender-order gaps, isolating false
+		// causality: OptP should then delay (almost) nothing while
+		// ANBKH still blocks on cross-sender happened-before edges.
+		res, err := sim.Run(sim.Config{
+			Procs: f.Procs, Vars: f.Vars(), Protocol: kind,
+			Latency: sim.NewUniformLatency(1, 300, 11), FIFO: true,
+		}, scripts)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		rep, err := checker.Audit(res.Log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == protocol.OptP && !rep.WriteDelayOptimal() {
+			t.Fatalf("OptP not optimal: %+v", rep.Delays)
+		}
+		delays[kind] = res.Log.DelayCount()
+	}
+	if delays[protocol.ANBKH] <= delays[protocol.OptP] {
+		t.Fatalf("ANBKH delays (%d) not greater than OptP (%d)",
+			delays[protocol.ANBKH], delays[protocol.OptP])
+	}
+}
