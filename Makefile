@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check build test vet race bench fuzz clean
+
+## check: the full gate — vet, build, tests, and a short race pass.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detector pass over the library; short mode keeps the
+## soak and wide-sweep tests out of the hot path.
+race:
+	$(GO) test -race -short ./internal/...
+
+## bench: the experiment sweeps as runnable benchmarks.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/...
+
+## fuzz: a brief fuzzing burst on the scenario parser (corpus seeds
+## under internal/scenario/testdata replay in plain `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/scenario
+
+clean:
+	$(GO) clean ./...

@@ -6,8 +6,10 @@
 //	dsmbench                    # run every experiment
 //	dsmbench -exp jitter        # one of: jitter, nprocs, mix,
 //	                            # falsecausality, buffer, throughput,
-//	                            # ws, ablation
+//	                            # ws, ablation, metadata, twosite,
+//	                            # visibility, chaos
 //	dsmbench -procs 4 -ops 500  # sizing for -exp throughput
+//	dsmbench -exp chaos         # live OptP over lossy/duplicating links
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 		"metadata":       experiments.MetadataOverhead,
 		"twosite":        experiments.TwoSiteTopology,
 		"visibility":     experiments.VisibilityLatency,
+		"chaos":          experiments.Chaos,
 	}
 
 	switch *exp {

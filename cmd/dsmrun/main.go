@@ -8,6 +8,8 @@
 //
 //	dsmrun -protocol OptP -procs 4 -vars 4 -ops 100 -jitter 2ms
 //	dsmrun -protocol ANBKH -trace csv > run.csv
+//	dsmrun -loss 0.2 -dup 0.1                      # chaos stack
+//	dsmrun -partition 5ms-25ms:0,1/2,3             # timed split-brain
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,17 +41,42 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload and transport seed")
 	traceOut := flag.String("trace", "", "dump the event trace: csv, json, or diagram")
 	useTCP := flag.Bool("tcp", false, "run over real loopback TCP sockets instead of channels")
+	loss := flag.Float64("loss", 0, "chaos: message loss probability [0,1)")
+	dup := flag.Float64("dup", 0, "chaos: message duplication probability [0,1]")
+	reorder := flag.Float64("reorder", 0, "chaos: reorder-burst probability [0,1]")
+	reorderDelay := flag.Duration("reorder-delay", 0, "chaos: hold-back for burst-delayed messages (default 2ms)")
+	partition := flag.String("partition", "", "chaos: timed link cut, e.g. 5ms-25ms:0,1/2,3")
+	rto := flag.Duration("rto", 0, "reliability: initial retransmit timeout (default 2×jitter+1ms)")
+	backoffMax := flag.Duration("backoff-max", 0, "reliability: retransmission backoff cap (default 20×rto)")
 	flag.Parse()
 
 	kind, err := protocol.ParseKind(*proto)
 	if err != nil {
 		fatal(err)
 	}
+	chaos := transport.ChaosConfig{
+		LossRate: *loss, DupRate: *dup,
+		ReorderRate: *reorder, ReorderDelay: *reorderDelay,
+		Seed: *seed,
+	}
+	if *partition != "" {
+		p, err := parsePartition(*partition)
+		if err != nil {
+			fatal(err)
+		}
+		chaos.Partitions = []transport.Partition{p}
+	}
 	cfg := core.Config{
 		Processes: *procs, Variables: *vars, Protocol: kind,
 		MaxDelay: *jitter, FIFO: *fifo, Seed: *seed,
+		Chaos:             chaos,
+		RetransmitTimeout: *rto,
+		BackoffMax:        *backoffMax,
 	}
 	if *useTCP {
+		if chaos.Enabled() {
+			fatal(fmt.Errorf("chaos flags apply to the built-in channel transport, not -tcp"))
+		}
 		tn, err := transport.NewTCP(*procs)
 		if err != nil {
 			fatal(err)
@@ -118,8 +147,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("audit: safe=%v causally-consistent=%v in-P=%v\n",
-		rep.Safe(), rep.CausallyConsistent(), rep.InP())
+	fmt.Printf("audit: safe=%v causally-consistent=%v in-P=%v exactly-once=%v\n",
+		rep.Safe(), rep.CausallyConsistent(), rep.InP(), rep.ExactlyOnce())
 	fmt.Printf("delays: %d necessary, %d unnecessary (write-delay optimal: %v)\n",
 		rep.NecessaryDelays, rep.UnnecessaryDelays, rep.WriteDelayOptimal())
 	if n := len(rep.SafetyViolations); n > 0 {
@@ -136,6 +165,57 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	if n := len(rep.DuplicateApplies); n > 0 {
+		fmt.Printf("DUPLICATE APPLIES (%d):\n", n)
+		for _, v := range rep.DuplicateApplies {
+			fmt.Println("  ", v)
+		}
+		os.Exit(2)
+	}
+}
+
+// parsePartition parses "start-end:a,b/c,d" into a timed link cut
+// between process groups {a,b} and {c,d}.
+func parsePartition(s string) (transport.Partition, error) {
+	var p transport.Partition
+	window, groups, ok := strings.Cut(s, ":")
+	if !ok {
+		return p, fmt.Errorf("partition %q: want start-end:group/group", s)
+	}
+	startS, endS, ok := strings.Cut(window, "-")
+	if !ok {
+		return p, fmt.Errorf("partition window %q: want start-end", window)
+	}
+	var err error
+	if p.Start, err = time.ParseDuration(startS); err != nil {
+		return p, fmt.Errorf("partition start: %w", err)
+	}
+	if p.End, err = time.ParseDuration(endS); err != nil {
+		return p, fmt.Errorf("partition end: %w", err)
+	}
+	aS, bS, ok := strings.Cut(groups, "/")
+	if !ok {
+		return p, fmt.Errorf("partition groups %q: want group/group", groups)
+	}
+	if p.A, err = parseProcs(aS); err != nil {
+		return p, err
+	}
+	if p.B, err = parseProcs(bS); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("partition group %q: %w", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

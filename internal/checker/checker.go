@@ -57,6 +57,23 @@ func (m MissingApply) String() string {
 	return fmt.Sprintf("%v never applied at p%d", m.Write, m.Proc+1)
 }
 
+// DuplicateApply reports a write applied (or logically applied) more
+// than once at a process — a transport-level duplicate that leaked past
+// the reliability sublayer's dedup into the protocol. A correct chaos
+// stack never produces one: duplicated frames must die at the receiver
+// as DupDiscard events, not reach Apply.
+type DuplicateApply struct {
+	Proc  int
+	Write history.WriteID
+	// Times is the number of applies observed (≥ 2).
+	Times int
+}
+
+// String implements fmt.Stringer.
+func (d DuplicateApply) String() string {
+	return fmt.Sprintf("%v applied %d times at p%d", d.Write, d.Times, d.Proc+1)
+}
+
 // ClassifiedDelay is a write delay with its necessity verdict.
 type ClassifiedDelay struct {
 	trace.Delay
@@ -76,6 +93,7 @@ type Report struct {
 	SafetyViolations   []SafetyViolation
 	LegalityViolations []history.Violation
 	NotApplied         []MissingApply
+	DuplicateApplies   []DuplicateApply
 
 	Delays            []ClassifiedDelay
 	NecessaryDelays   int
@@ -98,11 +116,18 @@ func (r *Report) InP() bool { return len(r.NotApplied) == 0 }
 // run exhibits no unnecessary delay.
 func (r *Report) WriteDelayOptimal() bool { return r.UnnecessaryDelays == 0 }
 
+// ExactlyOnce reports the reliable-channel contract the protocols
+// assume: every write's update was applied at most once at every
+// process (no duplicate leaked past transport dedup). Combined with
+// InP (applied at least once everywhere) this is exactly-once
+// application — the property a chaos run must preserve.
+func (r *Report) ExactlyOnce() bool { return len(r.DuplicateApplies) == 0 }
+
 // String renders a one-paragraph audit summary.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"audit: safe=%v consistent=%v in-P=%v delays=%d (necessary=%d unnecessary=%d) discards=%d",
-		r.Safe(), r.CausallyConsistent(), r.InP(),
+		"audit: safe=%v consistent=%v in-P=%v exactly-once=%v delays=%d (necessary=%d unnecessary=%d) discards=%d",
+		r.Safe(), r.CausallyConsistent(), r.InP(), r.ExactlyOnce(),
 		len(r.Delays), r.NecessaryDelays, r.UnnecessaryDelays, r.Discards)
 }
 
@@ -148,14 +173,21 @@ func (r *Report) auditApplies(log *trace.Log) {
 	for p := 0; p < log.NumProcs; p++ {
 		order := log.LogicallyAppliedAt(p)
 		pos := make(map[history.WriteID]int, len(order))
+		times := make(map[history.WriteID]int, len(order))
 		for i, id := range order {
-			pos[id] = i + 1 // 1-based; 0 means absent
+			if pos[id] == 0 {
+				pos[id] = i + 1 // 1-based; 0 means absent
+			}
+			times[id]++
 		}
 		for _, id := range ids {
 			if pos[id] == 0 {
 				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id})
 			} else if discarded[p][id] {
 				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id, Logical: true})
+			}
+			if times[id] > 1 {
+				r.DuplicateApplies = append(r.DuplicateApplies, DuplicateApply{Proc: p, Write: id, Times: times[id]})
 			}
 		}
 		// Safety is about relative order: two →co-ordered writes both

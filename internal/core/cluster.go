@@ -51,23 +51,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	tr := cfg.Transport
-	if tr == nil {
-		var err error
-		tr, err = transport.New(transport.Config{
-			Procs:    cfg.Processes,
-			MinDelay: cfg.MinDelay,
-			MaxDelay: cfg.MaxDelay,
-			FIFO:     cfg.FIFO,
-			Seed:     cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
 	c := &Cluster{
 		cfg:          cfg,
-		tr:           tr,
 		start:        time.Now(),
 		log:          trace.NewLog(cfg.Processes, cfg.Variables),
 		issuedBy:     make([]int, cfg.Processes),
@@ -76,6 +61,38 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		unsentBy:     make([]int, cfg.Processes),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	tr := cfg.Transport
+	if tr == nil {
+		netCfg := transport.Config{
+			Procs:    cfg.Processes,
+			MinDelay: cfg.MinDelay,
+			MaxDelay: cfg.MaxDelay,
+			FIFO:     cfg.FIFO,
+			Seed:     cfg.Seed,
+		}
+		// An RTO below the data+ack round trip floods the links with
+		// spurious retransmissions (dedup absorbs them, but they waste
+		// bandwidth and pollute the stats), so default above the worst
+		// jittered round trip.
+		rto := cfg.RetransmitTimeout
+		if rto == 0 {
+			rto = 2*cfg.MaxDelay + time.Millisecond
+		}
+		var err error
+		if cfg.Chaos.Enabled() {
+			tr, err = transport.NewFaulty(netCfg, cfg.Chaos, transport.ReliableConfig{
+				RetransmitTimeout: rto,
+				BackoffMax:        cfg.BackoffMax,
+				Seed:              cfg.Seed,
+			}, c.noteNetEvent)
+		} else {
+			tr, err = transport.New(netCfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.tr = tr
 	for p := 0; p < cfg.Processes; p++ {
 		r := protocol.New(cfg.Protocol, p, cfg.Processes, cfg.Variables)
 		n := &Node{c: c, id: p, replica: r}
@@ -132,6 +149,31 @@ func (c *Cluster) appendEvent(e trace.Event) {
 		}
 	}
 	c.cond.Broadcast()
+}
+
+// noteNetEvent records chaos-stack occurrences in the trace. Frame
+// fates never feed Quiesce accounting — the reliability sublayer
+// guarantees the protocol-level events come out exactly as on a
+// fault-free transport.
+func (c *Cluster) noteNetEvent(e transport.NetEvent) {
+	var kind trace.EventKind
+	proc := e.From
+	val := e.Msg.Update.Val
+	switch e.Kind {
+	case transport.EvDrop:
+		kind = trace.NetDrop
+	case transport.EvRetransmit:
+		kind = trace.Retransmit
+		val = int64(e.Attempts)
+	case transport.EvDupDiscard:
+		kind, proc = trace.DupDiscard, e.To
+	default:
+		return // sender-side duplicates surface as receiver DupDiscards
+	}
+	c.appendEvent(trace.Event{
+		Kind: kind, Proc: proc, Time: c.now(),
+		Write: e.Msg.Update.ID, Var: e.Msg.Update.Var, Val: val,
+	})
 }
 
 // quiescedLocked reports whether every propagated write has been

@@ -45,6 +45,23 @@ type Config struct {
 	// Seed drives the built-in transport's delay sampling.
 	Seed int64
 
+	// Chaos configures fault injection (message loss, duplication,
+	// reorder bursts, timed link partitions) on the built-in transport.
+	// When any fault is enabled the cluster assembles the full chaos
+	// stack — jittered links under fault injection under the
+	// reliability sublayer — so protocol replicas still observe
+	// exactly-once delivery, and the trace gains NetDrop / Retransmit /
+	// DupDiscard events. Ignored when Transport is set.
+	Chaos transport.ChaosConfig
+	// RetransmitTimeout is the reliability sublayer's initial ack
+	// deadline; 0 defaults to 2×MaxDelay + 1ms — comfortably above the
+	// data+ack round trip, so a fault-free frame is rarely re-sent.
+	// Only meaningful with Chaos enabled.
+	RetransmitTimeout time.Duration
+	// BackoffMax caps the sublayer's exponential retransmission backoff
+	// (0 defaults to 20× RetransmitTimeout).
+	BackoffMax time.Duration
+
 	// Transport optionally replaces the built-in transport. The Cluster
 	// takes ownership and closes it.
 	Transport transport.Transport
@@ -67,6 +84,12 @@ func (c Config) Validate() error {
 	}
 	if c.TokenInterval < 0 {
 		return fmt.Errorf("core: TokenInterval = %v", c.TokenInterval)
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.RetransmitTimeout < 0 || c.BackoffMax < 0 {
+		return fmt.Errorf("core: retransmit timing (%v, %v)", c.RetransmitTimeout, c.BackoffMax)
 	}
 	return nil
 }

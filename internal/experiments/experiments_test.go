@@ -59,6 +59,9 @@ func TestJitterShape(t *testing.T) {
 }
 
 func TestProcCountShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24-process sweep dominates the short race job")
+	}
 	r, err := ProcCount()
 	if err != nil {
 		t.Fatal(err)

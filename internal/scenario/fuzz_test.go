@@ -23,6 +23,15 @@ func FuzzParse(f *testing.F) {
 		"p3: w(x)1", // gap: invalid
 		"p1: w(x)⊥",
 		strings.Repeat("p1: w(x)1\n", 3),
+		// Chaos-annotated scenarios: the `# chaos:` comment records the
+		// fault schedule a live run would inject (the parser strips
+		// comments, so these exercise comment handling plus histories
+		// shaped like fault traces). Committed copies live under
+		// testdata/fuzz/FuzzParse so plain `go test` replays them.
+		"# chaos: loss=0.2 dup=0.1 seed=7\np1: w(x)1 ; r(x)1\np2: r(x)1",
+		"# chaos: reorder=0.3 reorder-delay=2ms (stale read after burst)\np1: w(x)1 ; w(x)2\np2: r(x)2 ; r(x)1",
+		"# chaos: partition 5ms-25ms 0,1/2,3 — read ⊥ during cut, value after heal\np1: w(x)1\np2: r(x)_ ; r(x)1",
+		"# chaos: dup storm — re-reading one value is legal, re-applying it is not\np1: w(x)1\np2: r(x)1 ; r(x)1 ; w(y)2\np3: r(y)2 ; r(x)1",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -49,6 +58,7 @@ func FuzzParse(f *testing.F) {
 func FuzzRoundTrip(f *testing.F) {
 	f.Add(h1Src)
 	f.Add("p1: w(x)1 ; r(x)1\np2: r(x)1")
+	f.Add("# chaos: loss=0.3 — retransmission must not change the parse\np1: w(x)1 ; w(y)2\np2: r(y)2 ; r(x)1")
 	f.Fuzz(func(t *testing.T, src string) {
 		s1, err := ParseString(src)
 		if err != nil {

@@ -97,6 +97,13 @@ type RunStats struct {
 	// BufferMax and BufferMean describe pending-queue occupancy.
 	BufferMax  int
 	BufferMean float64
+
+	// NetDrops, Retransmits and DupDiscards describe the chaos stack's
+	// work (all 0 on a fault-free transport): frames lost to injection,
+	// reliability re-sends, and duplicates suppressed at receivers.
+	NetDrops    int
+	Retransmits int
+	DupDiscards int
 }
 
 // Stats computes the scorecard for a log.
@@ -120,6 +127,9 @@ func (l *Log) Stats(protocol string) RunStats {
 		DelayDurations: Summarize(durs),
 		BufferMax:      occ.Max,
 		BufferMean:     occ.MeanTimeWeighted,
+		NetDrops:       l.NetDropCount(),
+		Retransmits:    l.RetransmitCount(),
+		DupDiscards:    l.DupDiscardCount(),
 	}
 	if receipts > 0 {
 		st.DelayRate = float64(st.Delays) / float64(receipts)
@@ -130,6 +140,10 @@ func (l *Log) Stats(protocol string) RunStats {
 // String renders the scorecard in one line, the row format of the
 // dsmbench tables.
 func (s RunStats) String() string {
-	return fmt.Sprintf("%-18s n=%d writes=%d reads=%d receipts=%d delays=%d (%.2f%%) discards=%d bufmax=%d bufmean=%.2f",
+	out := fmt.Sprintf("%-18s n=%d writes=%d reads=%d receipts=%d delays=%d (%.2f%%) discards=%d bufmax=%d bufmean=%.2f",
 		s.Protocol, s.Procs, s.Writes, s.Reads, s.Receipts, s.Delays, 100*s.DelayRate, s.Discards, s.BufferMax, s.BufferMean)
+	if s.NetDrops > 0 || s.Retransmits > 0 || s.DupDiscards > 0 {
+		out += fmt.Sprintf(" netdrops=%d retransmits=%d dupdiscards=%d", s.NetDrops, s.Retransmits, s.DupDiscards)
+	}
+	return out
 }

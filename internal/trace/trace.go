@@ -26,6 +26,15 @@ type EventKind int
 // skipped by writing semantics, recorded immediately before the apply
 // of its overwriter; Drop is the subsequent arrival of the skipped
 // write's message, dropped without effect.
+//
+// The last three kinds are transport-level, recorded only when the
+// chaos stack is active: NetDrop is a frame lost to fault injection
+// (recorded at the sender), Retransmit a reliability-sublayer re-send
+// (at the sender; Val carries the attempt count), and DupDiscard a
+// duplicate frame suppressed by receiver-side dedup (at the receiver).
+// They never enter the history reconstruction or delay accounting —
+// the reliability sublayer exists precisely so the protocol-level
+// event structure is identical to a fault-free run.
 const (
 	Issue EventKind = iota
 	Send
@@ -35,6 +44,9 @@ const (
 	Drop
 	Return
 	Token
+	NetDrop
+	Retransmit
+	DupDiscard
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +68,12 @@ func (k EventKind) String() string {
 		return "return"
 	case Token:
 		return "token"
+	case NetDrop:
+		return "net-drop"
+	case Retransmit:
+		return "retransmit"
+	case DupDiscard:
+		return "dup-discard"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -303,6 +321,26 @@ func (l *Log) BufferOccupancy() Occupancy {
 		occ.MeanTimeWeighted = area / float64(lastT-start)
 	}
 	return occ
+}
+
+// RetransmitCount returns the number of reliability-sublayer re-sends.
+func (l *Log) RetransmitCount() int { return l.countKind(Retransmit) }
+
+// NetDropCount returns the number of frames lost to fault injection.
+func (l *Log) NetDropCount() int { return l.countKind(NetDrop) }
+
+// DupDiscardCount returns the number of duplicate frames suppressed by
+// receiver-side dedup.
+func (l *Log) DupDiscardCount() int { return l.countKind(DupDiscard) }
+
+func (l *Log) countKind(k EventKind) int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
 }
 
 // WritesIssued returns the number of Issue events.

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedNet is a deterministic in-process Transport for exercising
+// the reliability sublayer in isolation: it delivers synchronously and
+// drops or duplicates exactly the frames the script says to.
+type scriptedNet struct {
+	procs    int
+	handlers []Handler
+
+	mu     sync.Mutex
+	counts map[scriptKey]int
+	// drop reports whether the nth transmission (1-based) of this frame
+	// should be lost. nil means lossless.
+	drop func(m Message, nth int) bool
+	// dupData delivers every data frame twice.
+	dupData bool
+}
+
+type scriptKey struct {
+	from, to, seq int
+	ack           bool
+}
+
+func newScriptedNet(procs int) *scriptedNet {
+	return &scriptedNet{
+		procs:    procs,
+		handlers: make([]Handler, procs),
+		counts:   make(map[scriptKey]int),
+	}
+}
+
+func (s *scriptedNet) Register(id int, h Handler) { s.handlers[id] = h }
+
+func (s *scriptedNet) Send(m Message) {
+	s.mu.Lock()
+	k := scriptKey{m.From, m.To, m.Seq, m.Ack}
+	s.counts[k]++
+	nth := s.counts[k]
+	drop := s.drop != nil && s.drop(m, nth)
+	h := s.handlers[m.To]
+	s.mu.Unlock()
+	if drop {
+		return
+	}
+	h(m)
+	if s.dupData && !m.Ack {
+		h(m)
+	}
+}
+
+func (s *scriptedNet) Flush()       {}
+func (s *scriptedNet) Close() error { return nil }
+
+// transmissions returns how many times the frame was handed to the net.
+func (s *scriptedNet) transmissions(m Message) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[scriptKey{m.From, m.To, m.Seq, m.Ack}]
+}
+
+// collectObs is a race-safe NetEvent recorder.
+type collectObs struct {
+	mu     sync.Mutex
+	events []NetEvent
+}
+
+func (c *collectObs) obs(e NetEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *collectObs) count(k NetEventKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNextBackoff(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		cur, max time.Duration
+		want     time.Duration
+	}{
+		{"doubles", time.Millisecond, 20 * time.Millisecond, 2 * time.Millisecond},
+		{"doubles again", 4 * time.Millisecond, 20 * time.Millisecond, 8 * time.Millisecond},
+		{"caps at max", 16 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond},
+		{"stays at cap", 20 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond},
+	} {
+		if got := nextBackoff(tc.cur, tc.max); got != tc.want {
+			t.Errorf("%s: nextBackoff(%v, %v) = %v, want %v", tc.name, tc.cur, tc.max, got, tc.want)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		add      []int
+		seen     []int
+		notSeen  []int
+		wantSize int
+	}{
+		{"empty", nil, nil, []int{1, 2}, 0},
+		{"gapless prefix compacts", []int{1, 2, 3}, []int{1, 2, 3}, []int{4}, 0},
+		{"out of order compacts on gap fill", []int{3, 1, 2}, []int{1, 2, 3}, []int{4}, 0},
+		{"gap keeps sparse tail", []int{1, 3, 5}, []int{1, 3, 5}, []int{2, 4}, 2},
+		{"replay is idempotent", []int{1, 1, 2, 2, 2}, []int{1, 2}, []int{3}, 0},
+	} {
+		var d dedup
+		for _, s := range tc.add {
+			d.add(s)
+		}
+		for _, s := range tc.seen {
+			if !d.seen(s) {
+				t.Errorf("%s: seq %d not seen", tc.name, s)
+			}
+		}
+		for _, s := range tc.notSeen {
+			if d.seen(s) {
+				t.Errorf("%s: seq %d wrongly seen", tc.name, s)
+			}
+		}
+		if d.size() != tc.wantSize {
+			t.Errorf("%s: size = %d, want %d", tc.name, d.size(), tc.wantSize)
+		}
+	}
+}
+
+// relStack builds a Reliable over a scriptedNet with a fast timeout.
+func relStack(t *testing.T, net *scriptedNet, obs Observer) *Reliable {
+	t.Helper()
+	r, err := NewReliable(net, ReliableConfig{
+		Procs:             net.procs,
+		RetransmitTimeout: 500 * time.Microsecond,
+		Seed:              1,
+	}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReliableRetransmitFiresAfterTimeout(t *testing.T) {
+	net := newScriptedNet(2)
+	// Lose the first transmission of every data frame; retransmissions
+	// get through.
+	net.drop = func(m Message, nth int) bool { return !m.Ack && nth == 1 }
+	var obs collectObs
+	r := relStack(t, net, obs.obs)
+	var delivered int64
+	r.Register(0, func(Message) {})
+	r.Register(1, func(Message) { atomic.AddInt64(&delivered, 1) })
+
+	m := Message{From: 0, To: 1, Update: upd(0, 1)}
+	r.Send(m)
+	r.Flush()
+	if atomic.LoadInt64(&delivered) != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", delivered)
+	}
+	if obs.count(EvRetransmit) == 0 {
+		t.Fatal("no retransmit recorded despite first transmission lost")
+	}
+	if got := r.Unacked(); got != 0 {
+		t.Fatalf("resend buffer holds %d frames after Flush, want 0", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReliableDedupDropsReplayedSeqnos(t *testing.T) {
+	net := newScriptedNet(2)
+	net.dupData = true // every data frame arrives twice
+	var obs collectObs
+	r := relStack(t, net, obs.obs)
+	var delivered int64
+	r.Register(0, func(Message) {})
+	r.Register(1, func(Message) { atomic.AddInt64(&delivered, 1) })
+
+	const msgs = 50
+	for i := 1; i <= msgs; i++ {
+		r.Send(Message{From: 0, To: 1, Update: upd(0, i)})
+	}
+	r.Flush()
+	if atomic.LoadInt64(&delivered) != msgs {
+		t.Fatalf("delivered %d, want exactly %d", delivered, msgs)
+	}
+	if got := obs.count(EvDupDiscard); got != msgs {
+		t.Fatalf("dup discards = %d, want %d", got, msgs)
+	}
+	if got := r.DedupWindow(); got != 0 {
+		t.Fatalf("dedup window = %d after gapless delivery, want 0", got)
+	}
+	r.Close()
+}
+
+func TestReliableLostAckTriggersRetransmitAndReack(t *testing.T) {
+	net := newScriptedNet(2)
+	// The data frame arrives, but its first ack is lost: the sender
+	// must retransmit, the receiver dedup-discard and re-ack.
+	net.drop = func(m Message, nth int) bool { return m.Ack && nth == 1 }
+	var obs collectObs
+	r := relStack(t, net, obs.obs)
+	var delivered int64
+	r.Register(0, func(Message) {})
+	r.Register(1, func(Message) { atomic.AddInt64(&delivered, 1) })
+
+	r.Send(Message{From: 0, To: 1, Update: upd(0, 1)})
+	r.Flush()
+	if atomic.LoadInt64(&delivered) != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", delivered)
+	}
+	if obs.count(EvRetransmit) == 0 || obs.count(EvDupDiscard) == 0 {
+		t.Fatalf("want retransmit + dup-discard on lost ack, got %d/%d",
+			obs.count(EvRetransmit), obs.count(EvDupDiscard))
+	}
+	if got := r.Unacked(); got != 0 {
+		t.Fatalf("resend buffer holds %d frames after Flush, want 0", got)
+	}
+	r.Close()
+}
+
+func TestReliableBufferPrunedByAcks(t *testing.T) {
+	// Bidirectional bursts over a lossless net: the resend buffers must
+	// return to exactly 0 after Flush — acks prune every frame.
+	net := newScriptedNet(3)
+	r := relStack(t, net, nil)
+	var delivered int64
+	for p := 0; p < 3; p++ {
+		r.Register(p, func(Message) { atomic.AddInt64(&delivered, 1) })
+	}
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		for i := 1; i <= 40; i++ {
+			Broadcast(r, 3, (round+i)%3, upd((round+i)%3, round*40+i))
+		}
+		r.Flush()
+		if got := r.Unacked(); got != 0 {
+			t.Fatalf("round %d: %d unacked frames after Flush, want 0 (unbounded growth)", round, got)
+		}
+	}
+	if atomic.LoadInt64(&delivered) != rounds*40*2 {
+		t.Fatalf("delivered %d, want %d", delivered, rounds*40*2)
+	}
+	r.Close()
+}
+
+func TestReliableBackoffGrowsAndCaps(t *testing.T) {
+	net := newScriptedNet(2)
+	// Black-hole the data frame entirely: every retransmission fails,
+	// so the frame's recorded backoff must walk up to the cap.
+	net.drop = func(m Message, nth int) bool { return !m.Ack }
+	r, err := NewReliable(net, ReliableConfig{
+		Procs:             2,
+		RetransmitTimeout: 200 * time.Microsecond,
+		BackoffMax:        800 * time.Microsecond,
+		Seed:              1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Register(0, func(Message) {})
+	r.Register(1, func(Message) {})
+	r.Send(Message{From: 0, To: 1, Update: upd(0, 1)})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l := r.links[0][1]
+		l.mu.Lock()
+		f := l.unacked[1]
+		backoff := time.Duration(0)
+		attempts := 0
+		if f != nil {
+			backoff, attempts = f.backoff, f.attempts
+		}
+		l.mu.Unlock()
+		if f == nil {
+			t.Fatal("frame vanished from resend buffer without an ack")
+		}
+		if backoff == 800*time.Microsecond && attempts >= 3 {
+			break // doubled 200→400→800 and capped
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backoff never reached cap: backoff=%v attempts=%d", backoff, attempts)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	r.Close()
+}
+
+func TestReliableConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  ReliableConfig
+		ok   bool
+	}{
+		{"zero procs", ReliableConfig{Procs: 0}, false},
+		{"negative timeout", ReliableConfig{Procs: 2, RetransmitTimeout: -1}, false},
+		{"negative cap", ReliableConfig{Procs: 2, BackoffMax: -1}, false},
+		{"defaults ok", ReliableConfig{Procs: 2}, true},
+	} {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}

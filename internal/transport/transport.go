@@ -25,6 +25,14 @@ import (
 type Message struct {
 	From, To int
 	Update   protocol.Update
+
+	// Seq is the reliability sublayer's per-link sequence number; 0 for
+	// messages that bypass the sublayer.
+	Seq int
+	// Ack marks a reliability acknowledgment for Seq on the reverse
+	// link. Ack frames carry no update and are consumed by the
+	// sublayer, never delivered to handlers.
+	Ack bool
 }
 
 // Handler consumes delivered messages at a destination process. It is
@@ -80,15 +88,57 @@ type Net struct {
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand
 
-	links  [][]chan Message // FIFO mode: links[from][to]
-	wg     sync.WaitGroup   // link goroutines (FIFO) or per-message (reorder)
-	closed atomic.Bool
+	links [][]chan Message // FIFO mode: links[from][to]
+	wg    sync.WaitGroup   // link goroutines (FIFO) or per-message (reorder)
 
-	inflight sync.WaitGroup // every accepted, not-yet-delivered message
+	// closeMu makes Send-vs-Close atomic: Send holds the read side from
+	// the closed check through enqueue, so no message can be accepted
+	// (inflight.Add, channel send) after Close flips closed — the window
+	// that used to allow a send on a closed link channel and a Flush
+	// hang on a leaked inflight count.
+	closeMu sync.RWMutex
+	closed  bool
+
+	inflight counter // every accepted, not-yet-delivered message
 }
 
 // ErrClosed is returned by Close when called twice.
 var ErrClosed = errors.New("transport: already closed")
+
+// counter is a Flush-safe in-flight counter. Unlike sync.WaitGroup it
+// allows add to race wait through zero — exactly what happens when a
+// Send is accepted while a concurrent Flush is already waiting, a
+// pattern the WaitGroup contract forbids (and the race detector
+// reports).
+type counter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+	c.n += d
+	if c.n == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// wait blocks until the count reaches zero.
+func (c *counter) wait() {
+	c.mu.Lock()
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+	for c.n != 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
 
 // New constructs a started Net.
 func New(cfg Config) (*Net, error) {
@@ -128,13 +178,15 @@ func (n *Net) Register(id int, h Handler) {
 
 // Send implements Transport.
 func (n *Net) Send(m Message) {
-	if n.closed.Load() {
-		return
-	}
 	if m.To < 0 || m.To >= n.cfg.Procs || m.From < 0 || m.From >= n.cfg.Procs || m.To == m.From {
 		panic(fmt.Sprintf("transport: bad route %d -> %d", m.From, m.To))
 	}
-	n.inflight.Add(1)
+	n.closeMu.RLock()
+	defer n.closeMu.RUnlock()
+	if n.closed {
+		return
+	}
+	n.inflight.add(1)
 	if n.cfg.FIFO {
 		n.links[m.From][m.To] <- m
 		return
@@ -143,7 +195,7 @@ func (n *Net) Send(m Message) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		defer n.inflight.Done()
+		defer n.inflight.add(-1)
 		if d > 0 {
 			time.Sleep(d)
 		}
@@ -153,14 +205,18 @@ func (n *Net) Send(m Message) {
 
 // Flush implements Transport.
 func (n *Net) Flush() {
-	n.inflight.Wait()
+	n.inflight.wait()
 }
 
 // Close implements Transport.
 func (n *Net) Close() error {
-	if !n.closed.CompareAndSwap(false, true) {
+	n.closeMu.Lock()
+	if n.closed {
+		n.closeMu.Unlock()
 		return ErrClosed
 	}
+	n.closed = true
+	n.closeMu.Unlock()
 	if n.cfg.FIFO {
 		for _, row := range n.links {
 			for _, ch := range row {
@@ -181,7 +237,7 @@ func (n *Net) runLink(ch chan Message) {
 			time.Sleep(d)
 		}
 		n.deliver(m)
-		n.inflight.Done()
+		n.inflight.add(-1)
 	}
 }
 

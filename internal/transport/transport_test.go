@@ -181,6 +181,60 @@ func TestBroadcastHelper(t *testing.T) {
 	n.Close()
 }
 
+// TestConcurrentSendFlushClose is the regression test for the
+// Send/Close race: a message used to be acceptable after `closed`
+// flipped but before the links closed, panicking on a closed channel
+// (FIFO) or leaking an inflight.Add that hung Flush. Send now holds
+// the close lock from the closed check through enqueue.
+func TestConcurrentSendFlushClose(t *testing.T) {
+	for _, fifo := range []bool{false, true} {
+		for round := 0; round < 20; round++ {
+			n, err := New(Config{Procs: 3, FIFO: fifo, Seed: int64(round)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := 0; p < 3; p++ {
+				n.Register(p, func(Message) {})
+			}
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for g := 0; g < 4; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					for i := 1; i <= 100; i++ {
+						n.Send(Message{From: g % 3, To: (g + 1) % 3, Update: upd(g%3, i)})
+					}
+				}()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				n.Flush()
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				n.Close()
+			}()
+			close(start)
+			wg.Wait()
+			// Flush after Close must return promptly (no leaked inflight).
+			done := make(chan struct{})
+			go func() { n.Flush(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("fifo=%v round %d: Flush hung after Close", fifo, round)
+			}
+		}
+	}
+}
+
 func TestConcurrentSenders(t *testing.T) {
 	n, _ := New(Config{Procs: 4, FIFO: true, MaxDelay: 50 * time.Microsecond, Seed: 3})
 	var got int64
