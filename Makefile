@@ -1,9 +1,22 @@
 GO ?= go
 
-.PHONY: check build test vet race bench fuzz clean
+.PHONY: check ci build test vet race bench fuzz vuln clean
 
 ## check: the full gate — vet, build, tests, and a short race pass.
 check: vet build test race
+
+## ci: what .github/workflows/ci.yml runs — the full gate plus a
+## vulnerability scan when govulncheck is on PATH.
+ci: check vuln
+
+## vuln: govulncheck over the whole module; skipped quietly when the
+## tool isn't installed (it is not vendored and CI may run offline).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping"; \
+	fi
 
 build:
 	$(GO) build ./...

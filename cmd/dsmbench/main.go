@@ -7,15 +7,18 @@
 //	dsmbench -exp jitter        # one of: jitter, nprocs, mix,
 //	                            # falsecausality, buffer, throughput,
 //	                            # ws, ablation, metadata, twosite,
-//	                            # visibility, chaos
+//	                            # visibility, chaos, crash
 //	dsmbench -procs 4 -ops 500  # sizing for -exp throughput
 //	dsmbench -exp chaos         # live OptP over lossy/duplicating links
+//	dsmbench -exp crash         # crash-stop + WAL restart, all protocols
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -38,6 +41,17 @@ func main() {
 		"twosite":        experiments.TwoSiteTopology,
 		"visibility":     experiments.VisibilityLatency,
 		"chaos":          experiments.Chaos,
+		"crash":          experiments.CrashRecovery,
+	}
+
+	if flag.NArg() > 0 {
+		usage("unexpected arguments: %s", strings.Join(flag.Args(), " "))
+	}
+	if *procs < 1 {
+		usage("-procs must be at least 1, got %d", *procs)
+	}
+	if *ops < 1 {
+		usage("-ops must be at least 1, got %d", *ops)
 	}
 
 	switch *exp {
@@ -63,7 +77,13 @@ func main() {
 	default:
 		fn, ok := sims[*exp]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q", *exp))
+			names := make([]string, 0, len(sims)+1)
+			for name := range sims {
+				names = append(names, name)
+			}
+			names = append(names, "throughput")
+			sort.Strings(names)
+			usage("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
 		}
 		r, err := fn()
 		if err != nil {
@@ -71,6 +91,14 @@ func main() {
 		}
 		fmt.Println(r)
 	}
+}
+
+// usage reports a flag error and exits with the conventional usage
+// status, instead of surfacing it later as a panic deep in a sweep.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dsmbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -10,10 +10,13 @@
 //	dsmrun -protocol ANBKH -trace csv > run.csv
 //	dsmrun -loss 0.2 -dup 0.1                      # chaos stack
 //	dsmrun -partition 5ms-25ms:0,1/2,3             # timed split-brain
+//	dsmrun -wal-dir /tmp/dsm -crash 1@5ms -restart-after 20ms
+//	dsmrun -heartbeat 1ms -suspect-after 5ms       # failure detector
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -48,23 +51,80 @@ func main() {
 	partition := flag.String("partition", "", "chaos: timed link cut, e.g. 5ms-25ms:0,1/2,3")
 	rto := flag.Duration("rto", 0, "reliability: initial retransmit timeout (default 2×jitter+1ms)")
 	backoffMax := flag.Duration("backoff-max", 0, "reliability: retransmission backoff cap (default 20×rto)")
+	walDir := flag.String("wal-dir", "", "crash recovery: write-ahead log directory (one subdir per process)")
+	walSync := flag.Bool("wal-sync", false, "crash recovery: fsync the journal after every record")
+	snapshotEvery := flag.Int("snapshot-every", 0, "crash recovery: journal records between snapshots (default 256)")
+	heartbeat := flag.Duration("heartbeat", 0, "failure detector: probe interval (0 disables)")
+	suspectAfter := flag.Duration("suspect-after", 0, "failure detector: silence threshold (default 4×heartbeat)")
+	crash := flag.String("crash", "", "crash schedule, e.g. 1@5ms or 1@5ms,2@10ms (proc@start)")
+	restartAfter := flag.Duration("restart-after", 0, "restart each crashed process this long after its crash (0: stay down)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		usage("unexpected arguments: %s", strings.Join(flag.Args(), " "))
+	}
 	kind, err := protocol.ParseKind(*proto)
 	if err != nil {
-		fatal(err)
+		usage("%v", err)
 	}
+	if *procs < 2 {
+		usage("-procs must be at least 2, got %d", *procs)
+	}
+	if *vars < 1 {
+		usage("-vars must be at least 1, got %d", *vars)
+	}
+	if *ops < 1 {
+		usage("-ops must be at least 1, got %d", *ops)
+	}
+	if *writeRatio < 0 || *writeRatio > 1 {
+		usage("-write-ratio must be in [0,1], got %g", *writeRatio)
+	}
+	if *jitter < 0 {
+		usage("-jitter must not be negative, got %v", *jitter)
+	}
+	if *loss < 0 || *loss >= 1 {
+		usage("-loss must be in [0,1), got %g", *loss)
+	}
+	if *dup < 0 || *dup > 1 {
+		usage("-dup must be in [0,1], got %g", *dup)
+	}
+	if *reorder < 0 || *reorder > 1 {
+		usage("-reorder must be in [0,1], got %g", *reorder)
+	}
+	if *reorderDelay < 0 || *rto < 0 || *backoffMax < 0 {
+		usage("durations must not be negative")
+	}
+	if *snapshotEvery < 0 {
+		usage("-snapshot-every must not be negative, got %d", *snapshotEvery)
+	}
+	if *heartbeat < 0 || *suspectAfter < 0 || *restartAfter < 0 {
+		usage("detector/restart durations must not be negative")
+	}
+	if *suspectAfter > 0 && *heartbeat == 0 {
+		usage("-suspect-after needs -heartbeat")
+	}
+
 	chaos := transport.ChaosConfig{
 		LossRate: *loss, DupRate: *dup,
 		ReorderRate: *reorder, ReorderDelay: *reorderDelay,
 		Seed: *seed,
 	}
 	if *partition != "" {
-		p, err := parsePartition(*partition)
+		p, err := parsePartition(*partition, *procs)
 		if err != nil {
-			fatal(err)
+			usage("%v", err)
 		}
 		chaos.Partitions = []transport.Partition{p}
+	}
+	crashes, err := parseCrashes(*crash, *procs, *restartAfter)
+	if err != nil {
+		usage("%v", err)
+	}
+	if *restartAfter > 0 && len(crashes) == 0 {
+		usage("-restart-after needs -crash")
+	}
+	if len(crashes) > 0 && *walDir == "" && *restartAfter > 0 {
+		usage("-crash with -restart-after needs -wal-dir")
 	}
 	cfg := core.Config{
 		Processes: *procs, Variables: *vars, Protocol: kind,
@@ -72,10 +132,19 @@ func main() {
 		Chaos:             chaos,
 		RetransmitTimeout: *rto,
 		BackoffMax:        *backoffMax,
+		WALDir:            *walDir,
+		WALSync:           *walSync,
+		SnapshotEvery:     *snapshotEvery,
+		HeartbeatInterval: *heartbeat,
+		SuspectAfter:      *suspectAfter,
+		Crashes:           crashes,
 	}
 	if *useTCP {
 		if chaos.Enabled() {
-			fatal(fmt.Errorf("chaos flags apply to the built-in channel transport, not -tcp"))
+			usage("chaos flags apply to the built-in channel transport, not -tcp")
+		}
+		if *walDir != "" || *heartbeat > 0 || len(crashes) > 0 {
+			usage("crash-recovery flags apply to the built-in channel transport, not -tcp")
 		}
 		tn, err := transport.NewTCP(*procs)
 		if err != nil {
@@ -99,11 +168,22 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(p)))
 			for i := 1; i <= *ops; i++ {
 				if rng.Float64() < *writeRatio {
-					if err := c.Node(p).Write(rng.Intn(*vars), int64(p)*1_000_000+int64(i)); err != nil {
+					err := c.Node(p).Write(rng.Intn(*vars), int64(p)*1_000_000+int64(i))
+					// A scheduled crash may take this process down
+					// mid-workload; its remaining ops are simply lost,
+					// like a client talking to a dead server.
+					if errors.Is(err, core.ErrDown) {
+						continue
+					}
+					if err != nil {
 						fatal(err)
 					}
 				} else {
-					if _, err := c.Node(p).Read(rng.Intn(*vars)); err != nil {
+					_, err := c.Node(p).Read(rng.Intn(*vars))
+					if errors.Is(err, core.ErrDown) {
+						continue
+					}
+					if err != nil {
 						fatal(err)
 					}
 				}
@@ -111,6 +191,26 @@ func main() {
 		}()
 	}
 	wg.Wait()
+
+	// Give scheduled restarts a chance to run before quiescing, so the
+	// audit sees the recovered process catch up. Quiesce itself skips
+	// down processes, so without this the log could be cut mid-restart.
+	var deadline time.Duration
+	restarts := 0
+	for _, w := range crashes {
+		if w.End > deadline {
+			deadline = w.End
+		}
+		if w.End > 0 {
+			restarts++
+		}
+	}
+	if until := time.Until(c.StartTime().Add(deadline)); until > 0 {
+		time.Sleep(until)
+	}
+	for wait := time.Now(); c.Log().RecoverCount() < restarts && time.Since(wait) < 5*time.Second; {
+		time.Sleep(time.Millisecond)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
@@ -137,7 +237,7 @@ func main() {
 		fmt.Print(trace.Diagram{MaxRows: 200}.Render(log))
 		return
 	default:
-		fatal(fmt.Errorf("unknown trace format %q", *traceOut))
+		usage("unknown trace format %q", *traceOut)
 	}
 
 	fmt.Println(log.Stats(kind.String()))
@@ -151,6 +251,10 @@ func main() {
 		rep.Safe(), rep.CausallyConsistent(), rep.InP(), rep.ExactlyOnce())
 	fmt.Printf("delays: %d necessary, %d unnecessary (write-delay optimal: %v)\n",
 		rep.NecessaryDelays, rep.UnnecessaryDelays, rep.WriteDelayOptimal())
+	if rep.Crashes > 0 {
+		fmt.Printf("crashes: %d, recoveries: %d (crash-consistent: %v)\n",
+			rep.Crashes, rep.Recoveries, rep.CrashConsistent())
+	}
 	if n := len(rep.SafetyViolations); n > 0 {
 		fmt.Printf("SAFETY VIOLATIONS (%d):\n", n)
 		for _, v := range rep.SafetyViolations {
@@ -172,11 +276,53 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	if n := len(rep.CrashViolations); n > 0 {
+		fmt.Printf("CRASH VIOLATIONS (%d):\n", n)
+		for _, v := range rep.CrashViolations {
+			fmt.Println("  ", v)
+		}
+		os.Exit(2)
+	}
+}
+
+// parseCrashes parses "p@start[,p@start...]" into crash windows, each
+// restarting restartAfter later (0: the process stays down).
+func parseCrashes(s string, procs int, restartAfter time.Duration) ([]core.CrashWindow, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []core.CrashWindow
+	for _, f := range strings.Split(s, ",") {
+		procS, startS, ok := strings.Cut(strings.TrimSpace(f), "@")
+		if !ok {
+			return nil, fmt.Errorf("crash %q: want proc@start, e.g. 1@5ms", f)
+		}
+		p, err := strconv.Atoi(procS)
+		if err != nil {
+			return nil, fmt.Errorf("crash %q: %w", f, err)
+		}
+		if p < 0 || p >= procs {
+			return nil, fmt.Errorf("crash %q: process %d out of range [0,%d)", f, p, procs)
+		}
+		start, err := time.ParseDuration(startS)
+		if err != nil {
+			return nil, fmt.Errorf("crash %q: %w", f, err)
+		}
+		if start < 0 {
+			return nil, fmt.Errorf("crash %q: negative start", f)
+		}
+		w := core.CrashWindow{Proc: p, Start: start}
+		if restartAfter > 0 {
+			w.End = start + restartAfter
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 // parsePartition parses "start-end:a,b/c,d" into a timed link cut
 // between process groups {a,b} and {c,d}.
-func parsePartition(s string) (transport.Partition, error) {
+func parsePartition(s string, procs int) (transport.Partition, error) {
 	var p transport.Partition
 	window, groups, ok := strings.Cut(s, ":")
 	if !ok {
@@ -197,25 +343,36 @@ func parsePartition(s string) (transport.Partition, error) {
 	if !ok {
 		return p, fmt.Errorf("partition groups %q: want group/group", groups)
 	}
-	if p.A, err = parseProcs(aS); err != nil {
+	if p.A, err = parseProcs(aS, procs); err != nil {
 		return p, err
 	}
-	if p.B, err = parseProcs(bS); err != nil {
+	if p.B, err = parseProcs(bS, procs); err != nil {
 		return p, err
 	}
 	return p, nil
 }
 
-func parseProcs(s string) ([]int, error) {
+func parseProcs(s string, procs int) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
 			return nil, fmt.Errorf("partition group %q: %w", s, err)
 		}
+		if n < 0 || n >= procs {
+			return nil, fmt.Errorf("partition group %q: process %d out of range [0,%d)", s, n, procs)
+		}
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// usage reports a flag error and exits with the conventional usage
+// status, instead of surfacing it later as a panic deep in the run.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dsmrun: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

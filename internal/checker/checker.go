@@ -99,6 +99,13 @@ type Report struct {
 	NecessaryDelays   int
 	UnnecessaryDelays int
 	Discards          int
+
+	// Crashes and Recoveries count crash-stops and WAL restarts;
+	// CrashViolations lists protocol activity observed at down processes
+	// (see crash.go).
+	Crashes         int
+	Recoveries      int
+	CrashViolations []CrashViolation
 }
 
 // Safe reports whether the run respected →co apply ordering
@@ -125,10 +132,15 @@ func (r *Report) ExactlyOnce() bool { return len(r.DuplicateApplies) == 0 }
 
 // String renders a one-paragraph audit summary.
 func (r *Report) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"audit: safe=%v consistent=%v in-P=%v exactly-once=%v delays=%d (necessary=%d unnecessary=%d) discards=%d",
 		r.Safe(), r.CausallyConsistent(), r.InP(), r.ExactlyOnce(),
 		len(r.Delays), r.NecessaryDelays, r.UnnecessaryDelays, r.Discards)
+	if r.Crashes > 0 || r.Recoveries > 0 {
+		out += fmt.Sprintf(" crashes=%d recoveries=%d crash-consistent=%v",
+			r.Crashes, r.Recoveries, r.CrashConsistent())
+	}
+	return out
 }
 
 // Audit reconstructs the history from the log, computes →co, and runs
@@ -147,6 +159,7 @@ func Audit(log *trace.Log) (*Report, error) {
 	r.LegalityViolations = c.CheckCausallyConsistent()
 	r.auditApplies(log)
 	r.classifyDelays(log)
+	r.auditCrashes(log)
 	return r, nil
 }
 

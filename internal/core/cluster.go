@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/durability"
 	"repro/internal/history"
 	"repro/internal/protocol"
 	"repro/internal/trace"
@@ -20,6 +22,8 @@ var (
 	ErrClosed = errors.New("core: cluster closed")
 	// ErrBadVariable reports an out-of-range variable index.
 	ErrBadVariable = errors.New("core: variable index out of range")
+	// ErrDown reports an operation on a crash-stopped process.
+	ErrDown = errors.New("core: process is down")
 )
 
 // Cluster hosts the processes of a live DSM system.
@@ -27,6 +31,7 @@ type Cluster struct {
 	cfg    Config
 	tr     transport.Transport
 	nodes  []*Node
+	det    *transport.Detector
 	start  time.Time
 	hasTok bool
 
@@ -36,14 +41,17 @@ type Cluster struct {
 	mu           sync.Mutex
 	cond         *sync.Cond
 	log          *trace.Log
-	issuedBy     []int // writes issued per process
-	propagatedBy []int // non-marker updates actually broadcast per process
-	counted      []int // writes (logically) applied per process
-	unsentBy     []int // deferred writes awaiting the token per process
+	issuedBy     []int  // writes issued per process
+	propagatedBy []int  // non-marker updates actually broadcast per process
+	counted      []int  // writes (logically) applied per process
+	unsentBy     []int  // deferred writes awaiting the token per process
+	down         []bool // crash-stopped processes (mirrors Node.down)
 	closed       bool
 
 	tokenStop chan struct{}
 	tokenDone chan struct{}
+	crashStop chan struct{}
+	crashDone chan struct{}
 }
 
 // NewCluster builds and starts a cluster.
@@ -59,6 +67,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		propagatedBy: make([]int, cfg.Processes),
 		counted:      make([]int, cfg.Processes),
 		unsentBy:     make([]int, cfg.Processes),
+		down:         make([]bool, cfg.Processes),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	tr := cfg.Transport
@@ -102,6 +111,36 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.nodes = append(c.nodes, n)
 		tr.Register(p, n.handle)
 	}
+	if cfg.WALDir != "" {
+		for _, n := range c.nodes {
+			n.archive = make([][]protocol.Update, cfg.Processes)
+			wal, err := durability.Create(c.walPath(n.id), cfg.WALSync, n.snapshotLocked())
+			if err != nil {
+				for _, m := range c.nodes {
+					if m.wal != nil {
+						m.wal.Close()
+					}
+				}
+				tr.Close()
+				return nil, fmt.Errorf("core: p%d journal: %w", n.id+1, err)
+			}
+			n.wal = wal
+		}
+	}
+	if cfg.HeartbeatInterval > 0 {
+		det, err := transport.NewDetector(tr, transport.HeartbeatConfig{
+			Procs:        cfg.Processes,
+			Interval:     cfg.HeartbeatInterval,
+			SuspectAfter: cfg.SuspectAfter,
+		}, c.noteNetEvent)
+		if err != nil {
+			c.closeWALs()
+			tr.Close()
+			return nil, err
+		}
+		c.det = det
+		det.Start()
+	}
 	if c.hasTok {
 		interval := cfg.TokenInterval
 		if interval == 0 {
@@ -111,7 +150,33 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.tokenDone = make(chan struct{})
 		go c.tokenLoop(interval)
 	}
+	if len(cfg.Crashes) > 0 {
+		c.crashStop = make(chan struct{})
+		c.crashDone = make(chan struct{})
+		go c.crashLoop()
+	}
 	return c, nil
+}
+
+// walPath returns process p's journal directory.
+func (c *Cluster) walPath(p int) string {
+	return filepath.Join(c.cfg.WALDir, fmt.Sprintf("node%d", p))
+}
+
+// recoveryEnabled reports whether crash recovery (journaling, archives,
+// stale-duplicate filtering) is active.
+func (c *Cluster) recoveryEnabled() bool { return c.cfg.WALDir != "" }
+
+// closeWALs closes every node's journal (idempotent).
+func (c *Cluster) closeWALs() {
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		if n.wal != nil {
+			n.wal.Close()
+			n.wal = nil
+		}
+		n.mu.Unlock()
+	}
 }
 
 // Node returns the i-th process handle.
@@ -125,6 +190,14 @@ func (c *Cluster) Variables() int { return c.cfg.Variables }
 
 // Protocol returns the running protocol kind.
 func (c *Cluster) Protocol() protocol.Kind { return c.cfg.Protocol }
+
+// Detector returns the heartbeat failure detector, or nil when
+// HeartbeatInterval is unset.
+func (c *Cluster) Detector() *transport.Detector { return c.det }
+
+// StartTime returns when the cluster came up; crash-schedule offsets
+// (Config.Crashes) are measured from this instant.
+func (c *Cluster) StartTime() time.Time { return c.start }
 
 // now returns the trace timestamp (nanoseconds since cluster start).
 func (c *Cluster) now() int64 { return time.Since(c.start).Nanoseconds() }
@@ -151,11 +224,26 @@ func (c *Cluster) appendEvent(e trace.Event) {
 	c.cond.Broadcast()
 }
 
-// noteNetEvent records chaos-stack occurrences in the trace. Frame
-// fates never feed Quiesce accounting — the reliability sublayer
-// guarantees the protocol-level events come out exactly as on a
-// fault-free transport.
+// noteNetEvent records chaos-stack and failure-detector occurrences in
+// the trace. Frame fates never feed Quiesce accounting — the
+// reliability sublayer guarantees the protocol-level events come out
+// exactly as on a fault-free transport.
 func (c *Cluster) noteNetEvent(e transport.NetEvent) {
+	switch e.Kind {
+	case transport.EvSuspect, transport.EvAlive:
+		kind := trace.Suspect
+		if e.Kind == transport.EvAlive {
+			kind = trace.Alive
+		}
+		// Detector events carry From=peer, To=observer.
+		c.appendEvent(trace.Event{
+			Kind: kind, Proc: e.To, Time: c.now(), Val: int64(e.From),
+		})
+		return
+	}
+	if e.Msg.Heartbeat {
+		return // lost or duplicated probes are the detector's business
+	}
 	var kind trace.EventKind
 	proc := e.From
 	val := e.Msg.Update.Val
@@ -177,14 +265,19 @@ func (c *Cluster) noteNetEvent(e transport.NetEvent) {
 }
 
 // quiescedLocked reports whether every propagated write has been
-// (logically) applied everywhere and nothing more is coming. Caller
-// holds c.mu.
+// (logically) applied everywhere live and nothing more is coming.
+// Crash-stopped processes are exempt until they restart: their missed
+// updates arrive through catch-up, which re-enters them into the
+// accounting. Caller holds c.mu.
 func (c *Cluster) quiescedLocked() bool {
 	totalProp := 0
 	for _, p := range c.propagatedBy {
 		totalProp += p
 	}
 	for p := range c.nodes {
+		if c.down[p] {
+			continue
+		}
 		// A process must have applied its own issues plus everything
 		// the others propagated; deferred writes must all be released.
 		expected := c.issuedBy[p] + totalProp - c.propagatedBy[p]
@@ -195,10 +288,12 @@ func (c *Cluster) quiescedLocked() bool {
 	return true
 }
 
-// Quiesce blocks until every write issued so far has reached every
+// Quiesce blocks until every write issued so far has reached every live
 // replica (discards under writing semantics count as logical applies,
 // and writes suppressed at the sender under WS-send count as released
-// once their token turn passes), or ctx is done.
+// once their token turn passes), or ctx is done. Crash-stopped
+// processes are excluded; Restart them first for full convergence.
+// Quiesce on a closed cluster returns ErrClosed.
 func (c *Cluster) Quiesce(ctx context.Context) error {
 	stop := make(chan struct{})
 	defer close(stop)
@@ -217,10 +312,16 @@ func (c *Cluster) Quiesce(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for !c.quiescedLocked() {
+		if c.closed {
+			return fmt.Errorf("core: quiesce: %w", ErrClosed)
+		}
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: quiesce: %w", err)
 		}
 		c.cond.Wait()
+	}
+	if c.closed {
+		return fmt.Errorf("core: quiesce: %w", ErrClosed)
 	}
 	return nil
 }
@@ -246,42 +347,78 @@ func (c *Cluster) Audit() (*checker.Report, error) {
 	return checker.Audit(c.Log())
 }
 
-// Close stops the token loop (if any), drains the transport, and marks
-// the cluster closed. Operations after Close return ErrClosed.
+// Close stops the crash orchestrator, failure detector and token loop,
+// closes the journals, drains the transport, and marks the cluster
+// closed. Close is idempotent: the first call does the teardown, later
+// calls return nil. Other operations after Close return ErrClosed.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return ErrClosed
+		return nil
 	}
 	c.closed = true
+	// Wake Quiesce waiters so they observe the close instead of
+	// sleeping forever on a condition that can no longer change.
+	c.cond.Broadcast()
 	c.mu.Unlock()
 
+	if c.crashStop != nil {
+		close(c.crashStop)
+		<-c.crashDone
+	}
+	if c.det != nil {
+		c.det.Close()
+	}
 	if c.hasTok {
 		close(c.tokenStop)
 		<-c.tokenDone
 	}
+	c.closeWALs()
 	return c.tr.Close()
 }
 
 // tokenLoop circulates the token for WS-send-style protocols until
-// Close.
+// Close. The rotation skips crash-stopped and suspected holders so one
+// down process cannot stall everyone's deferred writes; visits are
+// numbered by actual token grants, keeping rounds contiguous for the
+// receivers' expected-visit tracking.
 func (c *Cluster) tokenLoop(interval time.Duration) {
 	defer close(c.tokenDone)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
-	visit := 0
+	visit := 0 // next round number (increments per grant)
+	pos := 0   // rotation cursor (increments per considered holder)
 	for {
 		select {
 		case <-c.tokenStop:
 			return
 		case <-ticker.C:
 		}
-		holder := visit % c.cfg.Processes
+		// Pick the next live, unsuspected holder in rotation order; if
+		// none qualifies this tick, try again next tick.
+		holder := -1
+		for i := 0; i < c.cfg.Processes; i++ {
+			cand := (pos + i) % c.cfg.Processes
+			if c.nodeUp(cand) {
+				holder = cand
+				pos = cand + 1
+				break
+			}
+		}
+		if holder == -1 {
+			continue
+		}
 		n := c.nodes[holder]
 		n.mu.Lock()
+		if n.down.Load() {
+			// Crashed between the liveness check and the lock.
+			n.mu.Unlock()
+			continue
+		}
 		tb := n.replica.(protocol.TokenBatcher)
 		batch := tb.OnToken(visit)
+		n.journalLocked(durability.Entry{Kind: durability.EntryToken, Visit: visit})
 		c.mu.Lock()
 		c.unsentBy[holder] = 0 // every deferred write was drained (or suppressed)
 		c.mu.Unlock()
@@ -290,6 +427,7 @@ func (c *Cluster) tokenLoop(interval time.Duration) {
 			batch = []protocol.Update{protocol.Marker(holder, visit)}
 		}
 		for _, u := range batch {
+			n.archiveLocked(u)
 			c.appendEvent(trace.Event{
 				Kind: trace.Send, Proc: holder, Time: c.now(),
 				Write: u.ID, Var: u.Var, Val: u.Val,
@@ -303,6 +441,20 @@ func (c *Cluster) tokenLoop(interval time.Duration) {
 		}
 		visit++
 	}
+}
+
+// nodeUp reports whether p is neither crash-stopped nor suspected.
+func (c *Cluster) nodeUp(p int) bool {
+	c.mu.Lock()
+	down := c.down[p]
+	c.mu.Unlock()
+	if down {
+		return false
+	}
+	if c.det != nil {
+		return c.det.Up(p)
+	}
+	return true
 }
 
 // noteDeferred records a write buffered at its sender awaiting the

@@ -11,6 +11,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/history"
 	"repro/internal/protocol"
+	"repro/internal/transport"
 )
 
 func quiesce(t *testing.T, c *Cluster) {
@@ -22,12 +23,31 @@ func quiesce(t *testing.T, c *Cluster) {
 	}
 }
 
+// nopTransport stands in for a custom transport in Validate tests.
+type nopTransport struct{}
+
+func (nopTransport) Register(int, transport.Handler) {}
+func (nopTransport) Send(transport.Message)          {}
+func (nopTransport) Flush()                          {}
+func (nopTransport) Close() error                    { return nil }
+
 func TestConfigValidate(t *testing.T) {
 	bad := []Config{
 		{Processes: 0, Variables: 1},
 		{Processes: 1, Variables: 0},
 		{Processes: 1, Variables: 1, MinDelay: 5, MaxDelay: 1},
 		{Processes: 1, Variables: 1, TokenInterval: -1},
+		{Processes: 1, Variables: 1, SnapshotEvery: -1},
+		{Processes: 1, Variables: 1, HeartbeatInterval: -1},
+		{Processes: 1, Variables: 1, SuspectAfter: -1},
+		{Processes: 2, Variables: 1, Crashes: []CrashWindow{{Proc: 2, Start: time.Millisecond}}},
+		{Processes: 2, Variables: 1, Crashes: []CrashWindow{{Proc: 0, Start: -1}}},
+		{Processes: 2, Variables: 1, WALDir: "x", Crashes: []CrashWindow{{Proc: 0, Start: 2 * time.Millisecond, End: time.Millisecond}}},
+		// A restart window without a journal to restart from.
+		{Processes: 2, Variables: 1, Crashes: []CrashWindow{{Proc: 0, Start: time.Millisecond, End: 2 * time.Millisecond}}},
+		// Crash-recovery features require the built-in transport.
+		{Processes: 2, Variables: 1, Transport: nopTransport{}, WALDir: "x"},
+		{Processes: 2, Variables: 1, Transport: nopTransport{}, HeartbeatInterval: time.Millisecond},
 	}
 	for i, cfg := range bad {
 		if _, err := NewCluster(cfg); err == nil {
@@ -81,8 +101,21 @@ func TestErrors(t *testing.T) {
 	if _, err := c.Node(0).Read(0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("read after close = %v", err)
 	}
-	if err := c.Close(); !errors.Is(err, ErrClosed) {
+	// Close is idempotent: the second call is a no-op success.
+	if err := c.Close(); err != nil {
 		t.Fatalf("double close = %v", err)
+	}
+	// Quiesce on a closed cluster must fail fast, not hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Quiesce(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("quiesce after close = %v", err)
+	}
+	if err := c.Crash(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("crash after close = %v", err)
+	}
+	if _, err := c.Restart(0); err == nil {
+		t.Fatal("restart after close succeeded")
 	}
 }
 

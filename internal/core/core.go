@@ -69,6 +69,47 @@ type Config struct {
 	// TokenInterval is the wall-clock period of token circulation for
 	// token-based protocols (WS-send); 0 defaults to 1ms.
 	TokenInterval time.Duration
+
+	// WALDir enables crash recovery: each process journals its local
+	// operations and applied updates to a write-ahead log under
+	// WALDir/node<i>, with periodic full-state snapshots, so it can be
+	// crash-stopped and restarted from disk (see Cluster.Crash and
+	// Cluster.Restart). Existing segments in the directory are
+	// superseded at cluster start. Requires the built-in transport.
+	WALDir string
+	// WALSync fsyncs the journal after every record — maximally durable
+	// and correspondingly slow. The default (false) lets records settle
+	// in the OS page cache, which the in-process crash model (crash =
+	// goroutine stop, not machine loss) never loses.
+	WALSync bool
+	// SnapshotEvery is the number of journal records between automatic
+	// snapshots; 0 defaults to 256. Snapshots rotate the WAL segment,
+	// so the interval also bounds recovery replay length.
+	SnapshotEvery int
+
+	// HeartbeatInterval > 0 starts the heartbeat failure detector:
+	// every interval each live process probes every peer, and silence
+	// beyond SuspectAfter raises a Suspect trace event. Token
+	// circulation skips suspected holders. Requires the built-in
+	// transport.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the detector's silence threshold; 0 defaults to
+	// 4×HeartbeatInterval.
+	SuspectAfter time.Duration
+
+	// Crashes is the seeded crash/restart schedule, executed by a
+	// background orchestrator exactly like Chaos's partition windows:
+	// process Proc crash-stops at Start and, when End > Start, restarts
+	// from its WAL at End. Restarting windows require WALDir.
+	Crashes []CrashWindow
+}
+
+// CrashWindow schedules one crash-stop of Proc at Start (measured from
+// cluster start) and, when End > 0, a restart at End. End == 0 leaves
+// the process down for the rest of the run.
+type CrashWindow struct {
+	Proc       int
+	Start, End time.Duration
 }
 
 // Validate reports configuration errors.
@@ -91,5 +132,33 @@ func (c Config) Validate() error {
 	if c.RetransmitTimeout < 0 || c.BackoffMax < 0 {
 		return fmt.Errorf("core: retransmit timing (%v, %v)", c.RetransmitTimeout, c.BackoffMax)
 	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("core: SnapshotEvery = %d", c.SnapshotEvery)
+	}
+	if c.HeartbeatInterval < 0 || c.SuspectAfter < 0 {
+		return fmt.Errorf("core: heartbeat timing (%v, %v)", c.HeartbeatInterval, c.SuspectAfter)
+	}
+	for i, w := range c.Crashes {
+		if w.Proc < 0 || w.Proc >= c.Processes {
+			return fmt.Errorf("core: crash window %d: process %d of %d", i, w.Proc, c.Processes)
+		}
+		if w.Start < 0 || (w.End != 0 && w.End <= w.Start) {
+			return fmt.Errorf("core: crash window %d: [%v, %v)", i, w.Start, w.End)
+		}
+		if w.End != 0 && c.WALDir == "" {
+			return fmt.Errorf("core: crash window %d schedules a restart but WALDir is unset", i)
+		}
+	}
+	if c.Transport != nil && (c.WALDir != "" || c.HeartbeatInterval > 0 || len(c.Crashes) > 0) {
+		return fmt.Errorf("core: crash-recovery features require the built-in transport")
+	}
 	return nil
+}
+
+// snapshotInterval returns SnapshotEvery with its default applied.
+func (c Config) snapshotInterval() int {
+	if c.SnapshotEvery == 0 {
+		return 256
+	}
+	return c.SnapshotEvery
 }

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// crashWorkload runs a deterministic write/read mix on the given
+// processes. Every operation on a live process must succeed.
+func crashWorkload(t *testing.T, c *Cluster, procs []int, ops int, seed int64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(p)))
+			for i := 1; i <= ops; i++ {
+				x := rng.Intn(c.Variables())
+				if rng.Intn(3) == 0 {
+					if _, err := c.Node(p).Read(x); err != nil {
+						t.Errorf("p%d read: %v", p+1, err)
+						return
+					}
+				} else {
+					if err := c.Node(p).Write(x, int64(p*10000+i)); err != nil {
+						t.Errorf("p%d write: %v", p+1, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCrashRestartAllProtocols is the crash/restart property test: for
+// every protocol kind (with chaos layered on for OptP), run a workload,
+// crash-stop one process mid-run, keep the survivors working, restart
+// the crashed process from its journal, run more load, quiesce, and
+// demand the full audit: causal consistency, no lost acknowledged
+// writes, exactly-once application, crash-model consistency — and for
+// OptP, zero unnecessary delays even across the restart.
+func TestCrashRestartAllProtocols(t *testing.T) {
+	kinds := []protocol.Kind{
+		protocol.OptP, protocol.ANBKH, protocol.WSRecv,
+		protocol.WSSend, protocol.OptPNoReadMerge, protocol.OptPWS,
+	}
+	for _, kind := range kinds {
+		for _, chaos := range []bool{false, true} {
+			if chaos && kind != protocol.OptP {
+				continue
+			}
+			name := kind.String()
+			if chaos {
+				name += "-chaos"
+			}
+			kind := kind
+			chaos := chaos
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{
+					Processes: 4, Variables: 3, Protocol: kind,
+					MaxDelay: 500 * time.Microsecond, Seed: 23,
+					WALDir: t.TempDir(), SnapshotEvery: 16,
+					TokenInterval: 200 * time.Microsecond,
+				}
+				if chaos {
+					cfg.Chaos = transport.ChaosConfig{
+						Seed: 23, LossRate: 0.10, DupRate: 0.05,
+					}
+				}
+				c, err := NewCluster(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+
+				const victim = 1
+				crashWorkload(t, c, []int{0, 1, 2, 3}, 15, 100)
+				if err := c.Crash(victim); err != nil {
+					t.Fatalf("crash: %v", err)
+				}
+				if !c.Down(victim) {
+					t.Fatal("victim not down")
+				}
+				// Survivors keep going; the victim refuses service.
+				crashWorkload(t, c, []int{0, 2, 3}, 15, 200)
+				if err := c.Node(victim).Write(0, 1); !errors.Is(err, ErrDown) {
+					t.Fatalf("write while down = %v", err)
+				}
+				if _, err := c.Node(victim).Read(0); !errors.Is(err, ErrDown) {
+					t.Fatalf("read while down = %v", err)
+				}
+				st, err := c.Restart(victim)
+				if err != nil {
+					t.Fatalf("restart: %v", err)
+				}
+				t.Logf("%s: %v", name, st)
+				crashWorkload(t, c, []int{0, 1, 2, 3}, 15, 300)
+
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				if err := c.Quiesce(ctx); err != nil {
+					t.Fatalf("quiesce: %v", err)
+				}
+				rep, err := c.Audit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Safe() {
+					t.Fatalf("safety: %v", rep.SafetyViolations)
+				}
+				if !rep.CausallyConsistent() {
+					t.Fatalf("legality: %v", rep.LegalityViolations)
+				}
+				if !rep.ExactlyOnce() {
+					t.Fatalf("duplicate applies: %v", rep.DuplicateApplies)
+				}
+				if !rep.CrashConsistent() {
+					t.Fatalf("crash violations: %v", rep.CrashViolations)
+				}
+				if rep.Crashes != 1 || rep.Recoveries != 1 {
+					t.Fatalf("crashes=%d recoveries=%d", rep.Crashes, rep.Recoveries)
+				}
+				// No acknowledged write may be lost: every propagated write
+				// must be at least logically applied at every process,
+				// including the restarted one. Writing-semantics kinds
+				// legitimately skip installing overwritten values (Logical
+				// entries), and WS-send never propagates writes suppressed at
+				// their sender (fine at peers, as long as the origin itself
+				// kept them); everything else must be fully in 𝒫.
+				switch kind {
+				case protocol.WSRecv, protocol.WSSend, protocol.OptPWS:
+					propagated := make(map[history.WriteID]bool)
+					for _, e := range c.Log().Events {
+						if e.Kind == trace.Send && e.Write.Seq > 0 {
+							propagated[e.Write] = true
+						}
+					}
+					for _, m := range rep.NotApplied {
+						if m.Logical {
+							continue
+						}
+						if propagated[m.Write] || m.Proc == m.Write.Proc {
+							t.Fatalf("lost write: %v", m)
+						}
+					}
+				default:
+					if !rep.InP() {
+						t.Fatalf("lost writes: %v", rep.NotApplied)
+					}
+				}
+				if kind == protocol.OptP && !rep.WriteDelayOptimal() {
+					for _, d := range rep.Delays {
+						if !d.Necessary {
+							t.Errorf("unnecessary delay: %+v", d)
+						}
+					}
+					t.FailNow()
+				}
+			})
+		}
+	}
+}
+
+// TestCrashSchedule drives crashes through Config.Crashes: the
+// background orchestrator crash-stops p2 and restarts it while a
+// workload runs, with the heartbeat detector watching.
+func TestCrashSchedule(t *testing.T) {
+	c, err := NewCluster(Config{
+		Processes: 3, Variables: 2,
+		MaxDelay: 200 * time.Microsecond, Seed: 5,
+		WALDir:            t.TempDir(),
+		HeartbeatInterval: 2 * time.Millisecond,
+		Crashes: []CrashWindow{
+			{Proc: 2, Start: 5 * time.Millisecond, End: 40 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for p := 0; p < 2; p++ {
+			c.Node(p).Write(p%2, time.Now().UnixNano())
+		}
+		log := c.Log()
+		if log.RecoverCount() >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	rep, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes < 1 || rep.Recoveries < 1 {
+		t.Fatalf("schedule did not run: crashes=%d recoveries=%d", rep.Crashes, rep.Recoveries)
+	}
+	if !rep.Safe() || !rep.CausallyConsistent() || !rep.CrashConsistent() {
+		t.Fatalf("audit: %v", rep)
+	}
+}
+
+// TestRestartRequiresWAL: without a journal there is nothing to restart
+// from.
+func TestRestartRequiresWAL(t *testing.T) {
+	c, err := NewCluster(Config{Processes: 2, Variables: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Restart(0); err == nil {
+		t.Fatal("restart without WALDir succeeded")
+	}
+	// Crashing an already-down process reports ErrDown.
+	if err := c.Crash(0); !errors.Is(err, ErrDown) {
+		t.Fatalf("double crash = %v", err)
+	}
+	// Restarting a live process fails.
+	if _, err := c.Restart(1); err == nil {
+		t.Fatal("restart of live process succeeded")
+	}
+	// Out-of-range indices fail.
+	if err := c.Crash(7); err == nil {
+		t.Fatal("crash of p8 succeeded")
+	}
+	if _, err := c.Restart(-1); err == nil {
+		t.Fatal("restart of p0 succeeded")
+	}
+}
+
+// TestQuiesceSkipsDown: a crash-stopped process must not block Quiesce;
+// after its restart the missed writes converge and Quiesce covers it
+// again.
+func TestQuiesceSkipsDown(t *testing.T) {
+	c, err := NewCluster(Config{
+		Processes: 3, Variables: 1, WALDir: t.TempDir(),
+		MaxDelay: 200 * time.Microsecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := c.Node(0).Write(0, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce with p3 down: %v", err)
+	}
+	if _, err := c.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce after restart: %v", err)
+	}
+	if v, err := c.Node(2).Read(0); err != nil || v != 5 {
+		t.Fatalf("recovered read = %d, %v", v, err)
+	}
+}
+
+// TestHeartbeatSuspectAlive: silence from a crashed process raises
+// suspicions at every live observer; its restart clears them.
+func TestHeartbeatSuspectAlive(t *testing.T) {
+	c, err := NewCluster(Config{
+		Processes: 3, Variables: 1, WALDir: t.TempDir(),
+		HeartbeatInterval: time.Millisecond,
+		SuspectAfter:      4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Detector() == nil {
+		t.Fatal("no detector")
+	}
+	if err := c.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(what string, pred func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if pred() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	waitFor("suspicion of p2", func() bool {
+		return !c.Detector().Up(1) && c.Log().SuspectCount() > 0
+	})
+	if _, err := c.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("p2 trusted again", func() bool { return c.Detector().Up(1) })
+	waitFor("alive events", func() bool { return c.Log().AliveCount() > 0 })
+	if s := c.Stats(); s.Crashes != 1 || s.Recoveries != 1 || s.Suspects == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestWSSendTokenSkipsDown: with the token holder crashed, circulation
+// must route around it so the survivors' deferred writes still
+// propagate and Quiesce terminates.
+func TestWSSendTokenSkipsDown(t *testing.T) {
+	c, err := NewCluster(Config{
+		Processes: 3, Variables: 2, Protocol: protocol.WSSend,
+		TokenInterval: 200 * time.Microsecond, WALDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node(1).Write(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node(2).Write(1, 22); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce with holder down: %v", err)
+	}
+	for p := 1; p < 3; p++ {
+		if v, _ := c.Node(p).Read(0); v != 11 {
+			t.Fatalf("p%d x1 = %d", p+1, v)
+		}
+		if v, _ := c.Node(p).Read(1); v != 22 {
+			t.Fatalf("p%d x2 = %d", p+1, v)
+		}
+	}
+	// Bring p1 back: it recovers the missed batches via catch-up.
+	if _, err := c.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(ctx); err != nil {
+		t.Fatalf("quiesce after restart: %v", err)
+	}
+	if v, _ := c.Node(0).Read(0); v != 11 {
+		t.Fatalf("recovered x1 = %d", v)
+	}
+	// Crash/Recover counts surface in the trace.
+	log := c.Log()
+	if log.CrashCount() != 1 || log.RecoverCount() != 1 {
+		t.Fatalf("crash=%d recover=%d", log.CrashCount(), log.RecoverCount())
+	}
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/durability"
 	"repro/internal/history"
 	"repro/internal/protocol"
 	"repro/internal/trace"
@@ -17,24 +19,51 @@ type Node struct {
 	c  *Cluster
 	id int
 
+	// down is the crash-stop flag: set under mu by Crash, read by the
+	// delivery path (atomically, so handle can drop frames for a down
+	// process without contending on mu during catch-up).
+	down atomic.Bool
+
 	// mu serializes replica access; lock order is Node.mu before
 	// Cluster.mu, never the reverse.
 	mu      sync.Mutex
 	replica protocol.Replica
 	pending []protocol.Update
+
+	// wal is the node's journal when crash recovery is enabled; walErr
+	// latches the first journaling failure and poisons later writes.
+	wal    *durability.WAL
+	walErr error
+
+	// archive holds, per origin process, every update installed or
+	// produced here, in delivery order — the store anti-entropy serves
+	// to a recovering peer. Only populated when recovery is enabled.
+	archive [][]protocol.Update
 }
 
 // ID returns the node's 0-based process index.
 func (n *Node) ID() int { return n.id }
 
 // Write performs w_p(x)v: it applies locally (wait-free) and broadcasts
-// the update asynchronously.
+// the update asynchronously. On a crash-stopped node it returns ErrDown.
 func (n *Node) Write(x int, v int64) error {
 	if err := n.check(x); err != nil {
 		return err
 	}
 	n.mu.Lock()
+	if n.down.Load() {
+		n.mu.Unlock()
+		return fmt.Errorf("write at p%d: %w", n.id+1, ErrDown)
+	}
+	if err := n.walErr; err != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("core: p%d journal failed, refusing writes: %w", n.id+1, err)
+	}
 	u, broadcast := n.replica.LocalWrite(x, v)
+	n.journalLocked(durability.Entry{Kind: durability.EntryLocalWrite, Var: x, Val: v})
+	if broadcast {
+		n.archiveLocked(u)
+	}
 	n.c.appendEvent(trace.Event{
 		Kind: trace.Issue, Proc: n.id, Time: n.c.now(),
 		Write: u.ID, Var: x, Val: v,
@@ -70,7 +99,15 @@ func (n *Node) ReadMeta(x int) (int64, history.WriteID, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.down.Load() {
+		return 0, history.Bottom, fmt.Errorf("read at p%d: %w", n.id+1, ErrDown)
+	}
 	v, from := n.replica.Read(x)
+	// OptP-family reads mutate Write_co (read-merge); journal them or a
+	// recovered replica under-approximates its →co knowledge.
+	if n.c.cfg.Protocol.ReadMutatesState() {
+		n.journalLocked(durability.Entry{Kind: durability.EntryRead, Var: x})
+	}
 	n.c.appendEvent(trace.Event{
 		Kind: trace.Return, Proc: n.id, Time: n.c.now(),
 		Var: x, Val: v, From: from,
@@ -109,10 +146,44 @@ func (n *Node) check(x int) error {
 
 // handle is the transport delivery callback.
 func (n *Node) handle(m transport.Message) {
-	u := m.Update
+	if m.Heartbeat {
+		if !n.down.Load() && n.c.det != nil {
+			n.c.det.Heard(n.id, m.From)
+		}
+		return
+	}
+	if n.down.Load() {
+		return // crash-stop: in-flight messages are dropped
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.down.Load() {
+		return
+	}
+	n.receiveLocked(m.Update)
+	n.drainLocked()
+}
+
+// receiveLocked runs the receipt state machine for one update: record
+// the receipt, then buffer, apply, or discard. Both the transport path
+// (handle) and anti-entropy catch-up (feedLocked) funnel through it.
+// Caller holds n.mu.
+func (n *Node) receiveLocked(u protocol.Update) {
 	st := n.replica.Status(u)
+	if st == protocol.Blocked && n.c.recoveryEnabled() {
+		// With crash recovery in play, a blocked update can be a stale
+		// duplicate: a retransmission landing after the restart already
+		// recovered the write, or a transport delivery overlapping a
+		// catch-up feed. Drop it silently — it was already counted.
+		if res, ok := n.replica.(protocol.Resumer); ok && !res.NeedsUpdate(u) {
+			return
+		}
+		for _, pu := range n.pending {
+			if pu.ID == u.ID {
+				return
+			}
+		}
+	}
 	kind := trace.Receipt
 	if u.Marker {
 		kind = trace.Token
@@ -130,7 +201,6 @@ func (n *Node) handle(m transport.Message) {
 	case protocol.Discardable:
 		n.dropLocked(u)
 	}
-	n.drainLocked()
 }
 
 // applyLocked installs u, recording any writing-semantics logical apply
@@ -144,6 +214,8 @@ func (n *Node) applyLocked(u protocol.Update) {
 		}
 	}
 	n.replica.Apply(u)
+	n.journalLocked(durability.Entry{Kind: durability.EntryApply, Update: u})
+	n.archiveLocked(u)
 	kind := trace.Apply
 	if u.Marker {
 		kind = trace.Token
@@ -158,6 +230,10 @@ func (n *Node) applyLocked(u protocol.Update) {
 // write. Caller holds n.mu.
 func (n *Node) dropLocked(u protocol.Update) {
 	n.replica.Discard(u)
+	n.journalLocked(durability.Entry{Kind: durability.EntryDiscard, Update: u})
+	// Archive the dropped message too: its value was skipped here, but
+	// a recovering peer that did NOT skip it still needs the payload.
+	n.archiveLocked(u)
 	n.c.appendEvent(trace.Event{
 		Kind: trace.Drop, Proc: n.id, Time: n.c.now(),
 		Write: u.ID, Var: u.Var, Val: u.Val,
@@ -167,6 +243,8 @@ func (n *Node) dropLocked(u protocol.Update) {
 // drainLocked applies buffered updates until a fixpoint. Caller holds
 // n.mu.
 func (n *Node) drainLocked() {
+	purge := n.c.recoveryEnabled()
+	res, canResume := n.replica.(protocol.Resumer)
 	for {
 		progressed := false
 		for i := 0; i < len(n.pending); i++ {
@@ -180,6 +258,13 @@ func (n *Node) drainLocked() {
 				n.pending = append(n.pending[:i], n.pending[i+1:]...)
 				n.dropLocked(u)
 				progressed = true
+			case protocol.Blocked:
+				// A buffered copy can go stale when catch-up installs
+				// the same write first; evict it or it rots here.
+				if purge && canResume && !res.NeedsUpdate(u) {
+					n.pending = append(n.pending[:i], n.pending[i+1:]...)
+					progressed = true
+				}
 			}
 			if progressed {
 				break
@@ -189,4 +274,49 @@ func (n *Node) drainLocked() {
 			return
 		}
 	}
+}
+
+// feedLocked offers a peer-archived update to this replica during
+// anti-entropy catch-up, returning whether it was accepted. Caller
+// holds n.mu and follows up with drainLocked.
+func (n *Node) feedLocked(u protocol.Update) bool {
+	res, ok := n.replica.(protocol.Resumer)
+	if !ok || !res.NeedsUpdate(u) {
+		return false
+	}
+	for _, pu := range n.pending {
+		if pu.ID == u.ID {
+			return false
+		}
+	}
+	n.receiveLocked(u)
+	return true
+}
+
+// journalLocked appends e to the node's WAL, taking an automatic
+// snapshot when the segment outgrows the configured interval. The
+// first failure is latched; subsequent Writes surface it. Caller holds
+// n.mu.
+func (n *Node) journalLocked(e durability.Entry) {
+	if n.wal == nil || n.walErr != nil {
+		return
+	}
+	if err := n.wal.Append(e); err != nil {
+		n.walErr = err
+		return
+	}
+	if n.wal.Entries() >= n.c.cfg.snapshotInterval() {
+		if err := n.wal.Snapshot(n.snapshotLocked()); err != nil {
+			n.walErr = err
+		}
+	}
+}
+
+// archiveLocked records u in the per-origin anti-entropy store. Caller
+// holds n.mu.
+func (n *Node) archiveLocked(u protocol.Update) {
+	if n.archive == nil {
+		return
+	}
+	n.archive[u.From()] = append(n.archive[u.From()], u)
 }

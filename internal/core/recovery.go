@@ -1,0 +1,372 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/durability"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// This file implements the cluster-level crash-recovery orchestration:
+// crash-stopping a process (goroutine paths halted, in-memory state
+// zeroed, in-flight messages dropped), restarting it from its journal,
+// and converging the recovered replica with the live ones through
+// anti-entropy over the per-node update archives.
+
+// RecoveryStats describes one Restart.
+type RecoveryStats struct {
+	// Replayed is the number of journal entries replayed on top of the
+	// recovered snapshot.
+	Replayed int
+	// CaughtUp is the number of updates the recovered replica accepted
+	// from live peers' archives during anti-entropy catch-up.
+	CaughtUp int
+	// Duration is the wall-clock time of the whole Restart: journal
+	// read, replay, re-journaling, and catch-up.
+	Duration time.Duration
+}
+
+// String implements fmt.Stringer.
+func (s RecoveryStats) String() string {
+	return fmt.Sprintf("replayed=%d caughtup=%d recovery=%v", s.Replayed, s.CaughtUp, s.Duration)
+}
+
+// Crash crash-stops process p: its journal is closed, its in-memory
+// replica state is zeroed, and from now on its operations return
+// ErrDown and messages delivered to it are dropped on the floor. The
+// rest of the cluster keeps running — Quiesce excludes p, and token
+// circulation routes around it. Crash of an already-down process
+// returns ErrDown; after Close it returns ErrClosed.
+func (c *Cluster) Crash(p int) error {
+	if p < 0 || p >= len(c.nodes) {
+		return fmt.Errorf("core: crash of process %d of %d", p, len(c.nodes))
+	}
+	n := c.nodes[p]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.down[p] {
+		c.mu.Unlock()
+		return fmt.Errorf("core: crash of p%d: %w", p+1, ErrDown)
+	}
+	c.down[p] = true
+	c.mu.Unlock()
+	n.down.Store(true)
+	if n.wal != nil {
+		n.wal.Close()
+		n.wal = nil
+	}
+	n.walErr = nil
+	// Zero the volatile state: everything p knows must come back from
+	// disk and its peers, exactly like a real process death.
+	n.replica = nil
+	n.pending = nil
+	n.archive = nil
+	if c.det != nil {
+		c.det.SetDown(p, true)
+	}
+	c.appendEvent(trace.Event{Kind: trace.Crash, Proc: p, Time: c.now()})
+	return nil
+}
+
+// Restart brings a crash-stopped process back: it recovers the newest
+// intact journal segment, restores the snapshot, replays the entries,
+// opens a fresh journal generation, rejoins the failure detector, and
+// finally catches up with the live processes via anti-entropy (pulling
+// their archives, then pushing its own, so even multi-crash runs
+// converge). Requires Config.WALDir.
+func (c *Cluster) Restart(p int) (RecoveryStats, error) {
+	var st RecoveryStats
+	if p < 0 || p >= len(c.nodes) {
+		return st, fmt.Errorf("core: restart of process %d of %d", p, len(c.nodes))
+	}
+	if c.cfg.WALDir == "" {
+		return st, fmt.Errorf("core: restart of p%d: no WALDir configured", p+1)
+	}
+	begin := time.Now()
+	n := c.nodes[p]
+	n.mu.Lock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		n.mu.Unlock()
+		return st, ErrClosed
+	}
+	if !c.down[p] {
+		c.mu.Unlock()
+		n.mu.Unlock()
+		return st, fmt.Errorf("core: restart of p%d: not down", p+1)
+	}
+	c.mu.Unlock()
+
+	snapshot, entries, err := durability.Recover(c.walPath(p))
+	if err != nil {
+		n.mu.Unlock()
+		return st, fmt.Errorf("core: restart of p%d: %w", p+1, err)
+	}
+	n.replica = protocol.New(c.cfg.Protocol, p, c.cfg.Processes, c.cfg.Variables)
+	n.pending = nil
+	n.archive = make([][]protocol.Update, c.cfg.Processes)
+	if err := n.restoreSnapshotLocked(snapshot); err != nil {
+		n.replica, n.archive = nil, nil
+		n.mu.Unlock()
+		return st, fmt.Errorf("core: restart of p%d: snapshot: %w", p+1, err)
+	}
+	for i, e := range entries {
+		if err := n.replayLocked(e); err != nil {
+			n.replica, n.pending, n.archive = nil, nil, nil
+			n.mu.Unlock()
+			return st, fmt.Errorf("core: restart of p%d: entry %d: %w", p+1, i, err)
+		}
+	}
+	st.Replayed = len(entries)
+	wal, err := durability.Create(c.walPath(p), c.cfg.WALSync, n.snapshotLocked())
+	if err != nil {
+		n.replica, n.pending, n.archive = nil, nil, nil
+		n.mu.Unlock()
+		return st, fmt.Errorf("core: restart of p%d: %w", p+1, err)
+	}
+	n.wal, n.walErr = wal, nil
+	n.down.Store(false)
+	c.mu.Lock()
+	c.down[p] = false
+	c.mu.Unlock()
+	if c.det != nil {
+		c.det.SetDown(p, false)
+	}
+	c.appendEvent(trace.Event{
+		Kind: trace.Recover, Proc: p, Time: c.now(), Val: int64(st.Replayed),
+	})
+	n.mu.Unlock()
+
+	st.CaughtUp = c.catchUp(p)
+	st.Duration = time.Since(begin)
+	return st, nil
+}
+
+// Down reports whether process p is currently crash-stopped.
+func (c *Cluster) Down(p int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[p]
+}
+
+// replayLocked re-executes one journal entry against the recovering
+// replica, silently (no trace events, no broadcasts — the cluster
+// already accounted for these operations the first time around). The
+// journal records operations in their original execution order, so
+// replay is deterministic; a status mismatch means the journal and
+// snapshot disagree, which recovery surfaces instead of diverging.
+// Caller holds n.mu.
+func (n *Node) replayLocked(e durability.Entry) error {
+	switch e.Kind {
+	case durability.EntryLocalWrite:
+		u, broadcast := n.replica.LocalWrite(e.Var, e.Val)
+		if broadcast {
+			n.archiveLocked(u)
+		}
+	case durability.EntryRead:
+		n.replica.Read(e.Var)
+	case durability.EntryApply:
+		if got := n.replica.Status(e.Update); got != protocol.Deliverable {
+			return fmt.Errorf("replaying apply of %v: status %v", e.Update.ID, got)
+		}
+		n.replica.Apply(e.Update)
+		n.archiveLocked(e.Update)
+	case durability.EntryDiscard:
+		if got := n.replica.Status(e.Update); got != protocol.Discardable {
+			return fmt.Errorf("replaying discard of %v: status %v", e.Update.ID, got)
+		}
+		n.replica.Discard(e.Update)
+		n.archiveLocked(e.Update)
+	case durability.EntryToken:
+		tb, ok := n.replica.(protocol.TokenBatcher)
+		if !ok {
+			return fmt.Errorf("token entry for non-token protocol")
+		}
+		batch := tb.OnToken(e.Visit)
+		if len(batch) == 0 {
+			batch = []protocol.Update{protocol.Marker(n.id, e.Visit)}
+		}
+		for _, u := range batch {
+			n.archiveLocked(u)
+		}
+	default:
+		return fmt.Errorf("unknown journal entry kind %d", e.Kind)
+	}
+	return nil
+}
+
+// catchUp converges a freshly restarted p with the cluster: pull every
+// live peer's archive into p, then push p's (recovered) archive to
+// every live peer — the push direction matters when several processes
+// crashed and p holds the sole surviving copy of some update. Returns
+// the number of updates p accepted.
+func (c *Cluster) catchUp(p int) int {
+	n := c.nodes[p]
+	fed := 0
+	for q, m := range c.nodes {
+		if q == p || c.Down(q) {
+			continue
+		}
+		m.mu.Lock()
+		pulled := flattenArchive(m.archive)
+		m.mu.Unlock()
+		fed += c.feedBatch(n, pulled)
+	}
+	n.mu.Lock()
+	own := flattenArchive(n.archive)
+	n.mu.Unlock()
+	for q, m := range c.nodes {
+		if q == p || c.Down(q) {
+			continue
+		}
+		c.feedBatch(m, own)
+	}
+	return fed
+}
+
+// flattenArchive copies a per-origin archive into one slice, origin by
+// origin so each origin's updates stay in their causal (issue) order.
+func flattenArchive(archive [][]protocol.Update) []protocol.Update {
+	var out []protocol.Update
+	for _, arc := range archive {
+		out = append(out, arc...)
+	}
+	return out
+}
+
+// feedBatch offers updates to n through the normal receipt state
+// machine, skipping everything the replica already has. Returns the
+// number accepted.
+func (c *Cluster) feedBatch(n *Node, us []protocol.Update) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down.Load() {
+		return 0
+	}
+	fed := 0
+	for _, u := range us {
+		if n.feedLocked(u) {
+			fed++
+		}
+	}
+	n.drainLocked()
+	return fed
+}
+
+// crashLoop executes the configured crash/restart schedule, mirroring
+// the chaos layer's partition windows: deterministic given the config,
+// measured from cluster start. Errors are best-effort ignored (a window
+// may name a process the test already crashed by hand).
+func (c *Cluster) crashLoop() {
+	defer close(c.crashDone)
+	type action struct {
+		at      time.Duration
+		proc    int
+		restart bool
+	}
+	var acts []action
+	for _, w := range c.cfg.Crashes {
+		acts = append(acts, action{at: w.Start, proc: w.Proc})
+		if w.End > 0 {
+			acts = append(acts, action{at: w.End, proc: w.Proc, restart: true})
+		}
+	}
+	sort.Slice(acts, func(i, j int) bool { return acts[i].at < acts[j].at })
+	for _, a := range acts {
+		if d := a.at - time.Since(c.start); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-c.crashStop:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		} else {
+			select {
+			case <-c.crashStop:
+				return
+			default:
+			}
+		}
+		if a.restart {
+			c.Restart(a.proc)
+		} else {
+			c.Crash(a.proc)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// snapshot payload
+
+// snapshotLocked encodes the node's complete volatile state — protocol
+// replica, pending buffer, anti-entropy archive — as one WAL snapshot
+// payload. Caller holds n.mu (or has exclusive access during startup).
+func (n *Node) snapshotLocked() []byte {
+	dst := protocol.ExportState(n.replica)
+	dst = binary.AppendUvarint(dst, uint64(len(n.pending)))
+	for _, u := range n.pending {
+		dst = u.AppendBinary(dst)
+	}
+	for _, arc := range n.archive {
+		dst = binary.AppendUvarint(dst, uint64(len(arc)))
+		for _, u := range arc {
+			dst = u.AppendBinary(dst)
+		}
+	}
+	return dst
+}
+
+// restoreSnapshotLocked decodes a snapshotLocked payload into the
+// (freshly constructed) replica, pending buffer and archive. Caller
+// holds n.mu.
+func (n *Node) restoreSnapshotLocked(data []byte) error {
+	sc, ok := n.replica.(protocol.StateCodec)
+	if !ok {
+		return fmt.Errorf("protocol %v does not support state recovery", n.c.cfg.Protocol)
+	}
+	off, err := sc.RestoreState(data)
+	if err != nil {
+		return err
+	}
+	rest := data[off:]
+	readUpdates := func() ([]protocol.Update, error) {
+		cnt, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: truncated snapshot count", protocol.ErrStateCorrupt)
+		}
+		rest = rest[k:]
+		var us []protocol.Update
+		for i := uint64(0); i < cnt; i++ {
+			u, un, err := protocol.DecodeUpdate(rest)
+			if err != nil {
+				return nil, err
+			}
+			us = append(us, u)
+			rest = rest[un:]
+		}
+		return us, nil
+	}
+	if n.pending, err = readUpdates(); err != nil {
+		return err
+	}
+	for p := range n.archive {
+		if n.archive[p], err = readUpdates(); err != nil {
+			return err
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing snapshot bytes", protocol.ErrStateCorrupt, len(rest))
+	}
+	return nil
+}

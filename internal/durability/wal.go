@@ -1,0 +1,414 @@
+// Package durability implements the crash-recovery storage of the live
+// runtime: a per-replica write-ahead log with periodic full-state
+// snapshots.
+//
+// A replica's directory holds numbered segment files seg-%08d.wal. Each
+// segment begins with a magic header and a snapshot record — an opaque
+// encoding of the replica's complete protocol state at rotation time —
+// followed by one record per journaled operation (local write, state-
+// mutating read, remote apply/discard, token visit). Recovery reads the
+// newest intact segment: restore the snapshot, replay the entries. A
+// torn tail (the record being written when the crash hit) is detected
+// by length/CRC framing and discarded; a segment whose snapshot itself
+// is torn is skipped in favor of its predecessor, which rotation keeps
+// on disk until the successor is durable.
+//
+// Record framing: [4B LE length][4B LE CRC32-IEEE of payload][payload].
+package durability
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/protocol"
+)
+
+const (
+	magic      = "DSMWAL1\n"
+	segPattern = "seg-%08d.wal"
+	// maxRecord bounds a record's declared length so a corrupt header
+	// cannot trigger a giant allocation.
+	maxRecord = 1 << 26
+)
+
+// ErrCorrupt reports an unrecoverable journal (bad magic, corrupt
+// snapshot in every segment, or undecodable entry framing where a clean
+// tail was required).
+var ErrCorrupt = errors.New("durability: corrupt journal")
+
+// EntryKind enumerates journaled operations.
+type EntryKind uint8
+
+// Journal entry kinds. The zero value is reserved: record payloads
+// starting with 0 cannot be confused with entries (and the snapshot
+// record is positional, never tagged).
+const (
+	// EntryLocalWrite journals a local write w(Var)=Val.
+	EntryLocalWrite EntryKind = 1 + iota
+	// EntryRead journals a state-mutating read of Var (OptP read-merge).
+	EntryRead
+	// EntryApply journals a remote update applied here.
+	EntryApply
+	// EntryDiscard journals a writing-semantics discard of Update.
+	EntryDiscard
+	// EntryToken journals a token visit consumed here (WS-send), so
+	// replay re-drains the same pending batch.
+	EntryToken
+)
+
+// String implements fmt.Stringer.
+func (k EntryKind) String() string {
+	switch k {
+	case EntryLocalWrite:
+		return "local-write"
+	case EntryRead:
+		return "read"
+	case EntryApply:
+		return "apply"
+	case EntryDiscard:
+		return "discard"
+	case EntryToken:
+		return "token"
+	default:
+		return fmt.Sprintf("EntryKind(%d)", int(k))
+	}
+}
+
+// Entry is one journaled operation.
+type Entry struct {
+	Kind EntryKind
+	// Var and Val carry the location and value for EntryLocalWrite;
+	// EntryRead uses Var only.
+	Var int
+	Val int64
+	// Visit is the token visit number for EntryToken.
+	Visit int
+	// Update is the full remote update for EntryApply / EntryDiscard.
+	Update protocol.Update
+}
+
+// appendEntry appends e's payload encoding to dst.
+func appendEntry(dst []byte, e Entry) []byte {
+	dst = append(dst, byte(e.Kind))
+	switch e.Kind {
+	case EntryLocalWrite:
+		dst = binary.AppendVarint(dst, int64(e.Var))
+		dst = binary.AppendVarint(dst, e.Val)
+	case EntryRead:
+		dst = binary.AppendVarint(dst, int64(e.Var))
+	case EntryApply, EntryDiscard:
+		dst = e.Update.AppendBinary(dst)
+	case EntryToken:
+		dst = binary.AppendVarint(dst, int64(e.Visit))
+	}
+	return dst
+}
+
+// decodeEntry decodes one entry payload.
+func decodeEntry(buf []byte) (Entry, error) {
+	var e Entry
+	if len(buf) == 0 {
+		return e, fmt.Errorf("%w: empty entry", ErrCorrupt)
+	}
+	e.Kind = EntryKind(buf[0])
+	rest := buf[1:]
+	readV := func() (int64, error) {
+		v, k := binary.Varint(rest)
+		if k <= 0 {
+			return 0, fmt.Errorf("%w: truncated %v entry", ErrCorrupt, e.Kind)
+		}
+		rest = rest[k:]
+		return v, nil
+	}
+	switch e.Kind {
+	case EntryLocalWrite:
+		x, err := readV()
+		if err != nil {
+			return e, err
+		}
+		v, err := readV()
+		if err != nil {
+			return e, err
+		}
+		e.Var, e.Val = int(x), v
+	case EntryRead:
+		x, err := readV()
+		if err != nil {
+			return e, err
+		}
+		e.Var = int(x)
+	case EntryApply, EntryDiscard:
+		u, n, err := protocol.DecodeUpdate(rest)
+		if err != nil {
+			return e, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		e.Update, rest = u, rest[n:]
+	case EntryToken:
+		v, err := readV()
+		if err != nil {
+			return e, err
+		}
+		e.Visit = int(v)
+	default:
+		return e, fmt.Errorf("%w: unknown entry kind %d", ErrCorrupt, buf[0])
+	}
+	if len(rest) != 0 {
+		return e, fmt.Errorf("%w: %d trailing bytes in %v entry", ErrCorrupt, len(rest), e.Kind)
+	}
+	return e, nil
+}
+
+// WAL is an open, appendable journal for one replica. It is not safe
+// for concurrent use; the owning node serializes access under its lock.
+type WAL struct {
+	dir     string
+	sync    bool
+	f       *os.File
+	gen     uint64
+	entries int
+	scratch []byte
+}
+
+// Create opens a fresh journal generation in dir (creating it if
+// needed), whose first record is the given snapshot. Older segments are
+// removed once the new one is durable, so Create both initializes a
+// brand-new journal and supersedes a recovered one.
+func Create(dir string, syncEvery bool, snapshot []byte) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durability: %w", err)
+	}
+	gens, err := listGens(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(0)
+	if len(gens) > 0 {
+		next = gens[len(gens)-1] + 1
+	}
+	w := &WAL{dir: dir, sync: syncEvery}
+	if err := w.rotate(next, snapshot); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// rotate writes a new segment whose first record is snapshot, makes it
+// durable, points the WAL at it, and removes older segments.
+func (w *WAL) rotate(gen uint64, snapshot []byte) error {
+	path := filepath.Join(w.dir, fmt.Sprintf(segPattern, gen))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durability: %w", err)
+	}
+	w.scratch = appendRecord(w.scratch[:0], snapshot)
+	if _, err := f.Write(append([]byte(magic), w.scratch...)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durability: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durability: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durability: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("durability: %w", err)
+	}
+	syncDir(w.dir)
+	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return fmt.Errorf("durability: %w", err)
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.f, w.gen, w.entries = nf, gen, 0
+	// Older generations are superseded; drop them so recovery replay
+	// stays bounded by one snapshot interval.
+	gens, err := listGens(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		if g < gen {
+			os.Remove(filepath.Join(w.dir, fmt.Sprintf(segPattern, g)))
+		}
+	}
+	return nil
+}
+
+// Append journals one entry.
+func (w *WAL) Append(e Entry) error {
+	if w.f == nil {
+		return fmt.Errorf("durability: append to closed WAL")
+	}
+	w.scratch = appendRecord(w.scratch[:0], appendEntry(nil, e))
+	if _, err := w.f.Write(w.scratch); err != nil {
+		return fmt.Errorf("durability: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durability: %w", err)
+		}
+	}
+	w.entries++
+	return nil
+}
+
+// Snapshot rotates to a new segment headed by the given state, resetting
+// the entry count. Callers snapshot when Entries grows past their
+// interval, bounding recovery replay.
+func (w *WAL) Snapshot(snapshot []byte) error {
+	if w.f == nil {
+		return fmt.Errorf("durability: snapshot of closed WAL")
+	}
+	return w.rotate(w.gen+1, snapshot)
+}
+
+// Entries returns the number of entries appended since the current
+// snapshot.
+func (w *WAL) Entries() int { return w.entries }
+
+// Close syncs and closes the journal. The on-disk state remains
+// recoverable.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("durability: %w", err)
+	}
+	return nil
+}
+
+// Recover reads the newest intact segment in dir, returning its
+// snapshot and the entries appended after it. A torn tail is silently
+// dropped (those operations died with the crash); a segment whose
+// snapshot record is unreadable is skipped in favor of an older one.
+func Recover(dir string) (snapshot []byte, entries []Entry, err error) {
+	gens, err := listGens(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(gens) == 0 {
+		return nil, nil, fmt.Errorf("%w: no segments in %s", ErrCorrupt, dir)
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, fmt.Sprintf(segPattern, gens[i]))
+		snap, ents, serr := readSegment(path)
+		if serr == nil {
+			return snap, ents, nil
+		}
+		err = serr
+	}
+	return nil, nil, fmt.Errorf("durability: no recoverable segment in %s: %w", dir, err)
+}
+
+// readSegment parses one segment file. The snapshot record must be
+// intact; entry records are read until EOF or the first torn/corrupt
+// record, which ends the (crashed) log.
+func readSegment(path string) ([]byte, []Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durability: %w", err)
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, path)
+	}
+	rest := data[len(magic):]
+	snap, rest, err := readRecord(rest)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: snapshot record in %s: %v", ErrCorrupt, path, err)
+	}
+	var entries []Entry
+	for len(rest) > 0 {
+		payload, next, err := readRecord(rest)
+		if err != nil {
+			break // torn tail: the record being written at crash time
+		}
+		e, err := decodeEntry(payload)
+		if err != nil {
+			break
+		}
+		entries = append(entries, e)
+		rest = next
+	}
+	return snap, entries, nil
+}
+
+// appendRecord frames payload onto dst.
+func appendRecord(dst, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readRecord unframes one record, returning its payload and the
+// remaining buffer.
+func readRecord(buf []byte) (payload, rest []byte, err error) {
+	if len(buf) < 8 {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(buf[0:])
+	sum := binary.LittleEndian.Uint32(buf[4:])
+	if n > maxRecord || uint64(len(buf)-8) < uint64(n) {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	payload = buf[8 : 8+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, fmt.Errorf("record CRC mismatch")
+	}
+	return payload, buf[8+n:], nil
+}
+
+// listGens returns the segment generations present in dir, ascending.
+// A missing directory is an empty journal, not an error.
+func listGens(dir string) ([]uint64, error) {
+	des, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durability: %w", err)
+	}
+	var gens []uint64
+	for _, de := range des {
+		name := de.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		var g uint64
+		if _, err := fmt.Sscanf(name, segPattern, &g); err == nil {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort (some
+// filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

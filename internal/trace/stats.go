@@ -104,6 +104,13 @@ type RunStats struct {
 	NetDrops    int
 	Retransmits int
 	DupDiscards int
+
+	// Crashes, Recoveries and Suspects describe the crash-recovery
+	// subsystem's activity (all 0 without crash injection): crash-stops,
+	// restarts from the WAL, and failure-detector suspicions.
+	Crashes    int
+	Recoveries int
+	Suspects   int
 }
 
 // Stats computes the scorecard for a log.
@@ -130,6 +137,9 @@ func (l *Log) Stats(protocol string) RunStats {
 		NetDrops:       l.NetDropCount(),
 		Retransmits:    l.RetransmitCount(),
 		DupDiscards:    l.DupDiscardCount(),
+		Crashes:        l.CrashCount(),
+		Recoveries:     l.RecoverCount(),
+		Suspects:       l.SuspectCount(),
 	}
 	if receipts > 0 {
 		st.DelayRate = float64(st.Delays) / float64(receipts)
@@ -144,6 +154,9 @@ func (s RunStats) String() string {
 		s.Protocol, s.Procs, s.Writes, s.Reads, s.Receipts, s.Delays, 100*s.DelayRate, s.Discards, s.BufferMax, s.BufferMean)
 	if s.NetDrops > 0 || s.Retransmits > 0 || s.DupDiscards > 0 {
 		out += fmt.Sprintf(" netdrops=%d retransmits=%d dupdiscards=%d", s.NetDrops, s.Retransmits, s.DupDiscards)
+	}
+	if s.Crashes > 0 || s.Recoveries > 0 || s.Suspects > 0 {
+		out += fmt.Sprintf(" crashes=%d recoveries=%d suspects=%d", s.Crashes, s.Recoveries, s.Suspects)
 	}
 	return out
 }

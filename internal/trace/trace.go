@@ -27,14 +27,21 @@ type EventKind int
 // of its overwriter; Drop is the subsequent arrival of the skipped
 // write's message, dropped without effect.
 //
-// The last three kinds are transport-level, recorded only when the
-// chaos stack is active: NetDrop is a frame lost to fault injection
-// (recorded at the sender), Retransmit a reliability-sublayer re-send
-// (at the sender; Val carries the attempt count), and DupDiscard a
-// duplicate frame suppressed by receiver-side dedup (at the receiver).
-// They never enter the history reconstruction or delay accounting —
-// the reliability sublayer exists precisely so the protocol-level
-// event structure is identical to a fault-free run.
+// NetDrop, Retransmit and DupDiscard are transport-level, recorded only
+// when the chaos stack is active: NetDrop is a frame lost to fault
+// injection (recorded at the sender), Retransmit a reliability-sublayer
+// re-send (at the sender; Val carries the attempt count), and
+// DupDiscard a duplicate frame suppressed by receiver-side dedup (at
+// the receiver). They never enter the history reconstruction or delay
+// accounting — the reliability sublayer exists precisely so the
+// protocol-level event structure is identical to a fault-free run.
+//
+// The crash-recovery kinds describe process lifetime and the failure
+// detector: Crash marks a crash-stop of Proc (state zeroed, in-flight
+// deliveries dropped), Recover its restart from the write-ahead log
+// (Val carries the number of journal entries replayed). Suspect and
+// Alive are detector verdicts recorded at the observing process, with
+// Val naming the suspected/recovered peer.
 const (
 	Issue EventKind = iota
 	Send
@@ -47,36 +54,42 @@ const (
 	NetDrop
 	Retransmit
 	DupDiscard
+	Crash
+	Recover
+	Suspect
+	Alive
+
+	// numEventKinds is the exhaustiveness sentinel: every kind above
+	// must have a name in eventKindNames (enforced by tests).
+	numEventKinds
 )
+
+// eventKindNames names every EventKind; the package tests assert the
+// table is exhaustive so new kinds cannot silently print as integers.
+var eventKindNames = [numEventKinds]string{
+	Issue:      "issue",
+	Send:       "send",
+	Receipt:    "receipt",
+	Apply:      "apply",
+	Discard:    "discard",
+	Drop:       "drop",
+	Return:     "return",
+	Token:      "token",
+	NetDrop:    "net-drop",
+	Retransmit: "retransmit",
+	DupDiscard: "dup-discard",
+	Crash:      "crash",
+	Recover:    "recover",
+	Suspect:    "suspect",
+	Alive:      "alive",
+}
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
-	switch k {
-	case Issue:
-		return "issue"
-	case Send:
-		return "send"
-	case Receipt:
-		return "receipt"
-	case Apply:
-		return "apply"
-	case Discard:
-		return "discard"
-	case Drop:
-		return "drop"
-	case Return:
-		return "return"
-	case Token:
-		return "token"
-	case NetDrop:
-		return "net-drop"
-	case Retransmit:
-		return "retransmit"
-	case DupDiscard:
-		return "dup-discard"
-	default:
-		return fmt.Sprintf("EventKind(%d)", int(k))
+	if k >= 0 && k < numEventKinds && eventKindNames[k] != "" {
+		return eventKindNames[k]
 	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
 // Event is one entry of a run log.
@@ -108,6 +121,12 @@ type Event struct {
 // String renders the event compactly.
 func (e Event) String() string {
 	switch e.Kind {
+	case Crash:
+		return fmt.Sprintf("[%d] p%d %s @%d", e.Seq, e.Proc+1, e.Kind, e.Time)
+	case Recover:
+		return fmt.Sprintf("[%d] p%d %s (replayed %d) @%d", e.Seq, e.Proc+1, e.Kind, e.Val, e.Time)
+	case Suspect, Alive:
+		return fmt.Sprintf("[%d] p%d %s p%d @%d", e.Seq, e.Proc+1, e.Kind, e.Val+1, e.Time)
 	case Return:
 		return fmt.Sprintf("[%d] p%d %s x%d=%d from %v @%d", e.Seq, e.Proc+1, e.Kind, e.Var+1, e.Val, e.From, e.Time)
 	case Receipt:
@@ -332,6 +351,18 @@ func (l *Log) NetDropCount() int { return l.countKind(NetDrop) }
 // DupDiscardCount returns the number of duplicate frames suppressed by
 // receiver-side dedup.
 func (l *Log) DupDiscardCount() int { return l.countKind(DupDiscard) }
+
+// CrashCount returns the number of crash-stops in the run.
+func (l *Log) CrashCount() int { return l.countKind(Crash) }
+
+// RecoverCount returns the number of restarts from the WAL.
+func (l *Log) RecoverCount() int { return l.countKind(Recover) }
+
+// SuspectCount returns the number of failure-detector suspicions.
+func (l *Log) SuspectCount() int { return l.countKind(Suspect) }
+
+// AliveCount returns the number of cleared suspicions (peer heard again).
+func (l *Log) AliveCount() int { return l.countKind(Alive) }
 
 func (l *Log) countKind(k EventKind) int {
 	n := 0

@@ -174,15 +174,47 @@ func TestEventString(t *testing.T) {
 	if !strings.Contains(buffered.String(), "BUFFERED") {
 		t.Fatalf("buffered receipt string: %q", buffered.String())
 	}
-	kinds := []EventKind{Issue, Send, Receipt, Apply, Discard, Drop, Return, Token}
-	names := []string{"issue", "send", "receipt", "apply", "discard", "drop", "return", "token"}
-	for i, k := range kinds {
-		if k.String() != names[i] {
-			t.Errorf("kind %d = %q, want %q", int(k), k.String(), names[i])
-		}
-	}
 	if EventKind(99).String() == "" {
 		t.Error("unknown kind should render")
+	}
+}
+
+// TestEventKindStringExhaustive walks every kind up to the sentinel: a
+// newly added kind without a name entry fails here instead of printing
+// as a bare integer in traces.
+func TestEventKindStringExhaustive(t *testing.T) {
+	want := map[EventKind]string{
+		Issue: "issue", Send: "send", Receipt: "receipt", Apply: "apply",
+		Discard: "discard", Drop: "drop", Return: "return", Token: "token",
+		NetDrop: "net-drop", Retransmit: "retransmit", DupDiscard: "dup-discard",
+		Crash: "crash", Recover: "recover", Suspect: "suspect", Alive: "alive",
+	}
+	if len(want) != int(numEventKinds) {
+		t.Fatalf("test table has %d kinds, sentinel says %d", len(want), int(numEventKinds))
+	}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		got := k.String()
+		if got != want[k] {
+			t.Errorf("kind %d = %q, want %q", int(k), got, want[k])
+		}
+		if strings.Contains(got, "EventKind(") {
+			t.Errorf("kind %d has no name entry", int(k))
+		}
+		// Every kind must render a full Event line mentioning its name
+		// and process (no case of Event.String may drop the kind).
+		e := Event{Seq: 3, Kind: k, Proc: 1, Time: 9, Write: w11, Var: 0, Val: 7}
+		if s := e.String(); !strings.Contains(s, got) || !strings.Contains(s, "p2") {
+			t.Errorf("event string for %v: %q", k, s)
+		}
+	}
+	// The crash-recovery kinds carry extra payload in their renderings.
+	rec := Event{Kind: Recover, Proc: 0, Val: 12}
+	if !strings.Contains(rec.String(), "replayed 12") {
+		t.Errorf("recover string: %q", rec.String())
+	}
+	sus := Event{Kind: Suspect, Proc: 0, Val: 2}
+	if !strings.Contains(sus.String(), "p3") {
+		t.Errorf("suspect string: %q", sus.String())
 	}
 }
 

@@ -23,22 +23,35 @@ const (
 	// EvDupDiscard: the reliability sublayer discarded a frame whose
 	// sequence number it had already delivered.
 	EvDupDiscard
+	// EvSuspect: the failure detector at process To stopped hearing
+	// heartbeats from process From and now suspects it crashed.
+	EvSuspect
+	// EvAlive: the failure detector at process To heard from a
+	// previously suspected process From again.
+	EvAlive
+
+	// numNetEventKinds is the exhaustiveness sentinel: every kind above
+	// must have a name in netEventKindNames (enforced by tests).
+	numNetEventKinds
 )
+
+// netEventKindNames names every NetEventKind; the trace tests assert
+// the table is exhaustive so new kinds cannot print as bare integers.
+var netEventKindNames = [numNetEventKinds]string{
+	EvDrop:       "net-drop",
+	EvDuplicate:  "net-dup",
+	EvRetransmit: "retransmit",
+	EvDupDiscard: "dup-discard",
+	EvSuspect:    "suspect",
+	EvAlive:      "alive",
+}
 
 // String implements fmt.Stringer.
 func (k NetEventKind) String() string {
-	switch k {
-	case EvDrop:
-		return "net-drop"
-	case EvDuplicate:
-		return "net-dup"
-	case EvRetransmit:
-		return "retransmit"
-	case EvDupDiscard:
-		return "dup-discard"
-	default:
-		return fmt.Sprintf("NetEventKind(%d)", int(k))
+	if k >= 0 && k < numNetEventKinds && netEventKindNames[k] != "" {
+		return netEventKindNames[k]
 	}
+	return fmt.Sprintf("NetEventKind(%d)", int(k))
 }
 
 // NetEvent is one transport-level occurrence. Observers receive them
