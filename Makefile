@@ -1,13 +1,19 @@
 GO ?= go
 
-.PHONY: check ci build test vet race bench fuzz vuln clean
+.PHONY: check ci build test vet race bench smoke fuzz vuln clean
 
 ## check: the full gate — vet, build, tests, and a short race pass.
 check: vet build test race
 
-## ci: what .github/workflows/ci.yml runs — the full gate plus a
-## vulnerability scan when govulncheck is on PATH.
-ci: check vuln
+## ci: what .github/workflows/ci.yml runs — the full gate plus the
+## dsmbench smoke sweep (its dsmbench/v1 scorecard is uploaded as a CI
+## artifact) plus a vulnerability scan when govulncheck is on PATH.
+ci: check smoke vuln
+
+## smoke: the fast dsmbench subset (visibility, ws, obsoverhead) with
+## the machine-readable scorecard written to smoke-scorecard.json.
+smoke:
+	$(GO) run ./cmd/dsmbench -exp smoke -json smoke-scorecard.json
 
 ## vuln: govulncheck over the whole module; skipped quietly when the
 ## tool isn't installed (it is not vendored and CI may run offline).
@@ -43,3 +49,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
+	rm -f smoke-scorecard.json

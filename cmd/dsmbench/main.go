@@ -7,10 +7,16 @@
 //	dsmbench -exp jitter        # one of: jitter, nprocs, mix,
 //	                            # falsecausality, buffer, throughput,
 //	                            # ws, ablation, metadata, twosite,
-//	                            # visibility, chaos, crash
+//	                            # visibility, chaos, crash, obsoverhead
+//	dsmbench -exp smoke         # fast CI subset (visibility, ws,
+//	                            # obsoverhead)
 //	dsmbench -procs 4 -ops 500  # sizing for -exp throughput
 //	dsmbench -exp chaos         # live OptP over lossy/duplicating links
 //	dsmbench -exp crash         # crash-stop + WAL restart, all protocols
+//	dsmbench -json out.json     # also write the machine-readable
+//	                            # scorecard (schema dsmbench/v1)
+//	dsmbench -debug-addr :6060  # serve /metrics, expvar and pprof while
+//	                            # the sweeps run
 package main
 
 import (
@@ -21,12 +27,15 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")
 	procs := flag.Int("procs", 4, "processes for the throughput experiment")
 	ops := flag.Int("ops", 1000, "ops per process for the throughput experiment")
+	jsonPath := flag.String("json", "", "write the dsmbench/v1 JSON scorecard to this path")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
 
 	sims := map[string]func() (experiments.Result, error){
@@ -42,6 +51,13 @@ func main() {
 		"visibility":     experiments.VisibilityLatency,
 		"chaos":          experiments.Chaos,
 		"crash":          experiments.CrashRecovery,
+		"obsoverhead":    experiments.ObsOverhead,
+	}
+	// smoke is the CI subset: one simulator sweep, one writing-semantics
+	// table, and the obs-overhead benchmark — fast enough for every push,
+	// wide enough that the scorecard catches schema and perf drift.
+	smoke := []func() (experiments.Result, error){
+		experiments.VisibilityLatency, experiments.WritingSemantics, experiments.ObsOverhead,
 	}
 
 	if flag.NArg() > 0 {
@@ -53,6 +69,35 @@ func main() {
 	if *ops < 1 {
 		usage("-ops must be at least 1, got %d", *ops)
 	}
+	// Validate the output path up front: a sweep can run for minutes,
+	// and discovering an unwritable path afterwards wastes all of it.
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			usage("-json: %v", err)
+		}
+		f.Close()
+	}
+	if *debugAddr != "" {
+		// The registry only carries what the experiments expose, but the
+		// debug server's pprof endpoints profile the whole sweep.
+		srv, err := obs.StartDebugServer(*debugAddr, obs.NewRegistry())
+		if err != nil {
+			usage("-debug-addr: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dsmbench: debug endpoints on http://%s\n", srv.Addr())
+	}
+
+	var results []experiments.Result
+	run := func(fn func() (experiments.Result, error)) {
+		r, err := fn()
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, r)
+		fmt.Println(r)
+	}
 
 	switch *exp {
 	case "":
@@ -61,35 +106,42 @@ func main() {
 			fatal(err)
 		}
 		for _, r := range rs {
+			results = append(results, r)
 			fmt.Println(r)
 		}
-		tr, err := experiments.Throughput(*procs, *ops)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(tr)
+		run(func() (experiments.Result, error) { return experiments.Throughput(*procs, *ops) })
 	case "throughput":
-		r, err := experiments.Throughput(*procs, *ops)
-		if err != nil {
-			fatal(err)
+		run(func() (experiments.Result, error) { return experiments.Throughput(*procs, *ops) })
+	case "smoke":
+		for _, fn := range smoke {
+			run(fn)
 		}
-		fmt.Println(r)
 	default:
 		fn, ok := sims[*exp]
 		if !ok {
-			names := make([]string, 0, len(sims)+1)
+			names := make([]string, 0, len(sims)+2)
 			for name := range sims {
 				names = append(names, name)
 			}
-			names = append(names, "throughput")
+			names = append(names, "throughput", "smoke")
 			sort.Strings(names)
 			usage("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
 		}
-		r, err := fn()
+		run(fn)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(r)
+		if err := experiments.WriteScorecard(f, results); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -12,6 +12,9 @@
 //	dsmrun -partition 5ms-25ms:0,1/2,3             # timed split-brain
 //	dsmrun -wal-dir /tmp/dsm -crash 1@5ms -restart-after 20ms
 //	dsmrun -heartbeat 1ms -suspect-after 5ms       # failure detector
+//	dsmrun -debug-addr :6060                       # live /metrics + pprof
+//	dsmrun -report 5s                              # periodic stats line
+//	dsmrun -stream run.jsonl -spans spans.jsonl    # live event tee + spans
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 
 	"repro/internal/checker"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -58,6 +62,10 @@ func main() {
 	suspectAfter := flag.Duration("suspect-after", 0, "failure detector: silence threshold (default 4×heartbeat)")
 	crash := flag.String("crash", "", "crash schedule, e.g. 1@5ms or 1@5ms,2@10ms (proc@start)")
 	restartAfter := flag.Duration("restart-after", 0, "restart each crashed process this long after its crash (0: stay down)")
+	debugAddr := flag.String("debug-addr", "", "observability: serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	report := flag.Duration("report", 0, "observability: print a live stats line at this interval (0 disables)")
+	stream := flag.String("stream", "", "observability: tee the live event stream as JSONL to this file (\"-\" for stderr)")
+	spansOut := flag.String("spans", "", "observability: write causal-propagation spans as JSONL to this file after the run")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -103,6 +111,9 @@ func main() {
 	if *suspectAfter > 0 && *heartbeat == 0 {
 		usage("-suspect-after needs -heartbeat")
 	}
+	if *report < 0 {
+		usage("-report must not be negative, got %v", *report)
+	}
 
 	chaos := transport.ChaosConfig{
 		LossRate: *loss, DupRate: *dup,
@@ -138,6 +149,45 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		SuspectAfter:      *suspectAfter,
 		Crashes:           crashes,
+	}
+
+	// Observability wiring. The observer is built only when a flag asks
+	// for it, so plain runs pay nothing on the event hot path. Bind and
+	// open failures surface as usage errors before the cluster starts.
+	var observer *obs.Observer
+	if *debugAddr != "" || *report > 0 || *spansOut != "" {
+		observer = obs.NewObserver(obs.Options{Procs: *procs, Protocol: kind.String()})
+		cfg.Obs = observer
+	}
+	var sink *obs.JSONLSink
+	if *stream != "" {
+		w := os.Stderr
+		if *stream != "-" {
+			f, err := os.Create(*stream)
+			if err != nil {
+				usage("-stream: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		sink = obs.NewJSONLSink(w, 0)
+		cfg.Sink = sink
+		if observer != nil {
+			sink.RegisterMetrics(observer.Registry(), obs.L("protocol", kind.String()))
+		}
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, observer.Registry())
+		if err != nil {
+			usage("-debug-addr: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dsmrun: debug endpoints on http://%s\n", srv.Addr())
+	}
+	var reporter *obs.Reporter
+	if *report > 0 {
+		reporter = obs.NewReporter(observer, os.Stderr, *report)
+		reporter.Start()
 	}
 	if *useTCP {
 		if chaos.Enabled() {
@@ -219,6 +269,31 @@ func main() {
 		fatal(err)
 	}
 	quiesceDur := time.Since(start)
+
+	if reporter != nil {
+		reporter.Close()
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fatal(fmt.Errorf("stream sink: %w", err))
+		}
+		if n := sink.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "dsmrun: stream sink dropped %d events\n", n)
+		}
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := observer.WriteSpans(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	log := c.Log()
 	switch *traceOut {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/durability"
 	"repro/internal/history"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -125,6 +126,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				return nil, fmt.Errorf("core: p%d journal: %w", n.id+1, err)
 			}
 			n.wal = wal
+			c.observeWAL(n)
 		}
 	}
 	if cfg.HeartbeatInterval > 0 {
@@ -155,7 +157,44 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.crashDone = make(chan struct{})
 		go c.crashLoop()
 	}
+	c.registerObsGauges()
 	return c, nil
+}
+
+// observeWAL points n's journal fsync timings at the observer's WAL
+// latency histogram. Safe to call with obs disabled or no journal.
+func (c *Cluster) observeWAL(n *Node) {
+	if c.cfg.Obs == nil || n.wal == nil {
+		return
+	}
+	o, p := c.cfg.Obs, n.id
+	n.wal.SetSyncObserver(func(d time.Duration) { o.ObserveWALSync(p, d) })
+}
+
+// registerObsGauges exposes scrape-time gauges for state other
+// subsystems already track: per-node pending-buffer depth is derived
+// from events inside the observer, but the reliability sublayer's
+// resend buffer and the failure detector's suspicion matrix live in
+// the transport layer and are polled here instead of mirrored.
+func (c *Cluster) registerObsGauges() {
+	if c.cfg.Obs == nil {
+		return
+	}
+	reg := c.cfg.Obs.Registry()
+	proto := obs.L("protocol", c.cfg.Protocol.String())
+	if rel, ok := c.tr.(*transport.Reliable); ok {
+		reg.GaugeFunc("dsm_unacked_frames",
+			"reliability-sublayer frames awaiting acknowledgment",
+			func() int64 { return int64(rel.Unacked()) }, proto)
+		reg.GaugeFunc("dsm_dedup_window",
+			"reliability-sublayer out-of-order dedup population",
+			func() int64 { return int64(rel.DedupWindow()) }, proto)
+	}
+	if det := c.det; det != nil {
+		reg.GaugeFunc("dsm_suspected_pairs",
+			"failure-detector (observer, peer) pairs currently under suspicion",
+			func() int64 { return int64(det.SuspectedPairs()) }, proto)
+	}
 }
 
 // walPath returns process p's journal directory.
@@ -203,11 +242,19 @@ func (c *Cluster) StartTime() time.Time { return c.start }
 func (c *Cluster) now() int64 { return time.Since(c.start).Nanoseconds() }
 
 // appendEvent records e under the cluster lock, updating the Quiesce
-// accounting, and wakes waiters.
+// accounting, tees the event to the live observability layer, and
+// wakes waiters. The observer and sink calls are lock-free /
+// non-blocking by contract, so holding c.mu across them is safe.
 func (c *Cluster) appendEvent(e trace.Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.log.Append(e)
+	e = c.log.Append(e)
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.Observe(e)
+	}
+	if c.cfg.Sink != nil {
+		c.cfg.Sink.Record(e)
+	}
 	switch e.Kind {
 	case trace.Issue:
 		c.issuedBy[e.Proc]++

@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -102,6 +104,21 @@ type Config struct {
 	// process Proc crash-stops at Start and, when End > Start, restarts
 	// from its WAL at End. Restarting windows require WALDir.
 	Crashes []CrashWindow
+
+	// Obs attaches the live observability layer: every trace event also
+	// feeds the observer's metrics registry and causal-propagation span
+	// tracker, the WAL reports fsync latencies, and the reliability
+	// sublayer / failure detector register scrape-time gauges. The
+	// observer must be built for the same process count (obs.NewObserver
+	// with Procs == Processes). Nil disables live observability — the
+	// hot path then pays nothing.
+	Obs *obs.Observer
+
+	// Sink, when set, receives every trace event as it is recorded —
+	// a live tee of the log. Implementations must not block (see
+	// trace.Sink); obs.NewJSONLSink qualifies. The cluster does not
+	// close the sink.
+	Sink trace.Sink
 }
 
 // CrashWindow schedules one crash-stop of Proc at Start (measured from
@@ -151,6 +168,9 @@ func (c Config) Validate() error {
 	}
 	if c.Transport != nil && (c.WALDir != "" || c.HeartbeatInterval > 0 || len(c.Crashes) > 0) {
 		return fmt.Errorf("core: crash-recovery features require the built-in transport")
+	}
+	if c.Obs != nil && c.Obs.Procs() != c.Processes {
+		return fmt.Errorf("core: observer built for %d processes, cluster has %d", c.Obs.Procs(), c.Processes)
 	}
 	return nil
 }

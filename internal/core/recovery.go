@@ -135,6 +135,7 @@ func (c *Cluster) Restart(p int) (RecoveryStats, error) {
 		return st, fmt.Errorf("core: restart of p%d: %w", p+1, err)
 	}
 	n.wal, n.walErr = wal, nil
+	c.observeWAL(n)
 	n.down.Store(false)
 	c.mu.Lock()
 	c.down[p] = false

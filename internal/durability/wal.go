@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/protocol"
 )
@@ -174,6 +175,27 @@ type WAL struct {
 	gen     uint64
 	entries int
 	scratch []byte
+
+	// onSync, when set, observes the duration of every journal fsync —
+	// the observability layer's WAL latency histogram. Called with the
+	// WAL's lock discipline (the owning node's lock), so it must not
+	// re-enter the WAL.
+	onSync func(time.Duration)
+}
+
+// SetSyncObserver installs a callback timing every fsync (nil removes
+// it).
+func (w *WAL) SetSyncObserver(fn func(time.Duration)) { w.onSync = fn }
+
+// timedSync fsyncs f, feeding the observer when installed.
+func (w *WAL) timedSync(f *os.File) error {
+	if w.onSync == nil {
+		return f.Sync()
+	}
+	start := time.Now()
+	err := f.Sync()
+	w.onSync(time.Since(start))
+	return err
 }
 
 // Create opens a fresh journal generation in dir (creating it if
@@ -214,7 +236,7 @@ func (w *WAL) rotate(gen uint64, snapshot []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("durability: %w", err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := w.timedSync(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("durability: %w", err)
@@ -258,7 +280,7 @@ func (w *WAL) Append(e Entry) error {
 		return fmt.Errorf("durability: %w", err)
 	}
 	if w.sync {
-		if err := w.f.Sync(); err != nil {
+		if err := w.timedSync(w.f); err != nil {
 			return fmt.Errorf("durability: %w", err)
 		}
 	}
@@ -286,7 +308,7 @@ func (w *WAL) Close() error {
 	if w.f == nil {
 		return nil
 	}
-	err := w.f.Sync()
+	err := w.timedSync(w.f)
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}

@@ -39,6 +39,7 @@ func Chaos() (Result, error) {
 		if err != nil {
 			return r, err
 		}
+		r.Stats = append(r.Stats, st)
 		r.Rows = append(r.Rows, []string{
 			fmt.Sprintf("%.2f", loss),
 			fmt.Sprintf("%d", st.Delays),

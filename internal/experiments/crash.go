@@ -61,6 +61,7 @@ func CrashRecovery() (Result, error) {
 		if err != nil {
 			return r, fmt.Errorf("experiments: E-crash %s: %w", name, err)
 		}
+		r.Stats = append(r.Stats, st)
 		r.Rows = append(r.Rows, []string{
 			name,
 			fmt.Sprintf("%d", rec.Replayed),

@@ -14,15 +14,23 @@ import (
 	"repro/internal/checker"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// Result is one experiment's output table.
+// Result is one experiment's output table. The JSON tags are the
+// stable dsmbench scorecard schema (see Scorecard): tables serialize
+// exactly as printed, plus the optional per-run statistics some
+// experiments attach for machine consumers.
 type Result struct {
-	Name   string
-	Desc   string
-	Header []string
-	Rows   [][]string
+	Name   string     `json:"name"`
+	Desc   string     `json:"desc"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	// Stats carries the full per-run scorecards behind the table rows,
+	// for experiments built on single live runs (chaos, crash) where
+	// the table is a lossy projection.
+	Stats []trace.RunStats `json:"stats,omitempty"`
 }
 
 // String renders the table with aligned columns.

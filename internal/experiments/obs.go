@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// ObsOverhead is E-obs: the cost of the live observability layer on
+// the OptP apply path. Each mode benchmarks a live 2-process cluster
+// pushing writes end to end (issue → broadcast → receipt → apply,
+// i.e. the path every obs hook sits on) and quiescing, with the
+// observer plus a streaming span histogram either disabled or fully
+// wired. The acceptance bar for the layer is <10% overhead; the
+// overhead column records where a run actually landed so regressions
+// show up in scorecard diffs.
+func ObsOverhead() (Result, error) {
+	r := Result{
+		Name:   "E-obs",
+		Desc:   "observability-layer overhead on the live OptP write→apply path (2 procs, immediate transport)",
+		Header: []string{"mode", "ns/op", "ops", "overhead"},
+	}
+	const (
+		vars = 4
+		// Quiescing every window keeps the async broadcast queues
+		// bounded, so the benchmark measures the steady-state pipeline
+		// instead of scheduler-dependent backlog drains.
+		window = 256
+	)
+	var runErr error
+	bench := func(withObs bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			cfg := core.Config{Processes: 2, Variables: vars, Protocol: protocol.OptP, FIFO: true}
+			if withObs {
+				cfg.Obs = obs.NewObserver(obs.Options{Procs: 2, Protocol: protocol.OptP.String()})
+			}
+			c, err := core.NewCluster(cfg)
+			if err != nil {
+				runErr = err
+				b.SkipNow()
+				return
+			}
+			defer c.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			quiesce := func() {
+				if err := c.Quiesce(ctx); err != nil && runErr == nil {
+					runErr = fmt.Errorf("quiesce: %w", err)
+					b.FailNow()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Node(0).Write(i%vars, int64(i)); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				if i%window == window-1 {
+					quiesce()
+				}
+			}
+			quiesce()
+			b.StopTimer()
+		})
+	}
+	// Interleave repetitions and keep each mode's best run: scheduler
+	// noise only ever inflates a pipeline benchmark, so min-of-N is the
+	// honest estimate of the pipeline's actual cost.
+	const reps = 5
+	best := func(old testing.BenchmarkResult, cur testing.BenchmarkResult) testing.BenchmarkResult {
+		if old.N == 0 || cur.NsPerOp() < old.NsPerOp() {
+			return cur
+		}
+		return old
+	}
+	bench(false) // warm up the runtime so mode order cannot skew the comparison
+	if runErr != nil {
+		return r, fmt.Errorf("experiments: E-obs warmup: %w", runErr)
+	}
+	var off, on testing.BenchmarkResult
+	for i := 0; i < reps; i++ {
+		off = best(off, bench(false))
+		if runErr != nil {
+			return r, fmt.Errorf("experiments: E-obs baseline: %w", runErr)
+		}
+		on = best(on, bench(true))
+		if runErr != nil {
+			return r, fmt.Errorf("experiments: E-obs instrumented: %w", runErr)
+		}
+	}
+	overhead := 0.0
+	if off.NsPerOp() > 0 {
+		overhead = float64(on.NsPerOp()-off.NsPerOp()) / float64(off.NsPerOp())
+	}
+	r.Rows = append(r.Rows,
+		[]string{"obs off", fmt.Sprint(off.NsPerOp()), fmt.Sprint(off.N), "—"},
+		[]string{"obs on", fmt.Sprint(on.NsPerOp()), fmt.Sprint(on.N), fmt.Sprintf("%+.1f%%", 100*overhead)},
+	)
+	return r, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ScorecardSchema names the JSON document version WriteScorecard
+// emits. Bump it only on breaking changes to the Result or
+// trace.RunStats wire shape; additive fields keep the version.
+const ScorecardSchema = "dsmbench/v1"
+
+// Scorecard is the machine-readable form of a dsmbench run: every
+// experiment table verbatim, plus whatever per-run statistics the
+// experiments attached. CI stores these as artifacts so regressions
+// show up as a diff against BENCH_baseline.json rather than a memory.
+type Scorecard struct {
+	Schema      string   `json:"schema"`
+	Experiments []Result `json:"experiments"`
+}
+
+// NewScorecard wraps results in the current schema envelope.
+func NewScorecard(results []Result) Scorecard {
+	return Scorecard{Schema: ScorecardSchema, Experiments: results}
+}
+
+// WriteScorecard serializes the results as an indented, stable JSON
+// document.
+func WriteScorecard(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(NewScorecard(results)); err != nil {
+		return fmt.Errorf("experiments: scorecard encode: %w", err)
+	}
+	return nil
+}
+
+// ReadScorecard parses a WriteScorecard document, rejecting unknown
+// schema versions.
+func ReadScorecard(r io.Reader) (Scorecard, error) {
+	var sc Scorecard
+	if err := json.NewDecoder(r).Decode(&sc); err != nil {
+		return sc, fmt.Errorf("experiments: scorecard decode: %w", err)
+	}
+	if sc.Schema != ScorecardSchema {
+		return sc, fmt.Errorf("experiments: scorecard schema %q, want %q", sc.Schema, ScorecardSchema)
+	}
+	return sc, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestScorecardRoundTrip(t *testing.T) {
+	in := []Result{
+		{
+			Name:   "E-test",
+			Desc:   "a table",
+			Header: []string{"a", "b"},
+			Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+			Stats: []trace.RunStats{
+				{Protocol: "OptP", Procs: 2, Writes: 10, Delays: 1, DelayRate: 0.5},
+			},
+		},
+		{Name: "E-empty", Desc: "no rows", Header: []string{"x"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteScorecard(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ReadScorecard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Schema != ScorecardSchema {
+		t.Errorf("schema = %q", sc.Schema)
+	}
+	if len(sc.Experiments) != 2 {
+		t.Fatalf("experiments = %d, want 2", len(sc.Experiments))
+	}
+	got := sc.Experiments[0]
+	if got.Name != "E-test" || len(got.Rows) != 2 || got.Rows[1][1] != "4" {
+		t.Errorf("table round-trip = %+v", got)
+	}
+	if len(got.Stats) != 1 || got.Stats[0].Protocol != "OptP" || got.Stats[0].DelayRate != 0.5 {
+		t.Errorf("stats round-trip = %+v", got.Stats)
+	}
+}
+
+func TestScorecardRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadScorecard(strings.NewReader(`{"schema":"dsmbench/v99","experiments":[]}`)); err == nil {
+		t.Error("accepted an unknown schema version")
+	}
+	if _, err := ReadScorecard(strings.NewReader("{")); err == nil {
+		t.Error("accepted truncated JSON")
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugMux builds the debug HTTP mux: Prometheus text metrics at
+// /metrics, expvar at /debug/vars, and the full net/http/pprof suite
+// at /debug/pprof/ — profiling a live run under load is half the point
+// of the observability layer. The registry is also published under the
+// expvar name "dsm".
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	reg.PublishExpvar("dsm")
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "dsm debug endpoints: /metrics /debug/vars /debug/pprof/\n")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer binds addr (e.g. "localhost:6060", ":0" for an
+// ephemeral port) and serves DebugMux(reg) in the background. The
+// bind happens synchronously so flag validation can reject a bad or
+// busy address before the run starts.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: DebugMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(lis)
+	return &DebugServer{lis: lis, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

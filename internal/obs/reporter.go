@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter prints a one-line live snapshot of an observer's stats
+// every interval — the terminal's answer to /metrics for runs watched
+// from a shell instead of a scrape pipeline.
+type Reporter struct {
+	o        *Observer
+	w        io.Writer
+	interval time.Duration
+
+	start     time.Time
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewReporter builds a reporter writing to w every interval. Call
+// Start to begin.
+func NewReporter(o *Observer, w io.Writer, interval time.Duration) *Reporter {
+	return &Reporter{
+		o: o, w: w, interval: interval, start: time.Now(),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// Start launches the reporting loop.
+func (r *Reporter) Start() { go r.loop() }
+
+func (r *Reporter) loop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.line(time.Since(r.start))
+		}
+	}
+}
+
+func (r *Reporter) line(elapsed time.Duration) {
+	fmt.Fprintf(r.w, "[obs %v] %v\n", elapsed.Round(time.Second), r.o.Stats())
+}
+
+// Close stops the loop, printing one final line so short runs still
+// get a report. Idempotent.
+func (r *Reporter) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		<-r.done
+		r.line(time.Since(r.start))
+	})
+	return nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// JSONLSink streams trace events as JSON Lines to a writer while the
+// run executes — one trace.JSONEvent document per line, the same
+// schema Log.WriteJSON uses post-hoc. Record never blocks the caller:
+// events queue in a bounded ring (a buffered channel) drained by a
+// background goroutine, and when the consumer cannot keep up the
+// overflow is counted and dropped instead of stalling the protocol.
+type JSONLSink struct {
+	ch      chan trace.Event
+	dropped atomic.Uint64
+
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	werr error
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+var _ trace.Sink = (*JSONLSink)(nil)
+
+// NewJSONLSink starts a sink writing to w. capacity bounds the event
+// ring (0 defaults to 8192). Close flushes and stops the drainer; the
+// sink does not close w.
+func NewJSONLSink(w io.Writer, capacity int) *JSONLSink {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	s := &JSONLSink{
+		ch:   make(chan trace.Event, capacity),
+		bw:   bufio.NewWriter(w),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.enc = json.NewEncoder(s.bw)
+	go s.drain()
+	return s
+}
+
+// Record implements trace.Sink: non-blocking enqueue, drop-counting on
+// overflow. Records arriving after Close count as drops.
+func (s *JSONLSink) Record(e trace.Event) {
+	select {
+	case s.ch <- e:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Dropped returns the number of events lost to ring overflow.
+func (s *JSONLSink) Dropped() uint64 { return s.dropped.Load() }
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.werr
+}
+
+// RegisterMetrics exposes the sink's drop counter on a registry.
+func (s *JSONLSink) RegisterMetrics(reg *Registry, labels ...Label) {
+	reg.GaugeFunc("dsm_sink_dropped_total",
+		"trace events dropped by the streaming sink's bounded ring",
+		func() int64 { return int64(s.Dropped()) }, labels...)
+}
+
+func (s *JSONLSink) encode(e trace.Event) {
+	s.mu.Lock()
+	if s.werr == nil {
+		s.werr = s.enc.Encode(trace.ToJSONEvent(e))
+	}
+	s.mu.Unlock()
+}
+
+func (s *JSONLSink) drain() {
+	defer close(s.done)
+	for {
+		select {
+		case e := <-s.ch:
+			s.encode(e)
+		case <-s.stop:
+			// Drain whatever is already queued, then flush and exit.
+			for {
+				select {
+				case e := <-s.ch:
+					s.encode(e)
+				default:
+					s.mu.Lock()
+					if err := s.bw.Flush(); s.werr == nil {
+						s.werr = err
+					}
+					s.mu.Unlock()
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close drains queued events, flushes, stops the drainer, and returns
+// the first write error. Idempotent; Record stays safe (and counts
+// drops) after Close.
+func (s *JSONLSink) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+	})
+	<-s.done
+	return s.Err()
+}

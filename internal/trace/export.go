@@ -6,7 +6,20 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/history"
 )
+
+// ParseEventKind maps a kind name (as produced by EventKind.String) to
+// its EventKind.
+func ParseEventKind(s string) (EventKind, error) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if eventKindNames[k] == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
 
 // WriteCSV streams the log as CSV with a header row, one event per
 // line. Columns: seq, kind, proc, time, write_proc, write_seq, var,
@@ -42,14 +55,85 @@ func (l *Log) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// jsonLog is the stable JSON schema of a log.
-type jsonLog struct {
-	NumProcs int         `json:"num_procs"`
-	NumVars  int         `json:"num_vars"`
-	Events   []jsonEvent `json:"events"`
+// ReadCSV parses a WriteCSV stream back into a Log. NumProcs and
+// NumVars are reconstructed as upper bounds from the events (the CSV
+// format does not carry them); pass the result through a checker that
+// knows the real topology when it matters.
+func ReadCSV(r io.Reader) (*Log, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv read: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: csv: missing header")
+	}
+	l := &Log{}
+	for i, rec := range recs[1:] {
+		e, err := parseCSVEvent(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", i, err)
+		}
+		l.Events = append(l.Events, e)
+		if e.Proc >= l.NumProcs {
+			l.NumProcs = e.Proc + 1
+		}
+		if e.Var >= l.NumVars {
+			l.NumVars = e.Var + 1
+		}
+	}
+	return l, nil
 }
 
-type jsonEvent struct {
+// parseCSVEvent parses one WriteCSV data row.
+func parseCSVEvent(rec []string) (Event, error) {
+	var e Event
+	if len(rec) != 11 {
+		return e, fmt.Errorf("%d columns, want 11", len(rec))
+	}
+	var err error
+	ints := func(s string) int {
+		n, perr := strconv.Atoi(s)
+		if perr != nil && err == nil {
+			err = perr
+		}
+		return n
+	}
+	int64s := func(s string) int64 {
+		n, perr := strconv.ParseInt(s, 10, 64)
+		if perr != nil && err == nil {
+			err = perr
+		}
+		return n
+	}
+	e.Seq = ints(rec[0])
+	e.Proc = ints(rec[2])
+	e.Time = int64s(rec[3])
+	e.Write = history.WriteID{Proc: ints(rec[4]), Seq: ints(rec[5])}
+	e.Var = ints(rec[6])
+	e.Val = int64s(rec[7])
+	e.From = history.WriteID{Proc: ints(rec[8]), Seq: ints(rec[9])}
+	if err != nil {
+		return e, err
+	}
+	if e.Kind, err = ParseEventKind(rec[1]); err != nil {
+		return e, err
+	}
+	e.Buffered, err = strconv.ParseBool(rec[10])
+	return e, err
+}
+
+// JSONLog is the stable JSON schema of a log.
+type JSONLog struct {
+	NumProcs int         `json:"num_procs"`
+	NumVars  int         `json:"num_vars"`
+	Events   []JSONEvent `json:"events"`
+}
+
+// JSONEvent is the stable JSON schema of one event — shared by the
+// whole-log WriteJSON document and the obs layer's streaming JSONL
+// sink, so live and post-hoc exports parse identically.
+type JSONEvent struct {
 	Seq      int    `json:"seq"`
 	Kind     string `json:"kind"`
 	Proc     int    `json:"proc"`
@@ -61,17 +145,37 @@ type jsonEvent struct {
 	Buffered bool   `json:"buffered,omitempty"`
 }
 
+// ToJSONEvent converts an Event to its wire schema.
+func ToJSONEvent(e Event) JSONEvent {
+	return JSONEvent{
+		Seq: e.Seq, Kind: e.Kind.String(), Proc: e.Proc, Time: e.Time,
+		Write: [2]int{e.Write.Proc, e.Write.Seq},
+		Var:   e.Var, Val: e.Val,
+		From:     [2]int{e.From.Proc, e.From.Seq},
+		Buffered: e.Buffered,
+	}
+}
+
+// Event converts the wire schema back, validating the kind name.
+func (je JSONEvent) Event() (Event, error) {
+	k, err := ParseEventKind(je.Kind)
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{
+		Seq: je.Seq, Kind: k, Proc: je.Proc, Time: je.Time,
+		Write: history.WriteID{Proc: je.Write[0], Seq: je.Write[1]},
+		Var:   je.Var, Val: je.Val,
+		From:     history.WriteID{Proc: je.From[0], Seq: je.From[1]},
+		Buffered: je.Buffered,
+	}, nil
+}
+
 // WriteJSON streams the log as a single JSON document.
 func (l *Log) WriteJSON(w io.Writer) error {
-	jl := jsonLog{NumProcs: l.NumProcs, NumVars: l.NumVars, Events: make([]jsonEvent, 0, len(l.Events))}
+	jl := JSONLog{NumProcs: l.NumProcs, NumVars: l.NumVars, Events: make([]JSONEvent, 0, len(l.Events))}
 	for _, e := range l.Events {
-		jl.Events = append(jl.Events, jsonEvent{
-			Seq: e.Seq, Kind: e.Kind.String(), Proc: e.Proc, Time: e.Time,
-			Write: [2]int{e.Write.Proc, e.Write.Seq},
-			Var:   e.Var, Val: e.Val,
-			From:     [2]int{e.From.Proc, e.From.Seq},
-			Buffered: e.Buffered,
-		})
+		jl.Events = append(jl.Events, ToJSONEvent(e))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -79,4 +183,21 @@ func (l *Log) WriteJSON(w io.Writer) error {
 		return fmt.Errorf("trace: json encode: %w", err)
 	}
 	return nil
+}
+
+// ReadJSON parses a WriteJSON document back into a Log.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var jl JSONLog
+	if err := json.NewDecoder(r).Decode(&jl); err != nil {
+		return nil, fmt.Errorf("trace: json decode: %w", err)
+	}
+	l := NewLog(jl.NumProcs, jl.NumVars)
+	for i, je := range jl.Events {
+		e, err := je.Event()
+		if err != nil {
+			return nil, fmt.Errorf("trace: json event %d: %w", i, err)
+		}
+		l.Events = append(l.Events, e)
+	}
+	return l, nil
 }

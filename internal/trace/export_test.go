@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// exportLog is sampleLog plus one of every event kind the sample lacks,
+// so round-trip tests cover the full kind vocabulary (chaos, crash
+// recovery, failure detection, writing semantics, tokens).
+func exportLog() *Log {
+	l := sampleLog()
+	w := history.WriteID{Proc: 0, Seq: 3}
+	l.Append(Event{Kind: Discard, Proc: 1, Time: 31, Write: w, Var: 0, Val: 7})
+	l.Append(Event{Kind: Drop, Proc: 1, Time: 32, Write: w})
+	l.Append(Event{Kind: Token, Proc: 0, Time: 33, Val: 2})
+	l.Append(Event{Kind: NetDrop, Proc: 1, Time: 34, Write: w})
+	l.Append(Event{Kind: Retransmit, Proc: 0, Time: 35, Write: w})
+	l.Append(Event{Kind: DupDiscard, Proc: 1, Time: 36, Write: w})
+	l.Append(Event{Kind: Crash, Proc: 1, Time: 37})
+	l.Append(Event{Kind: Recover, Proc: 1, Time: 38, Val: 4})
+	l.Append(Event{Kind: Suspect, Proc: 0, Time: 39, Val: 1})
+	l.Append(Event{Kind: Alive, Proc: 0, Time: 40, Val: 1})
+	return l
+}
+
+func TestParseEventKind(t *testing.T) {
+	for k := EventKind(0); int(k) < NumKinds; k++ {
+		got, err := ParseEventKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseEventKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseEventKind("bogus"); err == nil {
+		t.Error("ParseEventKind accepted an unknown name")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := exportLog()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(l.Events) {
+		t.Fatalf("round-tripped %d events, want %d", len(got.Events), len(l.Events))
+	}
+	for i := range l.Events {
+		if got.Events[i] != l.Events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got.Events[i], l.Events[i])
+		}
+	}
+	// The CSV format carries no topology; bounds are reconstructed.
+	if got.NumProcs != 2 || got.NumVars != 1 {
+		t.Errorf("reconstructed topology %d procs, %d vars", got.NumProcs, got.NumVars)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":       "",
+		"short row":   "seq,kind\n0,Issue\n",
+		"bad int":     "h\nx,Issue,0,0,0,0,0,0,0,0,false\n",
+		"bad kind":    "h\n0,Bogus,0,0,0,0,0,0,0,0,false\n",
+		"bad bool":    "h\n0,Issue,0,0,0,0,0,0,0,0,maybe\n",
+		"ragged rows": "a,b\n1,2,3\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadCSV accepted %q", name, in)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := exportLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProcs != l.NumProcs || got.NumVars != l.NumVars {
+		t.Errorf("topology = (%d, %d), want (%d, %d)", got.NumProcs, got.NumVars, l.NumProcs, l.NumVars)
+	}
+	if len(got.Events) != len(l.Events) {
+		t.Fatalf("round-tripped %d events, want %d", len(got.Events), len(l.Events))
+	}
+	for i := range l.Events {
+		if got.Events[i] != l.Events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got.Events[i], l.Events[i])
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"not json": "{",
+		"bad kind": `{"num_procs":1,"num_vars":1,"events":[{"kind":"Bogus"}]}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadJSON accepted %q", name, in)
+		}
+	}
+}
+
+func TestJSONEventRoundTrip(t *testing.T) {
+	e := Event{
+		Seq: 7, Kind: Receipt, Proc: 1, Time: 99,
+		Write: history.WriteID{Proc: 0, Seq: 4}, Var: 2, Val: -5,
+		From: history.WriteID{Proc: 1, Seq: 2}, Buffered: true,
+	}
+	got, err := ToJSONEvent(e).Event()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Errorf("round-trip = %+v, want %+v", got, e)
+	}
+}
+
+// TestDiagramGolden pins the space-time diagram rendering byte-for-byte
+// against testdata/diagram.golden. Refresh with `go test -run
+// TestDiagramGolden -update ./internal/trace/` after a deliberate
+// format change and review the diff.
+func TestDiagramGolden(t *testing.T) {
+	out := Diagram{}.Render(exportLog())
+	path := filepath.Join("testdata", "diagram.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if out != string(want) {
+		t.Errorf("diagram drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}

@@ -25,14 +25,21 @@ func Summarize(xs []int64) Summary {
 	s := make([]int64, len(xs))
 	copy(s, xs)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	var sum, sumSq float64
-	for _, x := range s {
-		sum += float64(x)
-		sumSq += float64(x) * float64(x)
+	// Welford's online algorithm: the textbook sumSq/n - mean² form
+	// cancels catastrophically when samples are large relative to their
+	// spread (wall-clock nanoseconds are exactly that), producing
+	// garbage or negative variances. Welford accumulates the centered
+	// second moment directly and stays accurate at any magnitude.
+	var mean, m2, sum float64
+	for i, x := range s {
+		v := float64(x)
+		sum += v
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
 	}
 	n := float64(len(s))
-	mean := sum / n
-	variance := sumSq/n - mean*mean
+	variance := m2 / n
 	if variance < 0 {
 		variance = 0
 	}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.StdDev != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]int64{5})
+	if s.Count != 1 || s.Min != 5 || s.Max != 5 || s.Mean != 5 || s.StdDev != 0 || s.Total != 5 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	// 1..9: mean 5, population variance 60/9, quantiles by nearest rank.
+	xs := []int64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	s = Summarize(xs)
+	if s.Count != 9 || s.Min != 1 || s.Max != 9 || s.Total != 45 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if want := math.Sqrt(60.0 / 9.0); math.Abs(s.StdDev-want) > 1e-9 {
+		t.Errorf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if s.P50 != 5 || s.P95 != 9 || s.P99 != 9 {
+		t.Errorf("quantiles p50=%d p95=%d p99=%d", s.P50, s.P95, s.P99)
+	}
+	if xs[0] != 9 {
+		t.Error("Summarize modified its input")
+	}
+}
+
+// TestSummarizeLargeOffset is the regression test for the variance
+// computation: wall-clock nanosecond timestamps are huge numbers with
+// tiny spread, exactly the regime where the naive sumSq/n − mean² form
+// cancels catastrophically (garbage or negative variance, NaN stddev).
+// Welford's algorithm must report the same spread regardless of offset.
+func TestSummarizeLargeOffset(t *testing.T) {
+	base := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	want := Summarize(base).StdDev // sqrt(8.25) ≈ 2.872
+	if math.Abs(want-math.Sqrt(8.25)) > 1e-9 {
+		t.Fatalf("baseline stddev = %v, want sqrt(8.25)", want)
+	}
+	// Offsets stop at 1e15: beyond ~9e15 float64 itself cannot represent
+	// the samples distinctly, which no summation algorithm can undo. At
+	// 1e15 the naive formula was already off by orders of magnitude.
+	for _, offset := range []int64{1e12, 1e14, 1e15} {
+		xs := make([]int64, len(base))
+		for i, x := range base {
+			xs[i] = offset + x
+		}
+		s := Summarize(xs)
+		if math.IsNaN(s.StdDev) {
+			t.Errorf("offset %g: stddev is NaN", float64(offset))
+			continue
+		}
+		if math.Abs(s.StdDev-want) > 1e-3 {
+			t.Errorf("offset %g: stddev = %v, want %v (catastrophic cancellation?)",
+				float64(offset), s.StdDev, want)
+		}
+		if math.Abs(s.Mean-(float64(offset)+4.5)) > 1 {
+			t.Errorf("offset %g: mean = %v", float64(offset), s.Mean)
+		}
+	}
+}

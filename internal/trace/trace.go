@@ -64,6 +64,10 @@ const (
 	numEventKinds
 )
 
+// NumKinds is the number of defined event kinds, for packages that
+// build exhaustive per-kind tables (the obs layer's counter families).
+const NumKinds = int(numEventKinds)
+
 // eventKindNames names every EventKind; the package tests assert the
 // table is exhaustive so new kinds cannot silently print as integers.
 var eventKindNames = [numEventKinds]string{
@@ -138,6 +142,15 @@ func (e Event) String() string {
 	default:
 		return fmt.Sprintf("[%d] p%d %s %v @%d", e.Seq, e.Proc+1, e.Kind, e.Write, e.Time)
 	}
+}
+
+// Sink consumes events live, as they are recorded — the streaming
+// counterpart of the post-hoc Log. Implementations must never block
+// the caller on I/O (the cluster invokes Record under its log lock);
+// the obs package's JSONL sink buffers in a bounded ring and counts
+// drops instead of stalling the protocol.
+type Sink interface {
+	Record(Event)
 }
 
 // Log is a complete run record.

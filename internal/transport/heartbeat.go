@@ -211,6 +211,27 @@ func (d *Detector) Suspects(observer int) []int {
 	return out
 }
 
+// SuspectedPairs returns the number of (observer, peer) pairs where a
+// live observer currently suspects the peer — the scrape-time gauge
+// the observability layer exposes as dsm_suspected_pairs (0 in a
+// healthy cluster).
+func (d *Detector) SuspectedPairs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for obs := 0; obs < d.cfg.Procs; obs++ {
+		if d.down[obs] {
+			continue
+		}
+		for peer, s := range d.suspected[obs] {
+			if s && peer != obs {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Close stops probing. It does not close the underlying transport.
 func (d *Detector) Close() error {
 	d.mu.Lock()
