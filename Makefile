@@ -1,19 +1,26 @@
 GO ?= go
 
-.PHONY: check ci build test vet race bench smoke fuzz vuln clean
+.PHONY: check ci build test vet race bench smoke throughput fuzz vuln clean
 
 ## check: the full gate — vet, build, tests, and a short race pass.
 check: vet build test race
 
 ## ci: what .github/workflows/ci.yml runs — the full gate plus the
-## dsmbench smoke sweep (its dsmbench/v1 scorecard is uploaded as a CI
-## artifact) plus a vulnerability scan when govulncheck is on PATH.
-ci: check smoke vuln
+## dsmbench smoke sweep and the hot-path throughput gate (their
+## dsmbench/v1 scorecards are uploaded as CI artifacts) plus a
+## vulnerability scan when govulncheck is on PATH.
+ci: check smoke throughput vuln
 
 ## smoke: the fast dsmbench subset (visibility, ws, obsoverhead) with
 ## the machine-readable scorecard written to smoke-scorecard.json.
 smoke:
 	$(GO) run ./cmd/dsmbench -exp smoke -json smoke-scorecard.json
+
+## throughput: the live hot-path scorecard, gated against the committed
+## BENCH_throughput.json baseline — fails on a >20% ops/s regression.
+throughput:
+	$(GO) run ./cmd/dsmbench -exp throughput-smoke -ops 20000 \
+		-baseline BENCH_throughput.json -json throughput-scorecard.json
 
 ## vuln: govulncheck over the whole module; skipped quietly when the
 ## tool isn't installed (it is not vendored and CI may run offline).
@@ -49,4 +56,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -f smoke-scorecard.json
+	rm -f smoke-scorecard.json throughput-scorecard.json

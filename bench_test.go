@@ -11,6 +11,8 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -53,6 +55,7 @@ func BenchmarkFig7CausalityGraph(b *testing.B) { benchArtifact(b, paperrepro.Fig
 // delay metrics.
 func benchSim(b *testing.B, kind protocol.Kind, procs, vars int, mk func(seed uint64) ([]sim.Script, error), jitter int64, fifo bool) {
 	b.Helper()
+	b.ReportAllocs()
 	var delays, unnecessary, receipts float64
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i%16 + 1)
@@ -140,6 +143,7 @@ func BenchmarkFalseCausality(b *testing.B) {
 func BenchmarkBufferOccupancy(b *testing.B) {
 	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH} {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var bufMax float64
 			mk := mixedWorkload(4, 4, 40, 0.6)
 			for i := 0; i < b.N; i++ {
@@ -166,6 +170,7 @@ func BenchmarkBufferOccupancy(b *testing.B) {
 func BenchmarkWritingSemantics(b *testing.B) {
 	for _, kind := range []protocol.Kind{protocol.ANBKH, protocol.WSRecv, protocol.WSSend} {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var discards, delays float64
 			for i := 0; i < b.N; i++ {
 				seed := uint64(i%16 + 1)
@@ -258,6 +263,99 @@ func BenchmarkLiveRead(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterThroughput is the multicore hot-path scorecard: one
+// writer/reader goroutine per process hammering a live OptP cluster
+// over the immediate FIFO transport (3 writes : 1 read), with the final
+// Quiesce inside the timed region so every propagated update's receipt
+// and apply is paid for. BENCH_throughput.json commits its before/after
+// numbers; CI reruns it via `dsmbench -exp throughput-smoke` and fails
+// on >20% ops/sec regression.
+func benchClusterThroughput(b *testing.B, procs int) {
+	c, err := core.NewCluster(core.Config{
+		Processes: procs, Variables: 16, Protocol: protocol.OptP, FIFO: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for p := 0; p < procs; p++ {
+		ops := b.N / procs
+		if p < b.N%procs {
+			ops++
+		}
+		wg.Add(1)
+		go func(p, ops int) {
+			defer wg.Done()
+			n := c.Node(p)
+			for i := 1; i <= ops; i++ {
+				var err error
+				if i%4 == 0 {
+					_, err = n.Read(i % 16)
+				} else {
+					err = n.Write(i%16, int64(p*1_000_000+i))
+				}
+				if err != nil {
+					firstErr.Store(err)
+					return
+				}
+			}
+		}(p, ops)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Quiesce(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err, ok := firstErr.Load().(error); ok {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkClusterThroughput(b *testing.B) {
+	for _, procs := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchClusterThroughput(b, procs)
+		})
+	}
+}
+
+// BenchmarkOptPApply pins the OptP apply path — Status check plus
+// Apply — at zero allocations per event. The local writes that
+// manufacture each deliverable update run with the timer stopped, so
+// the measurement is the receiver side only.
+func BenchmarkOptPApply(b *testing.B) {
+	sender := protocol.New(protocol.OptP, 0, 8, 16)
+	receiver := protocol.New(protocol.OptP, 1, 8, 16)
+	const block = 1024
+	us := make([]protocol.Update, block)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		b.StopTimer()
+		n := block
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		for j := 0; j < n; j++ {
+			us[j], _ = sender.LocalWrite(j%16, int64(j))
+		}
+		b.StartTimer()
+		for j := 0; j < n; j++ {
+			if receiver.Status(us[j]) != protocol.Deliverable {
+				b.Fatal("unexpected status")
+			}
+			receiver.Apply(us[j])
+		}
+		done += n
+	}
+}
+
 // --- Engine micro-benchmarks ---------------------------------------------
 
 func BenchmarkSimEngineEvents(b *testing.B) {
@@ -333,6 +431,7 @@ func BenchmarkCausalityClosure(b *testing.B) {
 func BenchmarkVisibilityLatency(b *testing.B) {
 	for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH, protocol.WSSend} {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var mean float64
 			for i := 0; i < b.N; i++ {
 				scripts, err := workload.Scripts(workload.Config{

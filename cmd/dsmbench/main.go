@@ -11,6 +11,9 @@
 //	dsmbench -exp smoke         # fast CI subset (visibility, ws,
 //	                            # obsoverhead)
 //	dsmbench -procs 4 -ops 500  # sizing for -exp throughput
+//	dsmbench -exp throughput-smoke -baseline BENCH_throughput.json
+//	                            # hot-path scorecard; exits nonzero if
+//	                            # ops/s regresses >20% vs the baseline
 //	dsmbench -exp chaos         # live OptP over lossy/duplicating links
 //	dsmbench -exp crash         # crash-stop + WAL restart, all protocols
 //	dsmbench -json out.json     # also write the machine-readable
@@ -35,6 +38,7 @@ func main() {
 	procs := flag.Int("procs", 4, "processes for the throughput experiment")
 	ops := flag.Int("ops", 1000, "ops per process for the throughput experiment")
 	jsonPath := flag.String("json", "", "write the dsmbench/v1 JSON scorecard to this path")
+	baselinePath := flag.String("baseline", "", "dsmbench/v1 scorecard to gate throughput-smoke against (>20% ops/s regression fails)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
 
@@ -78,6 +82,19 @@ func main() {
 		}
 		f.Close()
 	}
+	// Same reasoning for the baseline: parse it before running anything.
+	var baseline experiments.Scorecard
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			usage("-baseline: %v", err)
+		}
+		baseline, err = experiments.ReadScorecard(f)
+		f.Close()
+		if err != nil {
+			usage("-baseline: %v", err)
+		}
+	}
 	if *debugAddr != "" {
 		// The registry only carries what the experiments expose, but the
 		// debug server's pprof endpoints profile the whole sweep.
@@ -112,6 +129,8 @@ func main() {
 		run(func() (experiments.Result, error) { return experiments.Throughput(*procs, *ops) })
 	case "throughput":
 		run(func() (experiments.Result, error) { return experiments.Throughput(*procs, *ops) })
+	case "throughput-smoke":
+		run(func() (experiments.Result, error) { return experiments.ThroughputSmoke(*ops) })
 	case "smoke":
 		for _, fn := range smoke {
 			run(fn)
@@ -123,7 +142,7 @@ func main() {
 			for name := range sims {
 				names = append(names, name)
 			}
-			names = append(names, "throughput", "smoke")
+			names = append(names, "throughput", "throughput-smoke", "smoke")
 			sort.Strings(names)
 			usage("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
 		}
@@ -142,6 +161,15 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+	}
+
+	// Gate last so the scorecard artifact is written even when the run
+	// regressed — CI wants both the failure and the numbers behind it.
+	if *baselinePath != "" {
+		if err := experiments.CheckThroughputRegression(results, baseline, 0.2); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dsmbench: throughput within 20%% of %s\n", *baselinePath)
 	}
 }
 

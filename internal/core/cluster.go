@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checker"
@@ -28,6 +30,15 @@ var (
 )
 
 // Cluster hosts the processes of a live DSM system.
+//
+// The event hot path is lock-free: appendEvent writes into a sharded
+// trace.Journal (one append lane per process) and maintains the
+// Quiesce accounting in padded atomics, so concurrent writers and
+// delivery goroutines never serialize on a cluster-wide mutex. The
+// only cluster-level lock left is mu, guarding the crash-stop mirror
+// on the (slow) Crash/Restart control paths, plus obsMu, which
+// serializes the observer/sink tee when live observability is
+// configured. Lock order is always Node.mu before Cluster.mu.
 type Cluster struct {
 	cfg    Config
 	tr     transport.Transport
@@ -36,18 +47,22 @@ type Cluster struct {
 	start  time.Time
 	hasTok bool
 
-	// mu guards everything below plus the trace log; cond is signaled
-	// on every state change that can affect Quiesce. Lock order is
-	// always Node.mu before Cluster.mu.
-	mu           sync.Mutex
-	cond         *sync.Cond
-	log          *trace.Log
-	issuedBy     []int  // writes issued per process
-	propagatedBy []int  // non-marker updates actually broadcast per process
-	counted      []int  // writes (logically) applied per process
-	unsentBy     []int  // deferred writes awaiting the token per process
-	down         []bool // crash-stopped processes (mirrors Node.down)
-	closed       bool
+	journal *trace.Journal
+	closed  atomic.Bool
+
+	// tee is set when cfg.Obs or cfg.Sink is non-nil; obsMu then
+	// serializes ticket draw + journal append + Observe/Record so the
+	// observer sees events exactly in global order, preserving the
+	// Observer.Observe no-concurrent-calls contract. With observability
+	// off the hot path never touches it.
+	tee   bool
+	obsMu sync.Mutex
+
+	acct quiesceAcct
+
+	// mu guards down, the crash-stop mirror (control paths only).
+	mu   sync.Mutex
+	down []bool // crash-stopped processes (mirrors Node.down)
 
 	tokenStop chan struct{}
 	tokenDone chan struct{}
@@ -55,22 +70,60 @@ type Cluster struct {
 	crashDone chan struct{}
 }
 
+// paddedInt64 is an atomic counter alone on its cache line, so
+// per-process counters touched by different goroutines don't false-share.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// quiesceAcct is the lock-free replacement for the old
+// issuedBy/propagatedBy/counted tallies. Instead of absolute counts it
+// tracks, per process, only the outstanding work:
+//
+//	lag[p]    = broadcast (non-marker) updates sent toward p and not yet
+//	            (logically) applied there — a Send from s adds 1 to every
+//	            lag[q], q ≠ s; an Apply/Discard at p subtracts 1. A
+//	            process's own issues cancel out of the old formula
+//	            (counted[p] and issuedBy[p] moved in lockstep), so Issue
+//	            events need no accounting at all.
+//	unsent[p] = deferred writes buffered at p awaiting the token.
+//
+// The cluster is quiescent iff every live process has lag = unsent = 0.
+// gen increments on every accounting change; Quiesce reads gen, checks
+// the counters, and re-reads gen — an unchanged gen proves the zeros
+// were all true at one instant, so the poll can never report a false
+// quiescence from a torn multi-counter read.
+type quiesceAcct struct {
+	gen    paddedInt64
+	lag    []paddedInt64
+	unsent []paddedInt64
+}
+
+func newQuiesceAcct(procs int) quiesceAcct {
+	return quiesceAcct{
+		lag:    make([]paddedInt64, procs),
+		unsent: make([]paddedInt64, procs),
+	}
+}
+
+// bump marks an accounting change, invalidating in-flight quiescence
+// checks and waking pollers.
+func (a *quiesceAcct) bump() { a.gen.v.Add(1) }
+
 // NewCluster builds and starts a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:          cfg,
-		start:        time.Now(),
-		log:          trace.NewLog(cfg.Processes, cfg.Variables),
-		issuedBy:     make([]int, cfg.Processes),
-		propagatedBy: make([]int, cfg.Processes),
-		counted:      make([]int, cfg.Processes),
-		unsentBy:     make([]int, cfg.Processes),
-		down:         make([]bool, cfg.Processes),
+		cfg:     cfg,
+		start:   time.Now(),
+		journal: trace.NewJournal(cfg.Processes, cfg.Variables),
+		tee:     cfg.Obs != nil || cfg.Sink != nil,
+		acct:    newQuiesceAcct(cfg.Processes),
+		down:    make([]bool, cfg.Processes),
 	}
-	c.cond = sync.NewCond(&c.mu)
 	tr := cfg.Transport
 	if tr == nil {
 		netCfg := transport.Config{
@@ -105,7 +158,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.tr = tr
 	for p := 0; p < cfg.Processes; p++ {
 		r := protocol.New(cfg.Protocol, p, cfg.Processes, cfg.Variables)
-		n := &Node{c: c, id: p, replica: r}
+		n := &Node{c: c, id: p, replica: r, pending: newPendingSet(cfg.Processes)}
 		if _, ok := r.(protocol.TokenBatcher); ok {
 			c.hasTok = true
 		}
@@ -241,34 +294,42 @@ func (c *Cluster) StartTime() time.Time { return c.start }
 // now returns the trace timestamp (nanoseconds since cluster start).
 func (c *Cluster) now() int64 { return time.Since(c.start).Nanoseconds() }
 
-// appendEvent records e under the cluster lock, updating the Quiesce
-// accounting, tees the event to the live observability layer, and
-// wakes waiters. The observer and sink calls are lock-free /
-// non-blocking by contract, so holding c.mu across them is safe.
+// appendEvent records e in the sharded journal (lock-free unless live
+// observability needs the serializing tee) and folds it into the
+// Quiesce accounting. The accounting update happens before appendEvent
+// returns, i.e. before the caller broadcasts the message the event
+// describes — so a Send's lag increments are always visible before any
+// resulting Apply decrements them.
 func (c *Cluster) appendEvent(e trace.Event) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e = c.log.Append(e)
-	if c.cfg.Obs != nil {
-		c.cfg.Obs.Observe(e)
-	}
-	if c.cfg.Sink != nil {
-		c.cfg.Sink.Record(e)
+	if c.tee {
+		c.obsMu.Lock()
+		c.journal.Record(&e)
+		if c.cfg.Obs != nil {
+			c.cfg.Obs.Observe(e)
+		}
+		if c.cfg.Sink != nil {
+			c.cfg.Sink.Record(e)
+		}
+		c.obsMu.Unlock()
+	} else {
+		c.journal.Record(&e)
 	}
 	switch e.Kind {
-	case trace.Issue:
-		c.issuedBy[e.Proc]++
-		c.counted[e.Proc]++
 	case trace.Send:
 		if e.Write.Seq > 0 {
-			c.propagatedBy[e.Proc]++
+			for q := range c.acct.lag {
+				if q != e.Proc {
+					c.acct.lag[q].v.Add(1)
+				}
+			}
+			c.acct.bump()
 		}
 	case trace.Apply, trace.Discard:
 		if e.Write.Seq > 0 {
-			c.counted[e.Proc]++
+			c.acct.lag[e.Proc].v.Add(-1)
+			c.acct.bump()
 		}
 	}
-	c.cond.Broadcast()
 }
 
 // noteNetEvent records chaos-stack and failure-detector occurrences in
@@ -311,24 +372,22 @@ func (c *Cluster) noteNetEvent(e transport.NetEvent) {
 	})
 }
 
-// quiescedLocked reports whether every propagated write has been
-// (logically) applied everywhere live and nothing more is coming.
-// Crash-stopped processes are exempt until they restart: their missed
-// updates arrive through catch-up, which re-enters them into the
-// accounting. Caller holds c.mu.
-func (c *Cluster) quiescedLocked() bool {
-	totalProp := 0
-	for _, p := range c.propagatedBy {
-		totalProp += p
-	}
+// quiesced reports whether every propagated write has been (logically)
+// applied everywhere live and nothing more is coming. Crash-stopped
+// processes are exempt until they restart: their missed updates arrive
+// through catch-up, which re-enters them into the accounting. For each
+// process unsent is read before lag, matching the token loop's
+// store order (lag increments, then the unsent reset), so a zero unsent
+// proves the batch's lag increments are already visible.
+func (c *Cluster) quiesced() bool {
 	for p := range c.nodes {
-		if c.down[p] {
+		if c.nodes[p].down.Load() {
 			continue
 		}
-		// A process must have applied its own issues plus everything
-		// the others propagated; deferred writes must all be released.
-		expected := c.issuedBy[p] + totalProp - c.propagatedBy[p]
-		if c.counted[p] != expected || c.unsentBy[p] != 0 {
+		if c.acct.unsent[p].v.Load() != 0 {
+			return false
+		}
+		if c.acct.lag[p].v.Load() != 0 {
 			return false
 		}
 	}
@@ -341,45 +400,40 @@ func (c *Cluster) quiescedLocked() bool {
 // once their token turn passes), or ctx is done. Crash-stopped
 // processes are excluded; Restart them first for full convergence.
 // Quiesce on a closed cluster returns ErrClosed.
+//
+// The wait is a generation-counter poll rather than a condvar: the hot
+// path only bumps an atomic, and the (rare) waiter yields, then sleeps
+// briefly, between checks. The gen double-read makes the multi-counter
+// zero test sound without any lock.
 func (c *Cluster) Quiesce(ctx context.Context) error {
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			// Take the lock so the broadcast cannot slip between the
-			// waiter's ctx check and its cond.Wait.
-			c.mu.Lock()
-			c.cond.Broadcast()
-			c.mu.Unlock()
-		case <-stop:
-		}
-	}()
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for !c.quiescedLocked() {
-		if c.closed {
+	for spin := 0; ; spin++ {
+		if c.closed.Load() {
 			return fmt.Errorf("core: quiesce: %w", ErrClosed)
 		}
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: quiesce: %w", err)
 		}
-		c.cond.Wait()
+		g := c.acct.gen.v.Load()
+		if c.quiesced() && c.acct.gen.v.Load() == g {
+			if c.closed.Load() {
+				return fmt.Errorf("core: quiesce: %w", ErrClosed)
+			}
+			return nil
+		}
+		if spin < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
 	}
-	if c.closed {
-		return fmt.Errorf("core: quiesce: %w", ErrClosed)
-	}
-	return nil
 }
 
-// Log returns a snapshot copy of the event trace.
+// Log returns a snapshot of the event trace: the per-process journal
+// shards merged into global ticket order. Mid-run snapshots are a
+// causally-closed prefix of the run; after Quiesce or Close the
+// snapshot is the complete log.
 func (c *Cluster) Log() *trace.Log {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cp := trace.NewLog(c.log.NumProcs, c.log.NumVars)
-	cp.Events = append(cp.Events, c.log.Events...)
-	return cp
+	return c.journal.Snapshot()
 }
 
 // Stats returns the run scorecard so far.
@@ -399,16 +453,12 @@ func (c *Cluster) Audit() (*checker.Report, error) {
 // closed. Close is idempotent: the first call does the teardown, later
 // calls return nil. Other operations after Close return ErrClosed.
 func (c *Cluster) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
-	// Wake Quiesce waiters so they observe the close instead of
-	// sleeping forever on a condition that can no longer change.
-	c.cond.Broadcast()
-	c.mu.Unlock()
+	// Invalidate in-flight quiescence checks; pollers re-read closed
+	// on their next iteration and observe the close.
+	c.acct.bump()
 
 	if c.crashStop != nil {
 		close(c.crashStop)
@@ -466,9 +516,6 @@ func (c *Cluster) tokenLoop(interval time.Duration) {
 		tb := n.replica.(protocol.TokenBatcher)
 		batch := tb.OnToken(visit)
 		n.journalLocked(durability.Entry{Kind: durability.EntryToken, Visit: visit})
-		c.mu.Lock()
-		c.unsentBy[holder] = 0 // every deferred write was drained (or suppressed)
-		c.mu.Unlock()
 		c.appendEvent(trace.Event{Kind: trace.Token, Proc: holder, Time: c.now()})
 		if len(batch) == 0 {
 			batch = []protocol.Update{protocol.Marker(holder, visit)}
@@ -480,6 +527,12 @@ func (c *Cluster) tokenLoop(interval time.Duration) {
 				Write: u.ID, Var: u.Var, Val: u.Val,
 			})
 		}
+		// Release the deferred-write count only after the batch's Send
+		// events entered the lag accounting: a Quiesce poll that sees
+		// unsent = 0 is then guaranteed to also see the batch's lag, so
+		// it cannot declare quiescence in the hand-off window.
+		c.acct.unsent[holder].v.Store(0)
+		c.acct.bump()
 		n.drainLocked()
 		n.mu.Unlock()
 		// Send outside the node lock (see Node.Write).
@@ -505,12 +558,12 @@ func (c *Cluster) nodeUp(p int) bool {
 }
 
 // noteDeferred records a write buffered at its sender awaiting the
-// token.
+// token. The caller (Node.Write) invokes it before recording the Issue
+// event, so no Quiesce poll can observe the issued write without its
+// unsent obligation.
 func (c *Cluster) noteDeferred(p int) {
-	c.mu.Lock()
-	c.unsentBy[p]++
-	c.cond.Broadcast()
-	c.mu.Unlock()
+	c.acct.unsent[p].v.Add(1)
+	c.acct.bump()
 }
 
 // WriteAt is shorthand for c.Node(p).Write(x, v).

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// TestReceiveDedupUnderRecovery pins the duplicate-suppression
+// behaviour of the receipt state machine when crash recovery is
+// enabled: a duplicate of a buffered update must not be double-buffered
+// (and must record no events), and a stale duplicate of an
+// already-applied update — a retransmission landing after catch-up
+// recovered the write — must be dropped silently. This behaviour is
+// what the write-ID index of the pending set implements in O(1).
+func TestReceiveDedupUnderRecovery(t *testing.T) {
+	c, err := NewCluster(Config{
+		Processes: 3, Variables: 1, Protocol: protocol.OptP,
+		FIFO: true, WALDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Craft the origin's updates off-cluster so delivery order is ours:
+	// u2 causally follows u1 (same origin, consecutive seqs).
+	origin := protocol.New(protocol.OptP, 0, 3, 1)
+	u1, _ := origin.LocalWrite(0, 10)
+	u2, _ := origin.LocalWrite(0, 20)
+
+	n := c.Node(2)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	n.receiveLocked(u2) // arrives first: blocked on u1, buffered
+	if got := n.pending.size(); got != 1 {
+		t.Fatalf("pending after first u2: %d, want 1", got)
+	}
+	events := c.journal.Len()
+	n.receiveLocked(u2) // duplicate of a buffered update
+	if got := n.pending.size(); got != 1 {
+		t.Fatalf("pending after duplicate u2: %d, want 1 (no double-buffer)", got)
+	}
+	if got := c.journal.Len(); got != events {
+		t.Fatalf("duplicate of buffered update recorded %d events", got-events)
+	}
+	if n.feedLocked(u2) { // catch-up offering the same buffered update
+		t.Fatal("feedLocked accepted an update already buffered")
+	}
+
+	n.receiveLocked(u1) // enabler arrives: applies, unblocks u2
+	n.drainLocked()
+	if got := n.pending.size(); got != 0 {
+		t.Fatalf("pending after drain: %d, want 0", got)
+	}
+	v, _ := n.replica.Read(0)
+	if v != 20 {
+		t.Fatalf("replica value %d, want 20", v)
+	}
+
+	// Stale duplicates of applied updates: dropped with no trace.
+	events = c.journal.Len()
+	n.receiveLocked(u1)
+	n.receiveLocked(u2)
+	if got := c.journal.Len(); got != events {
+		t.Fatalf("stale duplicates recorded %d events", got-events)
+	}
+	if n.feedLocked(u1) {
+		t.Fatal("feedLocked accepted an update the replica already applied")
+	}
+}

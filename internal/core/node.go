@@ -28,7 +28,11 @@ type Node struct {
 	// Cluster.mu, never the reverse.
 	mu      sync.Mutex
 	replica protocol.Replica
-	pending []protocol.Update
+	// pending holds buffered (delayed) updates indexed by origin and
+	// write ID, so duplicate checks are O(1) and drain re-examines only
+	// the updates a state advance could have unblocked. Nil while the
+	// node is crash-stopped.
+	pending *pendingSet
 
 	// wal is the node's journal when crash recovery is enabled; walErr
 	// latches the first journaling failure and poisons later writes.
@@ -63,18 +67,22 @@ func (n *Node) Write(x int, v int64) error {
 	n.journalLocked(durability.Entry{Kind: durability.EntryLocalWrite, Var: x, Val: v})
 	if broadcast {
 		n.archiveLocked(u)
+	} else {
+		// Count the deferred write before its Issue becomes visible:
+		// a Quiesce poll must never see the write without the unsent
+		// obligation that keeps the cluster non-quiescent.
+		n.c.noteDeferred(n.id)
 	}
+	now := n.c.now()
 	n.c.appendEvent(trace.Event{
-		Kind: trace.Issue, Proc: n.id, Time: n.c.now(),
+		Kind: trace.Issue, Proc: n.id, Time: now,
 		Write: u.ID, Var: x, Val: v,
 	})
 	if broadcast {
 		n.c.appendEvent(trace.Event{
-			Kind: trace.Send, Proc: n.id, Time: n.c.now(),
+			Kind: trace.Send, Proc: n.id, Time: now,
 			Write: u.ID, Var: x, Val: v,
 		})
-	} else {
-		n.c.noteDeferred(n.id)
 	}
 	n.mu.Unlock()
 	// Broadcast outside the node lock: a full FIFO link must never
@@ -128,14 +136,11 @@ func (n *Node) Clock() []uint64 {
 func (n *Node) PendingUpdates() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return len(n.pending)
+	return n.pending.size()
 }
 
 func (n *Node) check(x int) error {
-	n.c.mu.Lock()
-	closed := n.c.closed
-	n.c.mu.Unlock()
-	if closed {
+	if n.c.closed.Load() {
 		return ErrClosed
 	}
 	if x < 0 || x >= n.c.cfg.Variables {
@@ -178,38 +183,40 @@ func (n *Node) receiveLocked(u protocol.Update) {
 		if res, ok := n.replica.(protocol.Resumer); ok && !res.NeedsUpdate(u) {
 			return
 		}
-		for _, pu := range n.pending {
-			if pu.ID == u.ID {
-				return
-			}
+		if n.pending.has(u.ID) {
+			return
 		}
 	}
+	// One timestamp covers the whole receipt state machine: the trace's
+	// order authority is the journal ticket, and sampling the clock once
+	// per message keeps nanotime off the per-event cost.
+	now := n.c.now()
 	kind := trace.Receipt
 	if u.Marker {
 		kind = trace.Token
 	}
 	n.c.appendEvent(trace.Event{
-		Kind: kind, Proc: n.id, Time: n.c.now(),
+		Kind: kind, Proc: n.id, Time: now,
 		Write: u.ID, Var: u.Var, Val: u.Val,
 		Buffered: st == protocol.Blocked,
 	})
 	switch st {
 	case protocol.Blocked:
-		n.pending = append(n.pending, u)
+		n.pending.add(u)
 	case protocol.Deliverable:
-		n.applyLocked(u)
+		n.applyLocked(u, now)
 	case protocol.Discardable:
-		n.dropLocked(u)
+		n.dropLocked(u, now)
 	}
 }
 
 // applyLocked installs u, recording any writing-semantics logical apply
-// first. Caller holds n.mu.
-func (n *Node) applyLocked(u protocol.Update) {
+// first, stamping its events with now. Caller holds n.mu.
+func (n *Node) applyLocked(u protocol.Update, now int64) {
 	if sk, ok := n.replica.(protocol.Skipper); ok {
 		if tgt := sk.SkipTarget(u); !tgt.IsBottom() {
 			n.c.appendEvent(trace.Event{
-				Kind: trace.Discard, Proc: n.id, Time: n.c.now(), Write: tgt,
+				Kind: trace.Discard, Proc: n.id, Time: now, Write: tgt,
 			})
 		}
 	}
@@ -221,59 +228,114 @@ func (n *Node) applyLocked(u protocol.Update) {
 		kind = trace.Token
 	}
 	n.c.appendEvent(trace.Event{
-		Kind: kind, Proc: n.id, Time: n.c.now(),
+		Kind: kind, Proc: n.id, Time: now,
 		Write: u.ID, Var: u.Var, Val: u.Val,
 	})
 }
 
 // dropLocked discards the late message of an already logically-applied
 // write. Caller holds n.mu.
-func (n *Node) dropLocked(u protocol.Update) {
+func (n *Node) dropLocked(u protocol.Update, now int64) {
 	n.replica.Discard(u)
 	n.journalLocked(durability.Entry{Kind: durability.EntryDiscard, Update: u})
 	// Archive the dropped message too: its value was skipped here, but
 	// a recovering peer that did NOT skip it still needs the payload.
 	n.archiveLocked(u)
 	n.c.appendEvent(trace.Event{
-		Kind: trace.Drop, Proc: n.id, Time: n.c.now(),
+		Kind: trace.Drop, Proc: n.id, Time: now,
 		Write: u.ID, Var: u.Var, Val: u.Val,
 	})
 }
 
 // drainLocked applies buffered updates until a fixpoint. Caller holds
 // n.mu.
+//
+// The pending set keeps each origin's updates sorted by delivery key,
+// and every protocol delivers (or discards / purges) an origin's
+// updates in that order: OptP/ANBKH require Apply[from] = seq−1, WSSend
+// consumes (round, slot) contiguously, and the writing-semantics skip
+// case — an update deliverable over its still-buffered predecessor —
+// only ever jumps the immediately preceding update from the same
+// origin. So examining the head and head+1 of each origin queue finds
+// every actionable update, re-checking an update only when some state
+// advance could have unblocked it, instead of the old rescan of the
+// whole buffer after every apply. A final full scan at the fixpoint
+// guards the invariant: it is expected to find nothing and exists so a
+// future protocol with a wilder delivery order degrades to the old
+// behaviour instead of wedging.
 func (n *Node) drainLocked() {
 	purge := n.c.recoveryEnabled()
 	res, canResume := n.replica.(protocol.Resumer)
-	for {
+	canPurge := purge && canResume
+	ps := n.pending
+	for ps.size() > 0 {
 		progressed := false
-		for i := 0; i < len(n.pending); i++ {
-			u := n.pending[i]
-			switch n.replica.Status(u) {
-			case protocol.Deliverable:
-				n.pending = append(n.pending[:i], n.pending[i+1:]...)
-				n.applyLocked(u)
+		for origin := range ps.byOrigin {
+			for n.drainStepLocked(origin, canPurge, res) {
 				progressed = true
-			case protocol.Discardable:
-				n.pending = append(n.pending[:i], n.pending[i+1:]...)
-				n.dropLocked(u)
-				progressed = true
-			case protocol.Blocked:
-				// A buffered copy can go stale when catch-up installs
-				// the same write first; evict it or it rots here.
-				if purge && canResume && !res.NeedsUpdate(u) {
-					n.pending = append(n.pending[:i], n.pending[i+1:]...)
-					progressed = true
-				}
-			}
-			if progressed {
-				break
 			}
 		}
-		if !progressed {
+		if progressed {
+			continue
+		}
+		if !n.drainScanLocked(canPurge, res) {
 			return
 		}
 	}
+}
+
+// drainStepLocked probes the head (and, for the same-origin skip case,
+// head+1) of one origin queue, acting on the first actionable update.
+// It reports whether it made progress. Caller holds n.mu.
+func (n *Node) drainStepLocked(origin int, canPurge bool, res protocol.Resumer) bool {
+	q := n.pending.byOrigin[origin]
+	for probe := 0; probe < 2 && probe < len(q); probe++ {
+		u := q[probe]
+		switch n.replica.Status(u) {
+		case protocol.Deliverable:
+			n.pending.removeAt(origin, probe)
+			n.applyLocked(u, n.c.now())
+			return true
+		case protocol.Discardable:
+			n.pending.removeAt(origin, probe)
+			n.dropLocked(u, n.c.now())
+			return true
+		case protocol.Blocked:
+			// A buffered copy can go stale when catch-up installs
+			// the same write first; evict it or it rots here.
+			if canPurge && !res.NeedsUpdate(u) {
+				n.pending.removeAt(origin, probe)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// drainScanLocked is the fixpoint safety net: one pass over every
+// buffered update regardless of queue position. Reports whether it
+// acted. Caller holds n.mu.
+func (n *Node) drainScanLocked(canPurge bool, res protocol.Resumer) bool {
+	for origin := range n.pending.byOrigin {
+		for i, u := range n.pending.byOrigin[origin] {
+			switch n.replica.Status(u) {
+			case protocol.Deliverable:
+				n.pending.removeAt(origin, i)
+				n.applyLocked(u, n.c.now())
+				return true
+			case protocol.Discardable:
+				n.pending.removeAt(origin, i)
+				n.dropLocked(u, n.c.now())
+				return true
+			case protocol.Blocked:
+				if canPurge && !res.NeedsUpdate(u) {
+					n.pending.removeAt(origin, i)
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // feedLocked offers a peer-archived update to this replica during
@@ -284,10 +346,8 @@ func (n *Node) feedLocked(u protocol.Update) bool {
 	if !ok || !res.NeedsUpdate(u) {
 		return false
 	}
-	for _, pu := range n.pending {
-		if pu.ID == u.ID {
-			return false
-		}
+	if n.pending.has(u.ID) {
+		return false
 	}
 	n.receiveLocked(u)
 	return true

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+)
+
+// pendingSet is the node's buffer of blocked (write-delayed) updates,
+// replacing the old flat slice whose duplicate checks and drain loop
+// rescanned every entry per message. Updates are held per origin,
+// sorted by their delivery key, with a write-ID index on the side:
+//
+//   - duplicate detection (receiveLocked, feedLocked) is one map probe;
+//   - drain examines only each origin's queue head (plus one slot for
+//     the writing-semantics skip case) instead of the whole buffer,
+//     because every protocol consumes an origin's updates in key order.
+//
+// The delivery key is (Round, Slot, ID.Seq): WSSend orders its token
+// batches by (round, slot) — both zero for every other protocol — and
+// the broadcast protocols deliver each origin's writes in issue (seq)
+// order. Updates from the same origin never tie: seqs are unique per
+// origin and marker rounds are unique per visit.
+type pendingSet struct {
+	byOrigin [][]protocol.Update
+	index    map[history.WriteID]struct{}
+}
+
+func newPendingSet(procs int) *pendingSet {
+	return &pendingSet{
+		byOrigin: make([][]protocol.Update, procs),
+		index:    make(map[history.WriteID]struct{}),
+	}
+}
+
+// updateLess orders two same-origin updates by delivery key.
+func updateLess(a, b protocol.Update) bool {
+	if a.Round != b.Round {
+		return a.Round < b.Round
+	}
+	if a.Slot != b.Slot {
+		return a.Slot < b.Slot
+	}
+	return a.ID.Seq < b.ID.Seq
+}
+
+// add inserts u into its origin queue at the key-ordered position.
+// Arrivals are FIFO per origin in the common case, so the insert point
+// is almost always the end.
+func (ps *pendingSet) add(u protocol.Update) {
+	origin := u.From()
+	q := ps.byOrigin[origin]
+	i := sort.Search(len(q), func(k int) bool { return updateLess(u, q[k]) })
+	q = append(q, protocol.Update{})
+	copy(q[i+1:], q[i:])
+	q[i] = u
+	ps.byOrigin[origin] = q
+	ps.index[u.ID] = struct{}{}
+}
+
+// has reports whether the write is already buffered.
+func (ps *pendingSet) has(id history.WriteID) bool {
+	if ps == nil {
+		return false
+	}
+	_, ok := ps.index[id]
+	return ok
+}
+
+// size returns the number of buffered updates.
+func (ps *pendingSet) size() int {
+	if ps == nil {
+		return 0
+	}
+	return len(ps.index)
+}
+
+// removeAt deletes position i of origin's queue, preserving order.
+func (ps *pendingSet) removeAt(origin, i int) {
+	q := ps.byOrigin[origin]
+	delete(ps.index, q[i].ID)
+	copy(q[i:], q[i+1:])
+	ps.byOrigin[origin] = q[:len(q)-1]
+}
+
+// flatten returns every buffered update in deterministic order (origin
+// ascending, then delivery-key order) — the order snapshots encode, so
+// an export→restore→export round trip is byte-identical.
+func (ps *pendingSet) flatten() []protocol.Update {
+	if ps == nil {
+		return nil
+	}
+	out := make([]protocol.Update, 0, len(ps.index))
+	for _, q := range ps.byOrigin {
+		out = append(out, q...)
+	}
+	return out
+}

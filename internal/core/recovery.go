@@ -48,11 +48,10 @@ func (c *Cluster) Crash(p int) error {
 	n := c.nodes[p]
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return ErrClosed
 	}
+	c.mu.Lock()
 	if c.down[p] {
 		c.mu.Unlock()
 		return fmt.Errorf("core: crash of p%d: %w", p+1, ErrDown)
@@ -60,6 +59,9 @@ func (c *Cluster) Crash(p int) error {
 	c.down[p] = true
 	c.mu.Unlock()
 	n.down.Store(true)
+	// p's liveness changed under the Quiesce accounting: it is exempt
+	// from now on, so a poll blocked on p's lag must re-evaluate.
+	c.acct.bump()
 	if n.wal != nil {
 		n.wal.Close()
 		n.wal = nil
@@ -94,12 +96,11 @@ func (c *Cluster) Restart(p int) (RecoveryStats, error) {
 	begin := time.Now()
 	n := c.nodes[p]
 	n.mu.Lock()
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		n.mu.Unlock()
 		return st, ErrClosed
 	}
+	c.mu.Lock()
 	if !c.down[p] {
 		c.mu.Unlock()
 		n.mu.Unlock()
@@ -113,7 +114,7 @@ func (c *Cluster) Restart(p int) (RecoveryStats, error) {
 		return st, fmt.Errorf("core: restart of p%d: %w", p+1, err)
 	}
 	n.replica = protocol.New(c.cfg.Protocol, p, c.cfg.Processes, c.cfg.Variables)
-	n.pending = nil
+	n.pending = newPendingSet(c.cfg.Processes)
 	n.archive = make([][]protocol.Update, c.cfg.Processes)
 	if err := n.restoreSnapshotLocked(snapshot); err != nil {
 		n.replica, n.archive = nil, nil
@@ -140,6 +141,7 @@ func (c *Cluster) Restart(p int) (RecoveryStats, error) {
 	c.mu.Lock()
 	c.down[p] = false
 	c.mu.Unlock()
+	c.acct.bump() // p rejoins the Quiesce accounting
 	if c.det != nil {
 		c.det.SetDown(p, false)
 	}
@@ -315,8 +317,9 @@ func (c *Cluster) crashLoop() {
 // payload. Caller holds n.mu (or has exclusive access during startup).
 func (n *Node) snapshotLocked() []byte {
 	dst := protocol.ExportState(n.replica)
-	dst = binary.AppendUvarint(dst, uint64(len(n.pending)))
-	for _, u := range n.pending {
+	pending := n.pending.flatten() // deterministic: origin, then key order
+	dst = binary.AppendUvarint(dst, uint64(len(pending)))
+	for _, u := range pending {
 		dst = u.AppendBinary(dst)
 	}
 	for _, arc := range n.archive {
@@ -358,8 +361,12 @@ func (n *Node) restoreSnapshotLocked(data []byte) error {
 		}
 		return us, nil
 	}
-	if n.pending, err = readUpdates(); err != nil {
+	pending, err := readUpdates()
+	if err != nil {
 		return err
+	}
+	for _, u := range pending {
+		n.pending.add(u)
 	}
 	for p := range n.archive {
 		if n.archive[p], err = readUpdates(); err != nil {

@@ -44,6 +44,47 @@ func TestScorecardRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCheckThroughputRegression(t *testing.T) {
+	smoke := func(opsPerSec map[string]string) Result {
+		r := Result{
+			Name:   ThroughputSmokeName,
+			Header: []string{"procs", "ops", "elapsed", "ops/s"},
+		}
+		for _, procs := range []string{"2", "4", "8"} {
+			if v, ok := opsPerSec[procs]; ok {
+				r.Rows = append(r.Rows, []string{procs, "1000", "1ms", v})
+			}
+		}
+		return r
+	}
+	base := NewScorecard([]Result{smoke(map[string]string{"2": "1000000", "4": "500000", "8": "250000"})})
+
+	// Within tolerance (and improvements) pass.
+	ok := []Result{smoke(map[string]string{"2": "850000", "4": "2000000", "8": "250000"})}
+	if err := CheckThroughputRegression(ok, base, 0.2); err != nil {
+		t.Errorf("in-tolerance run failed the gate: %v", err)
+	}
+	// A >20% drop on any row fails.
+	bad := []Result{smoke(map[string]string{"2": "1000000", "4": "399000", "8": "250000"})}
+	if err := CheckThroughputRegression(bad, base, 0.2); err == nil {
+		t.Error("21% regression passed the gate")
+	}
+	// Rows only one side has are ignored; a baseline with none errors.
+	partial := []Result{smoke(map[string]string{"2": "1000000"})}
+	if err := CheckThroughputRegression(partial, base, 0.2); err != nil {
+		t.Errorf("partial current rows failed the gate: %v", err)
+	}
+	if err := CheckThroughputRegression(ok, NewScorecard(nil), 0.2); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	// Unparsable ops/s cells are an error, not a silent pass.
+	garbled := base
+	garbled.Experiments[0].Rows[0][3] = "fast"
+	if err := CheckThroughputRegression(ok, garbled, 0.2); err == nil {
+		t.Error("garbled baseline cell accepted")
+	}
+}
+
 func TestScorecardRejectsUnknownSchema(t *testing.T) {
 	if _, err := ReadScorecard(strings.NewReader(`{"schema":"dsmbench/v99","experiments":[]}`)); err == nil {
 		t.Error("accepted an unknown schema version")

@@ -83,7 +83,9 @@ type receiptSlot struct {
 // Observer turns the live trace.Event stream into metrics and spans.
 //
 // Observe must not be called concurrently with itself: the cluster
-// invokes it under its log lock, which serializes the event stream.
+// invokes it under its observability tee lock, which serializes the
+// event stream in global (ticket) order even though the journal
+// itself is sharded and lock-free when no observer is attached.
 // Under that contract the hot path takes no locks at all — counters
 // and histograms are atomics, and the span-tracking windows are plain
 // arrays only Observe touches. The mutex guards only the completed-span
@@ -217,8 +219,8 @@ func (o *Observer) inflightIdx(p int, w history.WriteID) int {
 
 // Observe consumes one trace event. It is the single hot-path entry:
 // the cluster calls it for every appended event, already serialized
-// under the log lock (Observe must not be invoked concurrently with
-// itself).
+// under the cluster's tee lock (Observe must not be invoked
+// concurrently with itself).
 func (o *Observer) Observe(e trace.Event) {
 	if e.Proc < 0 || e.Proc >= o.procs || e.Kind < 0 || int(e.Kind) >= trace.NumKinds {
 		return

@@ -99,7 +99,7 @@ func (r *optp) LocalWrite(x int, v int64) (Update, bool) {
 	r.vals[x] = v
 	r.writers[x] = u.ID
 	r.apply.Tick(r.id)
-	r.lastOn[x] = r.writeCo.Clone()
+	r.lastOn[x].CopyFrom(r.writeCo)
 	return u, true
 }
 
@@ -155,7 +155,9 @@ func (r *optp) Apply(u Update) {
 	r.vals[u.Var] = u.Val
 	r.writers[u.Var] = u.ID
 	r.apply.Tick(u.From())
-	r.lastOn[u.Var] = u.Clock.Clone()
+	// In-place copy: lastOn's backing array is reused for the life of
+	// the replica (nothing aliases it — every accessor clones).
+	r.lastOn[u.Var].CopyFrom(u.Clock)
 	if !r.readMerge {
 		r.writeCo.Merge(u.Clock)
 	}

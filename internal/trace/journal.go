@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// Journal is the live runtime's concurrent event recorder: a sharded,
+// lock-free append structure that replaces the single mutex-guarded
+// Log on the hot path. Each process appends into its own shard (a
+// linked list of fixed-size chunks, so a recorded event is never moved
+// again — no reallocation, no copying), while a single global ticket
+// counter stamps every event with its position in the cluster-wide
+// total order. Snapshot merges the shards back into an ordinary Log
+// whenever a checker or experiment wants one.
+//
+// Why the checker still sees a total order: an event's ticket is
+// acquired inside the operation that produces it, before the operation
+// releases whatever makes the event observable elsewhere (the node
+// lock, the transport send). If event e₁ happens-before e₂ — same
+// process program order, or a message send/receive pair — then e₁'s
+// ticket was drawn strictly before e₂'s, so sorting by ticket yields a
+// total order consistent with every per-process sequence E_i and with
+// message causality, exactly what Log.Append's global lock used to
+// guarantee.
+//
+// Mid-run snapshots additionally truncate at the first missing ticket:
+// tickets are dense, so a gap means some append is still in flight, and
+// every event after the gap might causally depend on the missing one.
+// Cutting there makes every Snapshot a true prefix of the final log,
+// preserving the old "mid-run audits see a prefix" contract. After
+// Quiesce/Close there are no in-flight appends and nothing is cut.
+type Journal struct {
+	numProcs int
+	numVars  int
+
+	// ticket is the global order ticket source; the next event gets
+	// ticket.Add(1)-1 as its Seq.
+	ticket atomic.Int64
+
+	shards []shard
+}
+
+// chunkSize is the shard chunk capacity. 512 events ≈ 60 KiB per
+// chunk: large enough that chunk allocation is a ~1/512-per-event
+// amortized cost, small enough that short runs don't balloon.
+const chunkSize = 512
+
+type chunk struct {
+	idx    int // position in the shard's chunk list, fixed at creation
+	next   atomic.Pointer[chunk]
+	events [chunkSize]Event
+	ready  [chunkSize]atomic.Bool
+}
+
+// shard is one process's append lane. cursor reserves slots; slot k
+// lives in chunk k/chunkSize at offset k%chunkSize. Chunks are linked
+// on demand with a CAS, so concurrent reservers of a fresh chunk agree
+// on a single winner. The pad keeps neighbouring shards' hot counters
+// off one cache line.
+type shard struct {
+	cursor atomic.Int64
+	head   atomic.Pointer[chunk]
+	tail   atomic.Pointer[chunk] // hint only; may lag behind the true tail
+	_      [40]byte
+}
+
+// NewJournal returns an empty journal for n processes over m variables.
+func NewJournal(n, m int) *Journal {
+	j := &Journal{numProcs: n, numVars: m, shards: make([]shard, n)}
+	for i := range j.shards {
+		c := new(chunk)
+		j.shards[i].head.Store(c)
+		j.shards[i].tail.Store(c)
+	}
+	return j
+}
+
+// NumProcs returns the process count the journal was built for.
+func (j *Journal) NumProcs() int { return j.numProcs }
+
+// NumVars returns the variable count the journal was built for.
+func (j *Journal) NumVars() int { return j.numVars }
+
+// Record stores *e, stamping its global ticket into e.Seq in place —
+// the copy-free form of Append for hot paths. It is safe for
+// concurrent use and lock-free: one atomic add for the ticket, one for
+// the shard slot, a release store to publish. e.Proc must be in
+// [0, NumProcs). Record does not retain e.
+func (j *Journal) Record(e *Event) {
+	e.Seq = int(j.ticket.Add(1) - 1)
+	s := &j.shards[e.Proc]
+	slot := s.cursor.Add(1) - 1
+	c := s.chunkFor(int(slot / chunkSize))
+	off := int(slot % chunkSize)
+	c.events[off] = *e
+	c.ready[off].Store(true)
+}
+
+// Append records e, stamping its global ticket into Seq, and returns
+// the stored event.
+func (j *Journal) Append(e Event) Event {
+	j.Record(&e)
+	return e
+}
+
+// chunkFor walks (extending as needed) to chunk index ci of the shard.
+// The tail hint makes the walk O(1) in the steady state: appends land
+// in the newest chunk, which is exactly where the hint points.
+func (s *shard) chunkFor(ci int) *chunk {
+	c := s.tail.Load()
+	if c.idx > ci {
+		c = s.head.Load() // hint overshot (a slower append behind us)
+	}
+	for c.idx < ci {
+		next := c.next.Load()
+		if next == nil {
+			fresh := &chunk{idx: c.idx + 1}
+			if c.next.CompareAndSwap(nil, fresh) {
+				next = fresh
+			} else {
+				next = c.next.Load()
+			}
+		}
+		c = next
+	}
+	s.tail.Store(c)
+	return c
+}
+
+// Len returns the number of tickets drawn so far (appends completed or
+// in flight).
+func (j *Journal) Len() int { return int(j.ticket.Load()) }
+
+// Snapshot merges the shards into a Log ordered by ticket. Events whose
+// append is still in flight are waited for briefly (the publish is a
+// handful of instructions after the reservation); if the collected
+// tickets have a gap — an append that reserved a ticket but has not yet
+// reached its shard — the log is truncated at the gap so the result is
+// a causally-closed prefix of the run. Seq is renumbered densely.
+func (j *Journal) Snapshot() *Log {
+	total := 0
+	counts := make([]int64, len(j.shards))
+	for i := range j.shards {
+		counts[i] = j.shards[i].cursor.Load()
+		total += int(counts[i])
+	}
+	events := make([]Event, 0, total)
+	for i := range j.shards {
+		s := &j.shards[i]
+		c := s.head.Load()
+		off := 0
+		for k := int64(0); k < counts[i]; k++ {
+			if off == chunkSize {
+				c = c.next.Load()
+				off = 0
+			}
+			for !c.ready[off].Load() {
+				runtime.Gosched()
+			}
+			events = append(events, c.events[off])
+			off++
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].Seq < events[b].Seq })
+	// Truncate at the first ticket gap and renumber densely so the
+	// result is indistinguishable from a log built by Log.Append.
+	for i := range events {
+		if events[i].Seq != i {
+			events = events[:i]
+			break
+		}
+		events[i].Seq = i
+	}
+	l := NewLog(j.numProcs, j.numVars)
+	l.Events = events
+	return l
+}

@@ -146,7 +146,8 @@ func (e Event) String() string {
 
 // Sink consumes events live, as they are recorded — the streaming
 // counterpart of the post-hoc Log. Implementations must never block
-// the caller on I/O (the cluster invokes Record under its log lock);
+// the caller on I/O (the cluster invokes Record under its
+// observability tee lock, inside every operation's critical path);
 // the obs package's JSONL sink buffers in a bounded ring and counts
 // drops instead of stalling the protocol.
 type Sink interface {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -115,35 +116,24 @@ var ErrClosed = errors.New("transport: already closed")
 // allows add to race wait through zero — exactly what happens when a
 // Send is accepted while a concurrent Flush is already waiting, a
 // pattern the WaitGroup contract forbids (and the race detector
-// reports).
+// reports). It is a bare atomic so the per-message hot path (one add at
+// the sender, one at delivery) never takes a lock; the rare waiter
+// polls with a yield-then-sleep backoff.
 type counter struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	n    int
+	n atomic.Int64
 }
 
-func (c *counter) add(d int) {
-	c.mu.Lock()
-	if c.cond == nil {
-		c.cond = sync.NewCond(&c.mu)
-	}
-	c.n += d
-	if c.n == 0 {
-		c.cond.Broadcast()
-	}
-	c.mu.Unlock()
-}
+func (c *counter) add(d int) { c.n.Add(int64(d)) }
 
 // wait blocks until the count reaches zero.
 func (c *counter) wait() {
-	c.mu.Lock()
-	if c.cond == nil {
-		c.cond = sync.NewCond(&c.mu)
+	for spin := 0; c.n.Load() != 0; spin++ {
+		if spin < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
 	}
-	for c.n != 0 {
-		c.cond.Wait()
-	}
-	c.mu.Unlock()
 }
 
 // New constructs a started Net.
@@ -268,8 +258,54 @@ func (n *Net) sampleDelay() time.Duration {
 	return d
 }
 
-// Broadcast sends u from process `from` to every other process.
+// Broadcaster is an optional Transport fast path: SendAll enqueues one
+// update to every other process under a single accept (closed-check +
+// in-flight accounting) instead of one per destination.
+type Broadcaster interface {
+	SendAll(from int, u protocol.Update)
+}
+
+// SendAll implements Broadcaster for the standard Net.
+func (n *Net) SendAll(from int, u protocol.Update) {
+	n.closeMu.RLock()
+	defer n.closeMu.RUnlock()
+	if n.closed {
+		return
+	}
+	n.inflight.add(n.cfg.Procs - 1)
+	if n.cfg.FIFO {
+		for q := 0; q < n.cfg.Procs; q++ {
+			if q != from {
+				n.links[from][q] <- Message{From: from, To: q, Update: u}
+			}
+		}
+		return
+	}
+	for q := 0; q < n.cfg.Procs; q++ {
+		if q == from {
+			continue
+		}
+		m := Message{From: from, To: q, Update: u}
+		d := n.sampleDelay()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer n.inflight.add(-1)
+			if d > 0 {
+				time.Sleep(d)
+			}
+			n.deliver(m)
+		}()
+	}
+}
+
+// Broadcast sends u from process `from` to every other process, using
+// the transport's batched path when it has one.
 func Broadcast(t Transport, procs, from int, u protocol.Update) {
+	if b, ok := t.(Broadcaster); ok {
+		b.SendAll(from, u)
+		return
+	}
 	for q := 0; q < procs; q++ {
 		if q != from {
 			t.Send(Message{From: from, To: q, Update: u})

@@ -38,6 +38,17 @@ func (v VC) Clone() VC {
 	return c
 }
 
+// CopyFrom overwrites v with o's components without allocating, the
+// in-place counterpart of Clone for hot paths that reuse a clock's
+// backing array (OptP's per-variable LastWriteOn vectors). The two
+// clocks must have the same dimension; CopyFrom panics otherwise.
+func (v VC) CopyFrom(o VC) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: copy dimension mismatch %d != %d", len(v), len(o)))
+	}
+	copy(v, o)
+}
+
 // Len returns the number of components.
 func (v VC) Len() int { return len(v) }
 

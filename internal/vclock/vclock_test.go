@@ -35,6 +35,31 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+func TestCopyFrom(t *testing.T) {
+	v := VC{9, 9, 9}
+	src := VC{1, 2, 3}
+	v.CopyFrom(src)
+	if !v.Equal(src) {
+		t.Fatalf("CopyFrom: got %v, want %v", v, src)
+	}
+	// In-place semantics: the destination's backing array is reused and
+	// stays independent of the source afterwards.
+	src.Tick(0)
+	if v[0] != 1 {
+		t.Fatalf("CopyFrom aliases source: %v", v)
+	}
+	v.Tick(1)
+	if src[1] != 2 {
+		t.Fatalf("CopyFrom aliases destination: %v", src)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom dimension mismatch should panic")
+		}
+	}()
+	v.CopyFrom(VC{1})
+}
+
 func TestGetOutOfRange(t *testing.T) {
 	v := VC{7}
 	if v.Get(0) != 7 {
