@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: check ci build test vet race bench smoke throughput fuzz vuln clean
+.PHONY: check ci build test vet race bench smoke throughput audit-bench fuzz vuln clean
 
 ## check: the full gate — vet, build, tests, and a short race pass.
 check: vet build test race
 
 ## ci: what .github/workflows/ci.yml runs — the full gate plus the
-## dsmbench smoke sweep and the hot-path throughput gate (their
-## dsmbench/v1 scorecards are uploaded as CI artifacts) plus a
-## vulnerability scan when govulncheck is on PATH.
-ci: check smoke throughput vuln
+## dsmbench smoke sweep, the hot-path throughput gate and the offline
+## audit gate (their dsmbench/v1 scorecards are uploaded as CI
+## artifacts) plus a vulnerability scan when govulncheck is on PATH.
+ci: check smoke throughput audit-bench vuln
 
 ## smoke: the fast dsmbench subset (visibility, ws, obsoverhead) with
 ## the machine-readable scorecard written to smoke-scorecard.json.
@@ -21,6 +21,19 @@ smoke:
 throughput:
 	$(GO) run ./cmd/dsmbench -exp throughput-smoke -ops 20000 \
 		-baseline BENCH_throughput.json -json throughput-scorecard.json
+
+## audit-bench: the offline-checker scaling gate — one pass over the
+## BenchmarkAudit ladder, the fast-vs-dense equivalence property test
+## under the race detector, then the audit-scale scorecard gated
+## against the committed BENCH_checker.json baseline (fails when any
+## shared trace size audits >20% slower). The 1M rung of the baseline
+## is measurement-only and is ignored by the gate.
+audit-bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkAudit$$' -benchtime=1x ./internal/checker
+	$(GO) test -race -run 'TestPropertyAuditEquivalence|TestPropertyFastDenseEquivalence' \
+		./internal/checker ./internal/history
+	$(GO) run ./cmd/dsmbench -exp audit-scale \
+		-baseline BENCH_checker.json -json audit-scorecard.json
 
 ## vuln: govulncheck over the whole module; skipped quietly when the
 ## tool isn't installed (it is not vendored and CI may run offline).
@@ -56,4 +69,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -f smoke-scorecard.json throughput-scorecard.json
+	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json

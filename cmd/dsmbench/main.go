@@ -14,6 +14,11 @@
 //	dsmbench -exp throughput-smoke -baseline BENCH_throughput.json
 //	                            # hot-path scorecard; exits nonzero if
 //	                            # ops/s regresses >20% vs the baseline
+//	dsmbench -exp audit-scale -baseline BENCH_checker.json
+//	                            # offline-audit scorecard (1k/10k/100k
+//	                            # synthetic traces; -ops > 100000 appends
+//	                            # a rung); exits nonzero if audit time
+//	                            # regresses >20% vs the baseline
 //	dsmbench -exp chaos         # live OptP over lossy/duplicating links
 //	dsmbench -exp crash         # crash-stop + WAL restart, all protocols
 //	dsmbench -json out.json     # also write the machine-readable
@@ -36,9 +41,9 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")
 	procs := flag.Int("procs", 4, "processes for the throughput experiment")
-	ops := flag.Int("ops", 1000, "ops per process for the throughput experiment")
+	ops := flag.Int("ops", 1000, "ops per process for the throughput experiment; extra ladder rung for audit-scale when > 100000")
 	jsonPath := flag.String("json", "", "write the dsmbench/v1 JSON scorecard to this path")
-	baselinePath := flag.String("baseline", "", "dsmbench/v1 scorecard to gate throughput-smoke against (>20% ops/s regression fails)")
+	baselinePath := flag.String("baseline", "", "dsmbench/v1 scorecard to gate against (>20% regression of any experiment present in it fails)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
 
@@ -131,6 +136,8 @@ func main() {
 		run(func() (experiments.Result, error) { return experiments.Throughput(*procs, *ops) })
 	case "throughput-smoke":
 		run(func() (experiments.Result, error) { return experiments.ThroughputSmoke(*ops) })
+	case "audit-scale":
+		run(func() (experiments.Result, error) { return experiments.AuditScale(*ops) })
 	case "smoke":
 		for _, fn := range smoke {
 			run(fn)
@@ -142,7 +149,7 @@ func main() {
 			for name := range sims {
 				names = append(names, name)
 			}
-			names = append(names, "throughput", "throughput-smoke", "smoke")
+			names = append(names, "throughput", "throughput-smoke", "audit-scale", "smoke")
 			sort.Strings(names)
 			usage("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
 		}
@@ -165,12 +172,41 @@ func main() {
 
 	// Gate last so the scorecard artifact is written even when the run
 	// regressed — CI wants both the failure and the numbers behind it.
+	// Which gates run is decided by what the baseline file records, so
+	// one flag serves both the throughput and the audit scorecards.
 	if *baselinePath != "" {
-		if err := experiments.CheckThroughputRegression(results, baseline, 0.2); err != nil {
-			fatal(err)
+		gated := false
+		for _, gate := range []struct {
+			name  string
+			check func([]experiments.Result, experiments.Scorecard, float64) error
+		}{
+			{experiments.ThroughputSmokeName, experiments.CheckThroughputRegression},
+			{experiments.AuditScaleName, experiments.CheckAuditRegression},
+		} {
+			if !hasExperiment(baseline, gate.name) {
+				continue
+			}
+			gated = true
+			if err := gate.check(results, baseline, 0.2); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dsmbench: %s within 20%% of %s\n", gate.name, *baselinePath)
 		}
-		fmt.Fprintf(os.Stderr, "dsmbench: throughput within 20%% of %s\n", *baselinePath)
+		if !gated {
+			fatal(fmt.Errorf("baseline %s contains no gateable experiment", *baselinePath))
+		}
 	}
+}
+
+// hasExperiment reports whether the scorecard records rows for the
+// named experiment.
+func hasExperiment(sc experiments.Scorecard, name string) bool {
+	for _, r := range sc.Experiments {
+		if r.Name == name && len(r.Rows) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // usage reports a flag error and exits with the conventional usage

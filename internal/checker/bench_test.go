@@ -1,0 +1,87 @@
+package checker
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchTrace generates the deterministic synthetic log used by every
+// audit benchmark: 4 processes, 8 variables, half writes, buffered
+// episodes every 7th receipt.
+func benchTrace(tb testing.TB, ops int) *trace.Log {
+	tb.Helper()
+	log, err := workload.AuditTrace(workload.AuditTraceConfig{
+		Procs: 4, Vars: 8, Ops: ops, WriteRatio: 0.5, DelayEvery: 7, Seed: 1,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return log
+}
+
+// BenchmarkAudit measures the vector-frontier audit across the size
+// ladder of the tentpole: 1k, 10k, 100k and 1M operations. The 1M rung
+// is the scale target — single-digit seconds on commodity hardware,
+// where the dense reference cannot run at all.
+func BenchmarkAudit(b *testing.B) {
+	for _, ops := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			log := benchTrace(b, ops)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := Audit(log)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Safe() || !rep.CausallyConsistent() || !rep.InP() {
+					b.Fatalf("synthetic trace audits dirty: %v", rep)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAuditReference measures the dense-bitset reference on the
+// sizes it can still handle. The 100k rung allocates the full O(ops²)
+// closure (tens of gigabytes) and runs the pairwise safety loop for
+// minutes, so it only runs when AUDIT_REF_OPS raises the ceiling, e.g.
+//
+//	AUDIT_REF_OPS=100000 go test -bench AuditReference -benchtime 1x
+//
+// which is how the before column of BENCH_checker.json was measured.
+// There is no 1M rung: the closure alone would need ~250 GB.
+func BenchmarkAuditReference(b *testing.B) {
+	ceiling := 10_000
+	if s := os.Getenv("AUDIT_REF_OPS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			b.Fatalf("AUDIT_REF_OPS=%q: %v", s, err)
+		}
+		ceiling = v
+	}
+	for _, ops := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			if ops > ceiling {
+				b.Skipf("ops=%d above AUDIT_REF_OPS ceiling %d", ops, ceiling)
+			}
+			log := benchTrace(b, ops)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := AuditReference(log)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Safe() || !rep.CausallyConsistent() || !rep.InP() {
+					b.Fatalf("synthetic trace audits dirty: %v", rep)
+				}
+			}
+		})
+	}
+}

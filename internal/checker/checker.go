@@ -17,13 +17,23 @@
 // The audit is protocol-independent: it recomputes →co from the
 // observed history (Issue/Return events) and never trusts protocol
 // clocks — those are cross-checked separately by optimality.go.
+//
+// Audit is the scale path: vector-frontier causality, covering-edge
+// safety checks, and per-process work fanned out across GOMAXPROCS
+// goroutines with a deterministic merge. AuditReference (reference.go)
+// is the original dense-bitset quadratic audit, kept for small traces
+// and as the oracle of the equivalence property tests.
 package checker
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/history"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 )
 
 // SafetyViolation reports two →co-ordered writes applied out of order
@@ -88,7 +98,7 @@ type ClassifiedDelay struct {
 // Report is a full audit of one run.
 type Report struct {
 	History   *history.History
-	Causality *history.Causality
+	Causality history.CausalOrder
 
 	SafetyViolations   []SafetyViolation
 	LegalityViolations []history.Violation
@@ -144,7 +154,12 @@ func (r *Report) String() string {
 }
 
 // Audit reconstructs the history from the log, computes →co, and runs
-// every check.
+// every check. This is the scale path: causality queries run against
+// the vector-frontier engine, the per-process safety check walks only
+// the WriteGraph's covering edges, and per-process audits run on
+// GOMAXPROCS goroutines. Reports are byte-identical to AuditReference
+// on violation-free runs and deterministic always (see reference.go for
+// how witnesses differ on violating runs).
 func Audit(log *trace.Log) (*Report, error) {
 	h, err := log.History()
 	if err != nil {
@@ -157,24 +172,86 @@ func Audit(log *trace.Log) (*Report, error) {
 	r := &Report{History: h, Causality: c, Discards: log.DiscardCount()}
 
 	r.LegalityViolations = c.CheckCausallyConsistent()
-	r.auditApplies(log)
-	r.classifyDelays(log)
+	r.auditApplies(log, c)
+	r.classifyDelays(log, c)
 	r.auditCrashes(log)
 	return r, nil
 }
 
+// writesPerProc counts the history's writes per issuing process; since
+// Seqs are consecutive, write (q, s) exists iff 1 ≤ s ≤ counts[q],
+// which lets the per-process audits use flat arrays instead of maps.
+func writesPerProc(h *history.History, nprocs int) []int {
+	counts := make([]int, nprocs)
+	for _, gi := range h.Writes() {
+		counts[h.Ops()[gi].ID.Proc]++
+	}
+	return counts
+}
+
+// forEachProc fans fn out over min(GOMAXPROCS, nprocs) worker
+// goroutines — but always at least two when there are two processes, so
+// the race detector exercises the concurrent path even on single-core
+// runners. fn must only write to its own process's result slot; the
+// caller merges slots in process order afterwards, which is what keeps
+// reports byte-stable regardless of scheduling.
+func forEachProc(nprocs int, fn func(p int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > nprocs {
+		workers = nprocs
+	}
+	if workers <= 1 {
+		for p := 0; p < nprocs; p++ {
+			fn(p)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= nprocs {
+					return
+				}
+				fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// procApplyAudit is one process's share of auditApplies.
+type procApplyAudit struct {
+	notApplied []MissingApply
+	dups       []DuplicateApply
+	safety     []SafetyViolation
+}
+
 // auditApplies checks safety (apply order vs →co, with discards
 // counting as logical applies) and liveness (everything applied
-// everywhere).
-func (r *Report) auditApplies(log *trace.Log) {
-	writes := r.History.Writes()
+// everywhere). The shared inputs — write IDs, discard sets, per-process
+// apply logs, covering edges — are built once; each process is then
+// audited independently and in parallel, and the per-process results
+// concatenated in process order.
+func (r *Report) auditApplies(log *trace.Log, c *history.Causality) {
+	h := r.History
+	nprocs := log.NumProcs
+	writes := h.Writes()
 	ids := make([]history.WriteID, len(writes))
 	for i, gi := range writes {
-		ids[i] = r.History.Ops()[gi].ID
+		ids[i] = h.Ops()[gi].ID
 	}
+	perProc := writesPerProc(h, nprocs)
 
-	discarded := make(map[int]map[history.WriteID]bool)
-	for p := 0; p < log.NumProcs; p++ {
+	discarded := make([]map[history.WriteID]bool, nprocs)
+	for p := range discarded {
 		discarded[p] = make(map[history.WriteID]bool)
 	}
 	for _, e := range log.Events {
@@ -182,90 +259,257 @@ func (r *Report) auditApplies(log *trace.Log) {
 			discarded[e.Proc][e.Write] = true
 		}
 	}
+	appliedLog := log.LogicallyAppliedPerProc()
 
-	for p := 0; p < log.NumProcs; p++ {
-		order := log.LogicallyAppliedAt(p)
-		pos := make(map[history.WriteID]int, len(order))
-		times := make(map[history.WriteID]int, len(order))
-		for i, id := range order {
-			if pos[id] == 0 {
-				pos[id] = i + 1 // 1-based; 0 means absent
-			}
-			times[id]++
+	// Covering edges, inverted once: preds[b] lists the immediate →co
+	// predecessors of write vertex b. Vertex order equals ids order
+	// (both are the flattened history order).
+	g := c.WriteGraph()
+	preds := make([][]int32, len(writes))
+	for a, succs := range g.Edges {
+		for _, b := range succs {
+			preds[b] = append(preds[b], int32(a))
 		}
-		for _, id := range ids {
-			if pos[id] == 0 {
-				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id})
-			} else if discarded[p][id] {
-				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id, Logical: true})
-			}
-			if times[id] > 1 {
-				r.DuplicateApplies = append(r.DuplicateApplies, DuplicateApply{Proc: p, Write: id, Times: times[id]})
-			}
-		}
-		// Safety is about relative order: two →co-ordered writes both
-		// applied at p must be applied in →co order. A missing apply is
-		// a liveness hole, reported above via NotApplied, not a safety
-		// violation (WS-send legitimately never propagates suppressed
-		// writes, yet applies every propagated pair in order).
-		for i, a := range ids {
-			for j, b := range ids {
-				if i == j || !r.Causality.WriteBefore(a, b) {
-					continue
-				}
-				pa, pb := pos[a], pos[b]
-				if pa != 0 && pb != 0 && pa > pb {
-					r.SafetyViolations = append(r.SafetyViolations, SafetyViolation{Proc: p, First: a, Second: b})
-				}
-			}
-		}
+	}
+
+	results := make([]procApplyAudit, nprocs)
+	forEachProc(nprocs, func(p int) {
+		results[p] = auditProcApplies(p, ids, perProc, writes, preds, appliedLog[p], discarded[p], c)
+	})
+	for p := range results {
+		r.NotApplied = append(r.NotApplied, results[p].notApplied...)
+		r.DuplicateApplies = append(r.DuplicateApplies, results[p].dups...)
+		r.SafetyViolations = append(r.SafetyViolations, results[p].safety...)
 	}
 }
 
-// classifyDelays walks each process's event sequence, maintaining the
-// applied-set, and classifies every buffered receipt per Definition 3.
-func (r *Report) classifyDelays(log *trace.Log) {
+// auditProcApplies audits one process's apply log. Safety is about
+// relative order: two →co-ordered writes both applied at p must be
+// applied in →co order. A missing apply is a liveness hole, reported
+// via NotApplied, not a safety violation (WS-send legitimately never
+// propagates suppressed writes, yet applies every propagated pair in
+// order).
+//
+// When p applied every write, the apply order is a linear extension of
+// →co iff every *covering* edge of the WriteGraph respects apply
+// positions (any violating pair a →co b implies a violating covering
+// edge on some a-to-b path), so the check is O(E) instead of the
+// reference's O(W²) pairwise loop. When writes are missing at p the
+// covering argument breaks — an inverted pair's connecting path may run
+// through an unapplied write — so a complete per-writer frontier check
+// runs instead: b's apply is consistent iff no write of any writer q
+// with seq ≤ Write_co(b)[q] was applied after b, an O(W·P) prefix-
+// maximum scan.
+func auditProcApplies(p int, ids []history.WriteID, perProc []int, writes []int, preds [][]int32, order []history.WriteID, discarded map[history.WriteID]bool, c *history.Causality) procApplyAudit {
+	var res procApplyAudit
+	if len(order) == 0 {
+		// Nothing applied: every write is missing and there is no order
+		// to check — skip building the position tables entirely.
+		for _, id := range ids {
+			res.notApplied = append(res.notApplied, MissingApply{Proc: p, Write: id})
+		}
+		return res
+	}
+	nprocs := len(perProc)
+	posBy := make([][]int32, nprocs)
+	timesBy := make([][]int32, nprocs)
+	for q := 0; q < nprocs; q++ {
+		posBy[q] = make([]int32, perProc[q])
+		timesBy[q] = make([]int32, perProc[q])
+	}
+	for i, id := range order {
+		if id.Seq < 1 || id.Proc < 0 || id.Proc >= nprocs || id.Seq > perProc[id.Proc] {
+			continue // not a write of the history; nothing to report against
+		}
+		if posBy[id.Proc][id.Seq-1] == 0 {
+			posBy[id.Proc][id.Seq-1] = int32(i + 1) // 1-based; 0 means absent
+		}
+		timesBy[id.Proc][id.Seq-1]++
+	}
+	pos := func(id history.WriteID) int32 { return posBy[id.Proc][id.Seq-1] }
+
+	// Liveness and duplicates first, so a duplicate's extra position
+	// can't silently mask an order violation reported below.
+	appliedCount := 0
+	for _, id := range ids {
+		if pos(id) == 0 {
+			res.notApplied = append(res.notApplied, MissingApply{Proc: p, Write: id})
+		} else {
+			appliedCount++
+			if discarded[id] {
+				res.notApplied = append(res.notApplied, MissingApply{Proc: p, Write: id, Logical: true})
+			}
+		}
+		if t := timesBy[id.Proc][id.Seq-1]; t > 1 {
+			res.dups = append(res.dups, DuplicateApply{Proc: p, Write: id, Times: int(t)})
+		}
+	}
+
+	if appliedCount == len(ids) {
+		// Complete apply log: covering edges suffice.
+		for b, id := range ids {
+			pb := pos(id)
+			for _, a := range preds[b] {
+				if aid := ids[a]; pos(aid) > pb {
+					res.safety = append(res.safety, SafetyViolation{Proc: p, First: aid, Second: id})
+				}
+			}
+		}
+		return res
+	}
+	// Gapped apply log: per-writer prefix maxima of apply positions.
+	// prefMax[q][s-1] is the latest position at which any of q's writes
+	// (q,1)..(q,s) was applied, prefArg the seq achieving it.
+	prefMax := make([][]int32, nprocs)
+	prefArg := make([][]int32, nprocs)
+	for q := 0; q < nprocs; q++ {
+		prefMax[q] = make([]int32, perProc[q])
+		prefArg[q] = make([]int32, perProc[q])
+		var m, arg int32
+		for s := 0; s < perProc[q]; s++ {
+			if v := posBy[q][s]; v > m {
+				m, arg = v, int32(s+1)
+			}
+			prefMax[q][s] = m
+			prefArg[q][s] = arg
+		}
+	}
+	for b, id := range ids {
+		pb := pos(id)
+		if pb == 0 {
+			continue
+		}
+		wv := c.WriteVector(writes[b])
+		for q := 0; q < nprocs; q++ {
+			upper := int(wv[q])
+			if q == id.Proc {
+				upper-- // Write_co counts b itself on its own component
+			}
+			if upper == 0 {
+				continue
+			}
+			if prefMax[q][upper-1] > pb {
+				res.safety = append(res.safety, SafetyViolation{
+					Proc:   p,
+					First:  history.WriteID{Proc: q, Seq: int(prefArg[q][upper-1])},
+					Second: id,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// procDelayAudit is one process's share of classifyDelays.
+type procDelayAudit struct {
+	delays    []ClassifiedDelay
+	at        []int32 // global event index of each delay's receipt
+	necessary int
+}
+
+// classifyDelays walks each process's event sequence and classifies
+// every buffered receipt per Definition 3. Instead of scanning the
+// delayed write's full WritesBefore list against an applied-set map,
+// each process maintains an applied frontier vector — component q is
+// the length of the contiguous prefix of q's writes applied so far —
+// and a receipt is necessary iff the frontier fails to dominate the
+// write's (strict) Write_co vector. The witness is the first frontier
+// gap in process order, which is exactly the first missing write in
+// global-index order, so verdicts and witnesses match the reference
+// scan. Processes are classified in parallel and merged by global
+// event position, keeping Delays in log order.
+func (r *Report) classifyDelays(log *trace.Log, c *history.Causality) {
 	resolved := make(map[delayKey]trace.Delay)
 	for _, d := range log.Delays() {
 		resolved[delayKey{d.Proc, d.Write}] = d
 	}
+	nprocs := log.NumProcs
+	perProc := writesPerProc(r.History, nprocs)
 
-	applied := make([]map[history.WriteID]bool, log.NumProcs)
-	for p := range applied {
-		applied[p] = make(map[history.WriteID]bool)
+	// Per-process event indices; the events themselves stay in the
+	// shared log (read-only below) rather than being copied per worker.
+	idxs := make([][]int32, nprocs)
+	for i, e := range log.Events {
+		idxs[e.Proc] = append(idxs[e.Proc], int32(i))
 	}
-	for _, e := range log.Events {
-		switch e.Kind {
-		case trace.Issue, trace.Apply, trace.Discard:
-			applied[e.Proc][e.Write] = true
-		case trace.Receipt:
-			if !e.Buffered {
-				continue
+
+	results := make([]procDelayAudit, nprocs)
+	forEachProc(nprocs, func(p int) {
+		res := &results[p]
+		seen := make([][]bool, nprocs)
+		for q := range seen {
+			seen[q] = make([]bool, perProc[q])
+		}
+		frontier := vclock.New(nprocs)
+		scratch := vclock.New(nprocs)
+		mark := func(id history.WriteID) {
+			if id.Seq < 1 || id.Proc < 0 || id.Proc >= nprocs || id.Seq > perProc[id.Proc] {
+				return // not a write of the history; never in any causal past
 			}
-			cd := ClassifiedDelay{}
-			if d, ok := resolved[delayKey{e.Proc, e.Write}]; ok {
-				cd.Delay = d
-			} else {
-				cd.Delay = trace.Delay{Proc: e.Proc, Write: e.Write, ReceiptAt: e.Time, AppliedAt: e.Time}
+			seen[id.Proc][id.Seq-1] = true
+			for int(frontier[id.Proc]) < perProc[id.Proc] && seen[id.Proc][frontier[id.Proc]] {
+				frontier[id.Proc]++
 			}
-			widx := r.History.WriteIndex(e.Write)
-			if widx >= 0 {
-				for _, prior := range r.Causality.WritesBefore(widx) {
-					if !applied[e.Proc][prior] {
+		}
+		for _, ei := range idxs[p] {
+			e := &log.Events[ei]
+			switch e.Kind {
+			case trace.Issue, trace.Apply, trace.Discard:
+				mark(e.Write)
+			case trace.Receipt:
+				if !e.Buffered {
+					continue
+				}
+				cd := ClassifiedDelay{}
+				if d, ok := resolved[delayKey{p, e.Write}]; ok {
+					cd.Delay = d
+				} else {
+					cd.Delay = trace.Delay{Proc: p, Write: e.Write, ReceiptAt: e.Time, AppliedAt: e.Time}
+				}
+				if widx := r.History.WriteIndex(e.Write); widx >= 0 {
+					scratch.CopyFrom(c.WriteVector(widx))
+					scratch[e.Write.Proc]-- // strict past: the write itself is the one delayed
+					if !frontier.Dominates(scratch) {
 						cd.Necessary = true
-						cd.MissingWrite = prior
-						break
+						for q := 0; q < nprocs; q++ {
+							if scratch[q] > frontier[q] {
+								cd.MissingWrite = history.WriteID{Proc: q, Seq: int(frontier[q]) + 1}
+								break
+							}
+						}
 					}
 				}
+				if cd.Necessary {
+					res.necessary++
+				}
+				res.delays = append(res.delays, cd)
+				res.at = append(res.at, ei)
 			}
-			if cd.Necessary {
-				r.NecessaryDelays++
-			} else {
-				r.UnnecessaryDelays++
+		}
+	})
+
+	total := 0
+	for p := range results {
+		total += len(results[p].delays)
+		r.NecessaryDelays += results[p].necessary
+	}
+	if total > 0 {
+		// k-way merge by global event index reproduces the reference's
+		// single-pass log order exactly.
+		r.Delays = make([]ClassifiedDelay, 0, total)
+		cur := make([]int, nprocs)
+		for len(r.Delays) < total {
+			best := -1
+			for p := 0; p < nprocs; p++ {
+				if cur[p] < len(results[p].delays) && (best < 0 || results[p].at[cur[p]] < results[best].at[cur[best]]) {
+					best = p
+				}
 			}
-			r.Delays = append(r.Delays, cd)
+			r.Delays = append(r.Delays, results[best].delays[cur[best]])
+			cur[best]++
 		}
 	}
+	r.UnnecessaryDelays = total - r.NecessaryDelays
 }
 
 type delayKey struct {

@@ -1,0 +1,193 @@
+package checker
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// requireReportsEqual compares every externally observable field of the
+// two reports: violations, delay classifications, counts, and ordering.
+// The Causality engines differ by construction and are excluded.
+func requireReportsEqual(t *testing.T, label string, fast, ref *Report) {
+	t.Helper()
+	check := func(field string, a, b any) {
+		t.Helper()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: %s differs:\nfast: %+v\nref:  %+v", label, field, a, b)
+		}
+	}
+	check("SafetyViolations", fast.SafetyViolations, ref.SafetyViolations)
+	check("LegalityViolations", fast.LegalityViolations, ref.LegalityViolations)
+	check("NotApplied", fast.NotApplied, ref.NotApplied)
+	check("DuplicateApplies", fast.DuplicateApplies, ref.DuplicateApplies)
+	check("Delays", fast.Delays, ref.Delays)
+	check("NecessaryDelays", fast.NecessaryDelays, ref.NecessaryDelays)
+	check("UnnecessaryDelays", fast.UnnecessaryDelays, ref.UnnecessaryDelays)
+	check("Discards", fast.Discards, ref.Discards)
+	check("Crashes", fast.Crashes, ref.Crashes)
+	check("Recoveries", fast.Recoveries, ref.Recoveries)
+	check("CrashViolations", fast.CrashViolations, ref.CrashViolations)
+	if fast.String() != ref.String() {
+		t.Fatalf("%s: summaries differ:\nfast: %s\nref:  %s", label, fast, ref)
+	}
+}
+
+// TestPropertyAuditEquivalence is the tentpole's contract: on random
+// workloads across all six protocol kinds, the parallel vector-frontier
+// Audit and the serial dense-bitset AuditReference produce identical
+// Reports — same violations, same delay classifications and witnesses,
+// same counts, same ordering. Run with -race this also exercises the
+// per-process fan-out for data races.
+func TestPropertyAuditEquivalence(t *testing.T) {
+	kinds := []protocol.Kind{
+		protocol.OptP, protocol.ANBKH, protocol.WSRecv,
+		protocol.WSSend, protocol.OptPNoReadMerge, protocol.OptPWS,
+	}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 6; seed++ {
+				cfg := workload.Config{
+					Procs: 4, Vars: 3, OpsPerProc: 20, WriteRatio: 0.7,
+					ThinkMin: 1, ThinkMax: 25, Hot: 0.5, Seed: seed,
+				}
+				scripts, err := workload.Scripts(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(sim.Config{
+					Procs: cfg.Procs, Vars: cfg.Vars, Protocol: kind,
+					Latency: sim.NewUniformLatency(1, 150, seed*7+1),
+				}, scripts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				fast, err := Audit(res.Log)
+				if err != nil {
+					t.Fatalf("seed %d: Audit: %v", seed, err)
+				}
+				ref, err := AuditReference(res.Log)
+				if err != nil {
+					t.Fatalf("seed %d: AuditReference: %v", seed, err)
+				}
+				requireReportsEqual(t, fmt.Sprintf("%v seed %d", kind, seed), fast, ref)
+			}
+		})
+	}
+}
+
+// TestAuditEquivalenceOnSyntheticTraces extends the equivalence check
+// to the benchmark generator's logs, whose head-of-line-blocking
+// episodes produce both delay classes.
+func TestAuditEquivalenceOnSyntheticTraces(t *testing.T) {
+	for _, ops := range []int{200, 2_000} {
+		log, err := workload.AuditTrace(workload.AuditTraceConfig{
+			Procs: 4, Vars: 8, Ops: ops, WriteRatio: 0.5, DelayEvery: 7, Seed: uint64(ops),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := Audit(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := AuditReference(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireReportsEqual(t, fmt.Sprintf("AuditTrace ops=%d", ops), fast, ref)
+	}
+}
+
+// violatingLog builds a run where p3 applies w1#2 before w1#1 despite
+// w1#1 →co w1#2 (process order), with all writes applied everywhere.
+func violatingLog() *trace.Log {
+	w1 := history.WriteID{Proc: 0, Seq: 1}
+	w2 := history.WriteID{Proc: 0, Seq: 2}
+	l := trace.NewLog(3, 1)
+	l.Append(trace.Event{Kind: trace.Issue, Proc: 0, Time: 0, Write: w1, Var: 0, Val: 1})
+	l.Append(trace.Event{Kind: trace.Issue, Proc: 0, Time: 1, Write: w2, Var: 0, Val: 2})
+	for _, q := range []int{1, 2} {
+		first, second := w1, w2
+		if q == 2 {
+			first, second = w2, w1 // the inversion
+		}
+		l.Append(trace.Event{Kind: trace.Receipt, Proc: q, Time: 2, Write: first, Var: 0})
+		l.Append(trace.Event{Kind: trace.Apply, Proc: q, Time: 2, Write: first, Var: 0})
+		l.Append(trace.Event{Kind: trace.Receipt, Proc: q, Time: 3, Write: second, Var: 0})
+		l.Append(trace.Event{Kind: trace.Apply, Proc: q, Time: 3, Write: second, Var: 0})
+	}
+	return l
+}
+
+// TestAuditViolationWitnessSubset pins the documented contract for
+// violating runs: both audits must flag the same processes as unsafe,
+// and every fast-path witness pair must appear in the reference's
+// exhaustive enumeration.
+func TestAuditViolationWitnessSubset(t *testing.T) {
+	fast, err := Audit(violatingLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := AuditReference(violatingLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Safe() || ref.Safe() {
+		t.Fatalf("both audits must catch the inversion: fast=%v ref=%v",
+			fast.SafetyViolations, ref.SafetyViolations)
+	}
+	refSet := map[SafetyViolation]bool{}
+	for _, v := range ref.SafetyViolations {
+		refSet[v] = true
+	}
+	for _, v := range fast.SafetyViolations {
+		if !refSet[v] {
+			t.Fatalf("fast witness %+v not among reference violations %v", v, ref.SafetyViolations)
+		}
+	}
+}
+
+// TestAuditGappedSafetyFallback covers the frontier fallback: with the
+// middle write of a →co chain never applied at the observing process,
+// the covering-edge argument alone would miss the a→b inversion, so
+// the prefix-maximum pass must catch it.
+func TestAuditGappedSafetyFallback(t *testing.T) {
+	a := history.WriteID{Proc: 0, Seq: 1}
+	m := history.WriteID{Proc: 0, Seq: 2}
+	b := history.WriteID{Proc: 0, Seq: 3}
+	l := trace.NewLog(2, 1)
+	for i, w := range []history.WriteID{a, m, b} {
+		l.Append(trace.Event{Kind: trace.Issue, Proc: 0, Time: int64(i), Write: w, Var: 0, Val: int64(i + 1)})
+	}
+	// p2 applies b then a, and never applies m: a →co m →co b has no
+	// applied covering edge linking a and b.
+	l.Append(trace.Event{Kind: trace.Receipt, Proc: 1, Time: 5, Write: b, Var: 0})
+	l.Append(trace.Event{Kind: trace.Apply, Proc: 1, Time: 5, Write: b, Var: 0})
+	l.Append(trace.Event{Kind: trace.Receipt, Proc: 1, Time: 6, Write: a, Var: 0})
+	l.Append(trace.Event{Kind: trace.Apply, Proc: 1, Time: 6, Write: a, Var: 0})
+
+	fast, err := Audit(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Safe() {
+		t.Fatal("gapped inversion not detected")
+	}
+	found := false
+	for _, v := range fast.SafetyViolations {
+		if v.Proc == 1 && v.First == a && v.Second == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want violation {p2, %v, %v}, got %v", a, b, fast.SafetyViolations)
+	}
+}

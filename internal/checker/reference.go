@@ -1,0 +1,143 @@
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/trace"
+)
+
+// AuditReference is the original small-trace audit: dense-bitset →co
+// closure, O(W²) pairwise safety loop per process, and per-delay
+// WritesBefore scans, all serial. It is kept verbatim as the oracle the
+// equivalence property tests pin Audit against, and costs O(ops²)
+// memory and worse time — use Audit for anything beyond a few tens of
+// thousands of operations.
+//
+// On violation-free runs (every run a correct protocol can produce) the
+// two audits return identical Reports. On runs with safety violations
+// both report Safe() == false for the same processes, but the reference
+// enumerates every inverted →co pair while Audit reports one witness
+// per covering edge or frontier gap.
+func AuditReference(log *trace.Log) (*Report, error) {
+	h, err := log.History()
+	if err != nil {
+		return nil, fmt.Errorf("checker: reconstructing history: %w", err)
+	}
+	c, err := h.DenseCausality()
+	if err != nil {
+		return nil, fmt.Errorf("checker: computing →co: %w", err)
+	}
+	r := &Report{History: h, Causality: c, Discards: log.DiscardCount()}
+
+	r.LegalityViolations = c.CheckCausallyConsistent()
+	r.auditAppliesReference(log)
+	r.classifyDelaysReference(log)
+	r.auditCrashes(log)
+	return r, nil
+}
+
+// auditAppliesReference is the original pairwise safety and liveness
+// check.
+func (r *Report) auditAppliesReference(log *trace.Log) {
+	writes := r.History.Writes()
+	ids := make([]history.WriteID, len(writes))
+	for i, gi := range writes {
+		ids[i] = r.History.Ops()[gi].ID
+	}
+
+	discarded := make(map[int]map[history.WriteID]bool)
+	for p := 0; p < log.NumProcs; p++ {
+		discarded[p] = make(map[history.WriteID]bool)
+	}
+	for _, e := range log.Events {
+		if e.Kind == trace.Discard {
+			discarded[e.Proc][e.Write] = true
+		}
+	}
+
+	for p := 0; p < log.NumProcs; p++ {
+		order := log.LogicallyAppliedAt(p)
+		pos := make(map[history.WriteID]int, len(order))
+		times := make(map[history.WriteID]int, len(order))
+		for i, id := range order {
+			if pos[id] == 0 {
+				pos[id] = i + 1 // 1-based; 0 means absent
+			}
+			times[id]++
+		}
+		for _, id := range ids {
+			if pos[id] == 0 {
+				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id})
+			} else if discarded[p][id] {
+				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id, Logical: true})
+			}
+			if times[id] > 1 {
+				r.DuplicateApplies = append(r.DuplicateApplies, DuplicateApply{Proc: p, Write: id, Times: times[id]})
+			}
+		}
+		// Safety is about relative order: two →co-ordered writes both
+		// applied at p must be applied in →co order. A missing apply is
+		// a liveness hole, reported above via NotApplied, not a safety
+		// violation (WS-send legitimately never propagates suppressed
+		// writes, yet applies every propagated pair in order).
+		for i, a := range ids {
+			for j, b := range ids {
+				if i == j || !r.Causality.WriteBefore(a, b) {
+					continue
+				}
+				pa, pb := pos[a], pos[b]
+				if pa != 0 && pb != 0 && pa > pb {
+					r.SafetyViolations = append(r.SafetyViolations, SafetyViolation{Proc: p, First: a, Second: b})
+				}
+			}
+		}
+	}
+}
+
+// classifyDelaysReference is the original single-pass classifier: one
+// applied-set map per process, and a WritesBefore scan per buffered
+// receipt.
+func (r *Report) classifyDelaysReference(log *trace.Log) {
+	resolved := make(map[delayKey]trace.Delay)
+	for _, d := range log.Delays() {
+		resolved[delayKey{d.Proc, d.Write}] = d
+	}
+
+	applied := make([]map[history.WriteID]bool, log.NumProcs)
+	for p := range applied {
+		applied[p] = make(map[history.WriteID]bool)
+	}
+	for _, e := range log.Events {
+		switch e.Kind {
+		case trace.Issue, trace.Apply, trace.Discard:
+			applied[e.Proc][e.Write] = true
+		case trace.Receipt:
+			if !e.Buffered {
+				continue
+			}
+			cd := ClassifiedDelay{}
+			if d, ok := resolved[delayKey{e.Proc, e.Write}]; ok {
+				cd.Delay = d
+			} else {
+				cd.Delay = trace.Delay{Proc: e.Proc, Write: e.Write, ReceiptAt: e.Time, AppliedAt: e.Time}
+			}
+			widx := r.History.WriteIndex(e.Write)
+			if widx >= 0 {
+				for _, prior := range r.Causality.WritesBefore(widx) {
+					if !applied[e.Proc][prior] {
+						cd.Necessary = true
+						cd.MissingWrite = prior
+						break
+					}
+				}
+			}
+			if cd.Necessary {
+				r.NecessaryDelays++
+			} else {
+				r.UnnecessaryDelays++
+			}
+			r.Delays = append(r.Delays, cd)
+		}
+	}
+}

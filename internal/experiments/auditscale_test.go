@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAuditScaleShape(t *testing.T) {
+	r, err := auditScale([]int{300, 900}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != AuditScaleName {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row %v has %d cells, header %d", row, len(row), len(r.Header))
+		}
+	}
+	// Reference ran only at the 300-op rung.
+	if r.Rows[0][5] == "-" || !strings.HasSuffix(r.Rows[0][6], "x") {
+		t.Fatalf("300-op row lacks reference timing: %v", r.Rows[0])
+	}
+	if r.Rows[1][5] != "-" || r.Rows[1][6] != "-" {
+		t.Fatalf("900-op row should skip the reference: %v", r.Rows[1])
+	}
+}
+
+func TestCheckAuditRegression(t *testing.T) {
+	mk := func(ms string) []Result {
+		return []Result{{
+			Name:   AuditScaleName,
+			Header: []string{"ops", "events", "writes", "delays", "audit-ms", "ref-ms", "speedup"},
+			Rows:   [][]string{{"1000", "4000", "500", "70", ms, "-", "-"}},
+		}}
+	}
+	baseline := Scorecard{Schema: ScorecardSchema, Experiments: mk("10.000")}
+
+	if err := CheckAuditRegression(mk("11.000"), baseline, 0.2); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+	if err := CheckAuditRegression(mk("5.000"), baseline, 0.2); err != nil {
+		t.Fatalf("improvement must pass: %v", err)
+	}
+	if err := CheckAuditRegression(mk("13.000"), baseline, 0.2); err == nil {
+		t.Fatal("25% regression must fail")
+	}
+	// Rows only in one document are ignored; empty docs are errors.
+	other := mk("9.000")
+	other[0].Rows[0][0] = "2000"
+	if err := CheckAuditRegression(other, baseline, 0.2); err != nil {
+		t.Fatalf("disjoint rows must pass: %v", err)
+	}
+	if err := CheckAuditRegression(nil, baseline, 0.2); err == nil {
+		t.Fatal("empty current must fail")
+	}
+	if err := CheckAuditRegression(mk("9.000"), Scorecard{Schema: ScorecardSchema}, 0.2); err == nil {
+		t.Fatal("empty baseline must fail")
+	}
+}

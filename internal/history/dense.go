@@ -1,0 +1,261 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DenseCausality is the original bitset materialization of →co, kept as
+// the small-trace reference implementation behind the vector-frontier
+// Causality engine. It stores the full transitive closure — pred[i] and
+// succ[i] bitsets over all n operations — so memory and time grow as
+// O(n²/64); fine up to a few tens of thousands of operations, infeasible
+// at a million. The checker's equivalence property tests pin the fast
+// engine's answers to this one.
+type DenseCausality struct {
+	h *History
+	n int
+
+	// pred[i] holds every j with ops[j] →co ops[i].
+	pred []bitset
+	// succ[i] holds every j with ops[i] →co ops[j].
+	succ []bitset
+	// topo is a topological order of the direct-edge DAG.
+	topo []int
+}
+
+// DenseCausality computes the →co closure as explicit bitsets. It
+// returns ErrCyclic if the history's generator edges contain a cycle.
+func (h *History) DenseCausality() (*DenseCausality, error) {
+	n := len(h.ops)
+	c := &DenseCausality{h: h, n: n}
+
+	// Adjacency and in-degrees of the generator DAG.
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	h.directEdges(func(from, to int) {
+		adj[from] = append(adj[from], to)
+		indeg[to]++
+	})
+
+	// Kahn topological sort.
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	c.topo = make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		c.topo = append(c.topo, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(c.topo) != n {
+		return nil, fmt.Errorf("%w: %d of %d operations unreachable in topological sort", ErrCyclic, n-len(c.topo), n)
+	}
+
+	// Predecessor closure in topological order:
+	// pred[w] = ⋃_{v→w} (pred[v] ∪ {v}).
+	c.pred = make([]bitset, n)
+	for i := range c.pred {
+		c.pred[i] = newBitset(n)
+	}
+	for _, v := range c.topo {
+		for _, w := range adj[v] {
+			c.pred[w].or(c.pred[v])
+			c.pred[w].set(v)
+		}
+	}
+
+	// Successor closure in reverse topological order.
+	c.succ = make([]bitset, n)
+	for i := range c.succ {
+		c.succ[i] = newBitset(n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := c.topo[i]
+		for _, w := range adj[v] {
+			c.succ[v].or(c.succ[w])
+			c.succ[v].set(w)
+		}
+	}
+	return c, nil
+}
+
+// History returns the underlying history.
+func (c *DenseCausality) History() *History { return c.h }
+
+// Before reports ops[i] →co ops[j].
+func (c *DenseCausality) Before(i, j int) bool { return c.pred[j].has(i) }
+
+// Concurrent reports ops[i] ‖co ops[j] (distinct, neither before the other).
+func (c *DenseCausality) Concurrent(i, j int) bool {
+	return i != j && !c.Before(i, j) && !c.Before(j, i)
+}
+
+// CausalPast returns ↓(ops[i], →co): the global indices of all
+// operations strictly before ops[i], in increasing index order.
+func (c *DenseCausality) CausalPast(i int) []int {
+	return c.pred[i].members(nil)
+}
+
+// CausalPastSize returns |↓(ops[i], →co)| without materializing it.
+func (c *DenseCausality) CausalPastSize(i int) int { return c.pred[i].count() }
+
+// WritesBefore returns the write operations in ↓(ops[i], →co) as
+// WriteIDs in increasing global-index order.
+func (c *DenseCausality) WritesBefore(i int) []WriteID {
+	var ids []WriteID
+	for _, j := range c.pred[i].members(nil) {
+		if o := c.h.ops[j]; o.IsWrite() {
+			ids = append(ids, o.ID)
+		}
+	}
+	return ids
+}
+
+// WriteBefore reports w →co w' for two writes given by ID. It panics if
+// either ID is unknown; Bottom is before every operation by convention
+// and after none.
+func (c *DenseCausality) WriteBefore(w, w2 WriteID) bool {
+	if w.IsBottom() {
+		return !w2.IsBottom()
+	}
+	if w2.IsBottom() {
+		return false
+	}
+	i, j := c.mustWrite(w), c.mustWrite(w2)
+	return c.Before(i, j)
+}
+
+// WriteConcurrent reports w ‖co w' for two distinct writes.
+func (c *DenseCausality) WriteConcurrent(w, w2 WriteID) bool {
+	if w.IsBottom() || w2.IsBottom() {
+		return false
+	}
+	return c.Concurrent(c.mustWrite(w), c.mustWrite(w2))
+}
+
+func (c *DenseCausality) mustWrite(id WriteID) int {
+	idx := c.h.WriteIndex(id)
+	if idx < 0 {
+		panic(fmt.Sprintf("history: unknown write %v", id))
+	}
+	return idx
+}
+
+// Topo returns a topological order of the operations consistent with →co.
+func (c *DenseCausality) Topo() []int {
+	t := make([]int, len(c.topo))
+	copy(t, c.topo)
+	return t
+}
+
+// WriteGraph computes the write causality graph by the original
+// all-pairs scan: for each ordered write pair, membership of any write
+// in succ(a) ∩ pred(b) decides immediacy. O(W³) worst case.
+func (c *DenseCausality) WriteGraph() *WriteGraph {
+	writes := c.h.Writes() // global op indices of writes, flattened order
+	g := &WriteGraph{index: make(map[WriteID]int, len(writes))}
+	for v, gi := range writes {
+		g.Vertices = append(g.Vertices, c.h.ops[gi].ID)
+		g.index[c.h.ops[gi].ID] = v
+	}
+	g.Edges = make([][]int, len(writes))
+	for a, ga := range writes {
+		for b, gb := range writes {
+			if a == b || !c.Before(ga, gb) {
+				continue
+			}
+			// Immediate iff no write w'' with ga →co w'' →co gb, i.e.
+			// succ(ga) ∩ pred(gb) contains no write.
+			immediate := true
+			for _, gm := range writes {
+				if gm != ga && gm != gb && c.succ[ga].has(gm) && c.pred[gb].has(gm) {
+					immediate = false
+					break
+				}
+			}
+			if immediate {
+				g.Edges[a] = append(g.Edges[a], b)
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		sort.Ints(e)
+	}
+	return g
+}
+
+// LegalRead checks Definition 1 for the read at global index i by
+// scanning the materialized causal past, the original quadratic
+// formulation (see Causality.LegalRead for the indexed fast path).
+func (c *DenseCausality) LegalRead(i int) (bool, Violation) {
+	o := c.h.ops[i]
+	if !o.IsRead() {
+		panic(fmt.Sprintf("history: LegalRead on non-read %v", o))
+	}
+	if o.From.IsBottom() {
+		// Must be no write to o.Var in ↓(r, →co).
+		for _, j := range c.pred[i].members(nil) {
+			if w := c.h.ops[j]; w.IsWrite() && w.Var == o.Var {
+				return false, Violation{
+					Read: i, Op: o, Stale: w.ID,
+					Reason: fmt.Sprintf("reads ⊥ but %v is in its causal past", w),
+				}
+			}
+		}
+		return true, Violation{}
+	}
+	widx := c.h.WriteIndex(o.From)
+	if widx < 0 {
+		return false, Violation{Read: i, Op: o, Reason: fmt.Sprintf("reads from unknown write %v", o.From)}
+	}
+	if !c.Before(widx, i) {
+		// Read-from edges are →co generators, so this indicates a
+		// malformed history rather than a stale value.
+		return false, Violation{Read: i, Op: o, Reason: fmt.Sprintf("source write %v not in causal past", o.From)}
+	}
+	// No intervening write on the same variable: w →co w' →co r.
+	for _, j := range c.pred[i].members(nil) {
+		w2 := c.h.ops[j]
+		if !w2.IsWrite() || w2.Var != o.Var || j == widx {
+			continue
+		}
+		if c.Before(widx, j) {
+			return false, Violation{
+				Read: i, Op: o, Stale: w2.ID,
+				Reason: fmt.Sprintf("value from %v was overwritten by %v before the read", o.From, w2),
+			}
+		}
+	}
+	return true, Violation{}
+}
+
+// CheckCausallyConsistent checks Definition 2: every read in the history
+// is legal. It returns all violations found (nil means the history is
+// causally consistent).
+func (c *DenseCausality) CheckCausallyConsistent() []Violation {
+	var vs []Violation
+	for i, o := range c.h.ops {
+		if !o.IsRead() {
+			continue
+		}
+		if ok, v := c.LegalRead(i); !ok {
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+// IsCausallyConsistent reports Definition 2 as a single boolean.
+func (c *DenseCausality) IsCausallyConsistent() bool {
+	return len(c.CheckCausallyConsistent()) == 0
+}

@@ -21,7 +21,15 @@ type WriteGraph struct {
 	index map[WriteID]int
 }
 
-// WriteGraph computes the write causality graph from the →co closure.
+// WriteGraph computes the write causality graph from the vector
+// representation in O(W·P²) instead of the all-pairs scan kept on
+// DenseCausality. For each write b, the only candidate immediate
+// predecessors are the per-process maxima of its strict write past —
+// write (p, wvecStrict(b)[p]) for each p, at most one per process, as
+// the paper observes. A candidate a is immediate iff no other candidate
+// a' has a →co a' (any write strictly between a and b is dominated by
+// the maximum of its own process, which is itself a candidate), which is
+// again a single vector-component test per pair.
 func (c *Causality) WriteGraph() *WriteGraph {
 	writes := c.h.Writes() // global op indices of writes, flattened order
 	g := &WriteGraph{index: make(map[WriteID]int, len(writes))}
@@ -30,27 +38,35 @@ func (c *Causality) WriteGraph() *WriteGraph {
 		g.index[c.h.ops[gi].ID] = v
 	}
 	g.Edges = make([][]int, len(writes))
-	for a, ga := range writes {
-		for b, gb := range writes {
-			if a == b || !c.Before(ga, gb) {
-				continue
+	cand := make([]int, 0, c.np) // candidate global indices, reused per b
+	for b, gb := range writes {
+		id := c.h.ops[gb].ID
+		row := c.wvec[gb*c.np : (gb+1)*c.np]
+		cand = cand[:0]
+		for p := 0; p < c.np; p++ {
+			s := int(row[p])
+			if p == id.Proc {
+				s-- // exclude b itself from its strict past
 			}
-			// Immediate iff no write w'' with ga →co w'' →co gb, i.e.
-			// succ(ga) ∩ pred(gb) contains no write.
+			if s >= 1 {
+				cand = append(cand, c.writesBy[p][s-1])
+			}
+		}
+		for _, ga := range cand {
+			aid := c.h.ops[ga].ID
 			immediate := true
-			for _, gm := range writes {
-				if gm != ga && gm != gb && c.succ[ga].has(gm) && c.pred[gb].has(gm) {
+			for _, gm := range cand {
+				if gm != ga && c.wvec[gm*c.np+aid.Proc] >= uint64(aid.Seq) {
 					immediate = false
 					break
 				}
 			}
 			if immediate {
-				g.Edges[a] = append(g.Edges[a], b)
+				// Outer loop visits b in ascending vertex order, so each
+				// successor list is built already sorted.
+				g.Edges[g.index[aid]] = append(g.Edges[g.index[aid]], b)
 			}
 		}
-	}
-	for _, e := range g.Edges {
-		sort.Ints(e)
 	}
 	return g
 }

@@ -1,6 +1,9 @@
 package history
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Violation describes one illegal read found while checking Definition 2.
 type Violation struct {
@@ -25,16 +28,32 @@ func (v Violation) String() string {
 // w(x)v →co w(x)v' →co r. A read of ⊥ is legal iff no write to x lies
 // in its causal past.
 //
+// Instead of scanning the materialized causal past (the DenseCausality
+// formulation), this walks processes in ascending order and consults the
+// per-variable write index: process p's writes in ↓(r) are exactly seqs
+// 1..wvec[r][p], and "w →co (p,s)" is monotone in s, so one binary
+// search per process finds the least seq that could intervene. Because
+// flattening is process-major and seqs follow local order, the first hit
+// in this (proc, seq)-ascending sweep is the same minimal-global-index
+// witness the dense scan reports.
+//
 // The second return is the zero Violation when the read is legal.
 func (c *Causality) LegalRead(i int) (bool, Violation) {
 	o := c.h.ops[i]
 	if !o.IsRead() {
 		panic(fmt.Sprintf("history: LegalRead on non-read %v", o))
 	}
+	row := c.wvec[i*c.np : (i+1)*c.np]
 	if o.From.IsBottom() {
-		// Must be no write to o.Var in ↓(r, →co).
-		for _, j := range c.pred[i].members(nil) {
-			if w := c.h.ops[j]; w.IsWrite() && w.Var == o.Var {
+		// Must be no write to o.Var in ↓(r, →co): the first write on
+		// o.Var by the lowest process with one in range is the witness.
+		for p := 0; p < c.np; p++ {
+			upper := int(row[p])
+			if upper == 0 {
+				continue
+			}
+			if sw := c.varWrites[p][o.Var]; len(sw) > 0 && sw[0] <= upper {
+				w := c.h.ops[c.writesBy[p][sw[0]-1]]
 				return false, Violation{
 					Read: i, Op: o, Stale: w.ID,
 					Reason: fmt.Sprintf("reads ⊥ but %v is in its causal past", w),
@@ -52,13 +71,32 @@ func (c *Causality) LegalRead(i int) (bool, Violation) {
 		// malformed history rather than a stale value.
 		return false, Violation{Read: i, Op: o, Reason: fmt.Sprintf("source write %v not in causal past", o.From)}
 	}
-	// No intervening write on the same variable: w →co w' →co r.
-	for _, j := range c.pred[i].members(nil) {
-		w2 := c.h.ops[j]
-		if !w2.IsWrite() || w2.Var != o.Var || j == widx {
+	// No intervening write on the same variable: w →co w' →co r. For each
+	// process p, candidates are seqs in [sMin, wvec[r][p]] where sMin is
+	// the least s with w →co (p,s) — found by binary search on w's
+	// local-index threshold in the candidates' opvec rows (trivially
+	// Seq+1 on w's own process).
+	wref := c.h.refs[widx]
+	thresh := uint64(wref.Index) + 1
+	for p := 0; p < c.np; p++ {
+		upper := int(row[p])
+		if upper == 0 {
 			continue
 		}
-		if c.Before(widx, j) {
+		var sMin int
+		if p == o.From.Proc {
+			sMin = o.From.Seq + 1
+		} else {
+			sMin = 1 + sort.Search(upper, func(k int) bool {
+				return c.opvec[c.writesBy[p][k]*c.np+wref.Proc] >= thresh
+			})
+		}
+		if sMin > upper {
+			continue
+		}
+		sw := c.varWrites[p][o.Var]
+		if k := sort.SearchInts(sw, sMin); k < len(sw) && sw[k] <= upper {
+			w2 := c.h.ops[c.writesBy[p][sw[k]-1]]
 			return false, Violation{
 				Read: i, Op: o, Stale: w2.ID,
 				Reason: fmt.Sprintf("value from %v was overwritten by %v before the read", o.From, w2),

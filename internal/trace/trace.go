@@ -463,3 +463,19 @@ func (l *Log) LogicallyAppliedAt(p int) []history.WriteID {
 	}
 	return out
 }
+
+// LogicallyAppliedPerProc returns LogicallyAppliedAt for every process
+// in one pass over the log. The checker's per-process audit previously
+// called LogicallyAppliedAt once per process — O(procs·events) on logs
+// where events already dominate — so the audit hot path uses this
+// instead.
+func (l *Log) LogicallyAppliedPerProc() [][]history.WriteID {
+	out := make([][]history.WriteID, l.NumProcs)
+	for _, e := range l.Events {
+		switch e.Kind {
+		case Apply, Issue, Discard:
+			out[e.Proc] = append(out[e.Proc], e.Write)
+		}
+	}
+	return out
+}

@@ -315,3 +315,23 @@ func TestVisibilityLatencies(t *testing.T) {
 		}
 	}
 }
+
+func TestLogicallyAppliedPerProc(t *testing.T) {
+	l := sampleLog()
+	l.Append(Event{Kind: Discard, Proc: 0, Time: 40, Write: w21})
+	all := l.LogicallyAppliedPerProc()
+	if len(all) != l.NumProcs {
+		t.Fatalf("got %d procs, want %d", len(all), l.NumProcs)
+	}
+	for p := 0; p < l.NumProcs; p++ {
+		want := l.LogicallyAppliedAt(p)
+		if len(all[p]) != len(want) {
+			t.Fatalf("proc %d: got %v, want %v", p, all[p], want)
+		}
+		for i := range want {
+			if all[p][i] != want[i] {
+				t.Fatalf("proc %d: got %v, want %v", p, all[p], want)
+			}
+		}
+	}
+}

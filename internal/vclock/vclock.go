@@ -182,7 +182,52 @@ func (v VC) Compare(o VC) Ordering {
 
 // Concurrent reports V ‖ V'.
 func (v VC) Concurrent(o VC) bool {
-	return v.Compare(o) == Concurrent
+	return v.ConcurrentWith(o)
+}
+
+// Dominates reports V' ≤ V component-wise (v[k] ≥ o[k] for every k) —
+// the "everything o has seen, v has seen" test of the checker's
+// applied-frontier math. Unlike LessEq flipped through Compare, it
+// exits on the first losing component and never materializes an
+// Ordering, so it is allocation-free and cheap enough for per-event
+// hot paths. The two clocks must have the same dimension.
+func (v VC) Dominates(o VC) bool {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: compare dimension mismatch %d != %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		if v[i] < x {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcurrentWith reports V ‖ V' without classifying the pair fully: it
+// returns true as soon as one component orders each way, and false
+// otherwise. Equivalent to Compare(o) == Concurrent but with no
+// intermediate result and an earlier exit on comparable clocks. The
+// two clocks must have the same dimension.
+func (v VC) ConcurrentWith(o VC) bool {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: compare dimension mismatch %d != %d", len(v), len(o)))
+	}
+	var less, greater bool
+	for i, x := range v {
+		switch {
+		case x < o[i]:
+			if greater {
+				return true
+			}
+			less = true
+		case x > o[i]:
+			if less {
+				return true
+			}
+			greater = true
+		}
+	}
+	return false
 }
 
 // String renders the clock as "[a b c]".

@@ -270,3 +270,93 @@ func TestQuickMergeAlgebra(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDominatesTable(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want bool
+	}{
+		{VC{}, VC{}, true},
+		{VC{0, 0}, VC{0, 0}, true},
+		{VC{2, 3}, VC{2, 3}, true},
+		{VC{2, 3}, VC{1, 3}, true},
+		{VC{2, 3}, VC{2, 4}, false},
+		{VC{2, 0}, VC{0, 1}, false},
+		{VC{5, 5, 5}, VC{0, 5, 6}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("%v.Dominates(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDominatesDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	VC{1, 2}.Dominates(VC{1})
+}
+
+func TestConcurrentWithDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	VC{1, 2}.ConcurrentWith(VC{1})
+}
+
+// The fast paths must agree with the Compare-derived definitions on
+// random clocks.
+func TestQuickFastPathsMatchCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		n := 1 + rng.Intn(6)
+		a, b := New(n), New(n)
+		for k := 0; k < n; k++ {
+			a[k] = uint64(rng.Intn(4))
+			b[k] = uint64(rng.Intn(4))
+		}
+		if got, want := a.Dominates(b), b.LessEq(a); got != want {
+			t.Fatalf("%v.Dominates(%v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := a.ConcurrentWith(b), a.Compare(b) == Concurrent; got != want {
+			t.Fatalf("%v.ConcurrentWith(%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+// benchClockPair builds two comparable 8-component clocks that differ
+// only in a late component, forcing full scans.
+func benchClockPair() (VC, VC) {
+	a, b := New(8), New(8)
+	for i := range a {
+		a[i] = uint64(i + 2)
+		b[i] = uint64(i + 1)
+	}
+	return a, b
+}
+
+func BenchmarkDominates(b *testing.B) {
+	b.ReportAllocs()
+	x, y := benchClockPair()
+	for i := 0; i < b.N; i++ {
+		if !x.Dominates(y) {
+			b.Fatal("x must dominate y")
+		}
+	}
+}
+
+func BenchmarkConcurrentWith(b *testing.B) {
+	b.ReportAllocs()
+	x, y := benchClockPair()
+	y[7] = 100 // one component each way: concurrent
+	for i := 0; i < b.N; i++ {
+		if !x.ConcurrentWith(y) {
+			b.Fatal("x must be concurrent with y")
+		}
+	}
+}

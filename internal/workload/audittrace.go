@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// AuditTraceConfig parameterizes AuditTrace, the synthetic run-log
+// generator behind BenchmarkAudit and the audit-scale experiment.
+type AuditTraceConfig struct {
+	// Procs and Vars size the system.
+	Procs, Vars int
+	// Ops is the total number of issued operations (writes + reads)
+	// across all processes.
+	Ops int
+	// WriteRatio is the probability an operation is a write (0..1).
+	WriteRatio float64
+	// DelayEvery buffers every k-th remote receipt, opening a
+	// head-of-line-blocking episode at the receiver: subsequent
+	// receipts queue behind it (necessary delays when causally related)
+	// until the episode flushes. 0 disables buffering entirely.
+	DelayEvery int
+	// FlushAfter is the number of issue steps an episode survives
+	// before its queue flushes in order; defaults to 3·Procs so an
+	// episode outlives a few round-robin rounds and later writes (the
+	// same writer's next write, or a write built on a read of the
+	// pending value) queue behind it as necessary delays.
+	FlushAfter int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c AuditTraceConfig) Validate() error {
+	switch {
+	case c.Procs < 1:
+		return fmt.Errorf("workload: AuditTrace Procs = %d", c.Procs)
+	case c.Vars < 1:
+		return fmt.Errorf("workload: AuditTrace Vars = %d", c.Vars)
+	case c.Ops < 0:
+		return fmt.Errorf("workload: AuditTrace Ops = %d", c.Ops)
+	case c.WriteRatio < 0 || c.WriteRatio > 1:
+		return fmt.Errorf("workload: AuditTrace WriteRatio = %f", c.WriteRatio)
+	case c.DelayEvery < 0:
+		return fmt.Errorf("workload: AuditTrace DelayEvery = %d", c.DelayEvery)
+	case c.FlushAfter < 0:
+		return fmt.Errorf("workload: AuditTrace FlushAfter = %d", c.FlushAfter)
+	case c.Ops/c.Procs >= 1_000_000:
+		// Value encodes (proc, seq) in decimal; past a million writes
+		// per process the encoding would collide.
+		return fmt.Errorf("workload: AuditTrace Ops = %d exceeds %d per process", c.Ops, 1_000_000*c.Procs)
+	}
+	return nil
+}
+
+// AuditTrace deterministically generates a correct run log of the given
+// size: Events grows as Ops + 2·writes·(Procs−1), so million-op traces
+// are cheap to produce and every report field of its audit is clean by
+// construction (safe, causally consistent, in 𝒫, exactly-once). The
+// construction keeps those properties obvious:
+//
+//   - Writes broadcast at issue time and every process applies remote
+//     writes in global issue order — a linear extension of →co — while
+//     the writer applies its own write immediately (safe: a write's
+//     strict causal past is always a subset of the writes issued
+//     before it).
+//   - Reads return the latest write applied to the variable at the
+//     reading process (legal by construction).
+//   - Buffered episodes (DelayEvery) delay applies but never reorder
+//     them, and a final flush applies everything outstanding, so the
+//     log contains a mix of necessary and unnecessary delays yet still
+//     satisfies liveness.
+func AuditTrace(cfg AuditTraceConfig) (*trace.Log, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FlushAfter == 0 {
+		cfg.FlushAfter = 3 * cfg.Procs
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	log := trace.NewLog(cfg.Procs, cfg.Vars)
+	now := int64(0)
+
+	type cell struct {
+		id  history.WriteID
+		val int64
+	}
+	// view[p][x] is the latest write applied to x at p (zero: ⊥).
+	view := make([][]cell, cfg.Procs)
+	for p := range view {
+		view[p] = make([]cell, cfg.Vars)
+	}
+	type update struct {
+		id  history.WriteID
+		x   int
+		val int64
+	}
+	// pending[q] is q's buffered-receipt queue, FIFO in receipt order.
+	pending := make([][]update, cfg.Procs)
+	epochAge := make([]int, cfg.Procs)
+	writeSeq := make([]int, cfg.Procs)
+	receipts := 0
+
+	apply := func(q int, u update) {
+		log.Append(trace.Event{Kind: trace.Apply, Proc: q, Time: now, Write: u.id, Var: u.x, Val: u.val})
+		view[q][u.x] = cell{u.id, u.val}
+	}
+	flush := func(q int) {
+		for _, u := range pending[q] {
+			apply(q, u)
+		}
+		pending[q] = pending[q][:0]
+		epochAge[q] = 0
+	}
+
+	for op := 0; op < cfg.Ops; op++ {
+		p := op % cfg.Procs // round-robin issuer keeps processes balanced
+		now++
+		if rng.Float64() < cfg.WriteRatio {
+			writeSeq[p]++
+			id := history.WriteID{Proc: p, Seq: writeSeq[p]}
+			x := rng.Intn(cfg.Vars)
+			val := Value(p, writeSeq[p])
+			log.Append(trace.Event{Kind: trace.Issue, Proc: p, Time: now, Write: id, Var: x, Val: val})
+			view[p][x] = cell{id, val}
+			u := update{id, x, val}
+			for q := 0; q < cfg.Procs; q++ {
+				if q == p {
+					continue
+				}
+				receipts++
+				// Receipts arrive in issue order, so queuing behind a
+				// buffered head (or starting an episode on the DelayEvery
+				// beat) never reorders applies.
+				buffered := len(pending[q]) > 0 ||
+					(cfg.DelayEvery > 0 && receipts%cfg.DelayEvery == 0)
+				log.Append(trace.Event{Kind: trace.Receipt, Proc: q, Time: now, Write: id, Var: x, Val: val, Buffered: buffered})
+				if buffered {
+					pending[q] = append(pending[q], u)
+				} else {
+					apply(q, u)
+				}
+			}
+		} else {
+			x := rng.Intn(cfg.Vars)
+			cur := view[p][x]
+			log.Append(trace.Event{Kind: trace.Return, Proc: p, Time: now, Var: x, Val: cur.val, From: cur.id})
+		}
+		for q := 0; q < cfg.Procs; q++ {
+			if len(pending[q]) > 0 {
+				if epochAge[q]++; epochAge[q] >= cfg.FlushAfter {
+					now++
+					flush(q)
+				}
+			}
+		}
+	}
+	now++
+	for q := 0; q < cfg.Procs; q++ {
+		if len(pending[q]) > 0 {
+			flush(q)
+		}
+	}
+	return log, nil
+}

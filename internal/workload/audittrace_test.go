@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/trace"
+)
+
+func TestAuditTraceIsCleanByConstruction(t *testing.T) {
+	log, err := AuditTrace(AuditTraceConfig{
+		Procs: 4, Vars: 8, Ops: 2_000, WriteRatio: 0.5, DelayEvery: 7, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := checker.Audit(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe() || !rep.CausallyConsistent() || !rep.InP() || !rep.ExactlyOnce() {
+		t.Fatalf("synthetic trace audits dirty: %v", rep)
+	}
+	if len(rep.Delays) == 0 {
+		t.Fatal("DelayEvery > 0 produced no delays")
+	}
+	if rep.NecessaryDelays == 0 || rep.UnnecessaryDelays == 0 {
+		t.Fatalf("want a mix of delay classes, got necessary=%d unnecessary=%d",
+			rep.NecessaryDelays, rep.UnnecessaryDelays)
+	}
+}
+
+func TestAuditTraceNoBuffering(t *testing.T) {
+	log, err := AuditTrace(AuditTraceConfig{
+		Procs: 3, Vars: 4, Ops: 600, WriteRatio: 0.5, DelayEvery: 0, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := log.DelayCount(); n != 0 {
+		t.Fatalf("DelayEvery=0 produced %d buffered receipts", n)
+	}
+	rep, err := checker.Audit(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe() || !rep.CausallyConsistent() || !rep.InP() {
+		t.Fatalf("unbuffered trace audits dirty: %v", rep)
+	}
+}
+
+func TestAuditTraceDeterministic(t *testing.T) {
+	cfg := AuditTraceConfig{Procs: 3, Vars: 4, Ops: 500, WriteRatio: 0.6, DelayEvery: 5, Seed: 42}
+	a, err := AuditTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AuditTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same seed produced different logs")
+	}
+}
+
+func TestAuditTraceEventBudget(t *testing.T) {
+	cfg := AuditTraceConfig{Procs: 4, Vars: 8, Ops: 1_000, WriteRatio: 0.5, DelayEvery: 7, Seed: 3}
+	log, err := AuditTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	for _, e := range log.Events {
+		if e.Kind == trace.Issue {
+			writes++
+		}
+	}
+	// Ops issue events/returns + per remote process one receipt and one
+	// apply per write.
+	want := cfg.Ops + 2*writes*(cfg.Procs-1)
+	if len(log.Events) != want {
+		t.Fatalf("got %d events, want %d (%d writes)", len(log.Events), want, writes)
+	}
+}
+
+func TestAuditTraceValidate(t *testing.T) {
+	bad := []AuditTraceConfig{
+		{Procs: 0, Vars: 1, Ops: 10},
+		{Procs: 2, Vars: 0, Ops: 10},
+		{Procs: 2, Vars: 1, Ops: -1},
+		{Procs: 2, Vars: 1, Ops: 10, WriteRatio: 1.5},
+		{Procs: 2, Vars: 1, Ops: 10, DelayEvery: -1},
+		{Procs: 1, Vars: 1, Ops: 2_000_000, WriteRatio: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := AuditTrace(cfg); err == nil {
+			t.Errorf("config %d: want error, got nil", i)
+		}
+	}
+}
