@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: check ci build test vet race bench smoke throughput audit-bench fuzz vuln clean
+.PHONY: check ci build test vet race bench smoke throughput audit-bench service-bench conformance fuzz fuzz-smoke vuln clean
 
-## check: the full gate — vet, build, tests, and a short race pass.
-check: vet build test race
+## check: the full gate — vet, build, tests, a short race pass, and a
+## fuzz burst over the wire codec.
+check: vet build test race fuzz-smoke
 
 ## ci: what .github/workflows/ci.yml runs — the full gate plus the
-## dsmbench smoke sweep, the hot-path throughput gate and the offline
-## audit gate (their dsmbench/v1 scorecards are uploaded as CI
+## conformance suite under the race detector, the dsmbench smoke sweep,
+## the hot-path throughput gate, the offline audit gate and the
+## serving-tier gate (their dsmbench/v1 scorecards are uploaded as CI
 ## artifacts) plus a vulnerability scan when govulncheck is on PATH.
-ci: check smoke throughput audit-bench vuln
+ci: check conformance smoke throughput audit-bench service-bench vuln
 
 ## smoke: the fast dsmbench subset (visibility, ws, obsoverhead) with
 ## the machine-readable scorecard written to smoke-scorecard.json.
@@ -34,6 +36,20 @@ audit-bench:
 		./internal/checker ./internal/history
 	$(GO) run ./cmd/dsmbench -exp audit-scale \
 		-baseline BENCH_checker.json -json audit-scorecard.json
+
+## service-bench: the serving-tier scorecard — closed-loop multi-
+## connection load against a live dsmd server over TCP loopback, gated
+## against the committed BENCH_service.json baseline — fails on a >20%
+## ops/s regression at any connection count.
+service-bench:
+	$(GO) run ./cmd/dsmbench -exp service -ops 2000 \
+		-baseline BENCH_service.json -json service-scorecard.json
+
+## conformance: the session-guarantee suite over real client
+## connections, under the race detector — includes the negative case
+## that proves the suite catches a token-less (guarantee-less) session.
+conformance:
+	$(GO) test -race -count=1 ./internal/conformance
 
 ## vuln: govulncheck over the whole module; skipped quietly when the
 ## tool isn't installed (it is not vendored and CI may run offline).
@@ -67,6 +83,15 @@ bench:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/scenario
 
+## fuzz-smoke: short fuzzing bursts on the serving-tier wire codec.
+## The committed seed corpus under internal/protocol/testdata/fuzz
+## replays in plain `make test`, so past crashers stay fatal; this
+## target additionally mutates for a few seconds per target.
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzWireRequest$$' -fuzztime=5s -run '^$$' ./internal/protocol
+	$(GO) test -fuzz '^FuzzWireResponse$$' -fuzztime=5s -run '^$$' ./internal/protocol
+	$(GO) test -fuzz '^FuzzWireToken$$' -fuzztime=5s -run '^$$' ./internal/protocol
+
 clean:
 	$(GO) clean ./...
-	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json
+	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json service-scorecard.json

@@ -19,6 +19,11 @@
 //	                            # synthetic traces; -ops > 100000 appends
 //	                            # a rung); exits nonzero if audit time
 //	                            # regresses >20% vs the baseline
+//	dsmbench -exp service -baseline BENCH_service.json
+//	                            # serving-tier scorecard: closed-loop
+//	                            # multi-connection load against a live
+//	                            # dsmd server over TCP loopback; exits
+//	                            # nonzero if ops/s regresses >20%
 //	dsmbench -exp chaos         # live OptP over lossy/duplicating links
 //	dsmbench -exp crash         # crash-stop + WAL restart, all protocols
 //	dsmbench -json out.json     # also write the machine-readable
@@ -41,7 +46,8 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")
 	procs := flag.Int("procs", 4, "processes for the throughput experiment")
-	ops := flag.Int("ops", 1000, "ops per process for the throughput experiment; extra ladder rung for audit-scale when > 100000")
+	ops := flag.Int("ops", 1000, "ops per process for the throughput experiment (also ops per session for -exp service); extra ladder rung for audit-scale when > 100000")
+	sessions := flag.Int("sessions", 4, "sessions per connection for the service experiment")
 	jsonPath := flag.String("json", "", "write the dsmbench/v1 JSON scorecard to this path")
 	baselinePath := flag.String("baseline", "", "dsmbench/v1 scorecard to gate against (>20% regression of any experiment present in it fails)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
@@ -138,6 +144,8 @@ func main() {
 		run(func() (experiments.Result, error) { return experiments.ThroughputSmoke(*ops) })
 	case "audit-scale":
 		run(func() (experiments.Result, error) { return experiments.AuditScale(*ops) })
+	case "service":
+		run(func() (experiments.Result, error) { return experiments.Service(*sessions, *ops) })
 	case "smoke":
 		for _, fn := range smoke {
 			run(fn)
@@ -149,7 +157,7 @@ func main() {
 			for name := range sims {
 				names = append(names, name)
 			}
-			names = append(names, "throughput", "throughput-smoke", "audit-scale", "smoke")
+			names = append(names, "throughput", "throughput-smoke", "audit-scale", "service", "smoke")
 			sort.Strings(names)
 			usage("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
 		}
@@ -182,6 +190,7 @@ func main() {
 		}{
 			{experiments.ThroughputSmokeName, experiments.CheckThroughputRegression},
 			{experiments.AuditScaleName, experiments.CheckAuditRegression},
+			{experiments.ServiceName, experiments.CheckServiceRegression},
 		} {
 			if !hasExperiment(baseline, gate.name) {
 				continue

@@ -1,0 +1,147 @@
+// Command dsmd is the long-running serving tier: a TCP daemon fronting
+// a live causal-memory cluster with the tagged, pipelined wire
+// protocol of internal/service. Clients (internal/client, dsmbench
+// -exp service) connect, multiplex sessions over one socket, and carry
+// their causal past in per-session tokens, so read-your-writes and
+// monotonic-reads hold across replica switches, reconnects and — with
+// -wal-dir — server restarts.
+//
+// Usage:
+//
+//	dsmd -addr :7450 -procs 3 -vars 16
+//	dsmd -protocol ANBKH -batch-window 200us -max-batch 128
+//	dsmd -wal-dir /var/lib/dsmd                 # survive crash/restart
+//	dsmd -debug-addr :6060                      # /metrics + pprof
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests run to completion and flush, then connections close and the
+// cluster shuts down. A second signal aborts the drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is main behind a testable seam: args are the CLI arguments and
+// ready, when non-nil, is called with the bound listen address once
+// the server accepts connections.
+func run(args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("dsmd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7450", "TCP listen address")
+	proto := fs.String("protocol", "OptP", "protocol: OptP, ANBKH, WS-recv, OptP-noreadmerge, OptP-WS (WS-send is not servable)")
+	procs := fs.Int("procs", 3, "number of replicated processes")
+	vars := fs.Int("vars", 16, "number of shared variables")
+	jitter := fs.Duration("jitter", 0, "max artificial inter-replica message delay")
+	fifo := fs.Bool("fifo", true, "preserve per-link FIFO order in the replica transport")
+	seed := fs.Int64("seed", 1, "transport delay seed")
+	walDir := fs.String("wal-dir", "", "crash recovery: write-ahead log directory (one subdir per process)")
+	walSync := fs.Bool("wal-sync", false, "crash recovery: fsync the journal after every record")
+	waitTimeout := fs.Duration("wait-timeout", 5*time.Second, "bound on a request's frontier wait before Unavailable")
+	batchWindow := fs.Duration("batch-window", 0, "write pump linger: collect a batch for up to this long (0: no linger)")
+	maxBatch := fs.Int("max-batch", 64, "max writes per pump batch (1 disables batching)")
+	maxPipeline := fs.Int("max-pipeline", 256, "max concurrently-served requests per connection")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain at shutdown")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	kind, err := protocol.ParseKind(*proto)
+	if err != nil {
+		return err
+	}
+	if *procs < 2 {
+		return fmt.Errorf("-procs must be at least 2, got %d", *procs)
+	}
+	if *vars < 1 {
+		return fmt.Errorf("-vars must be at least 1, got %d", *vars)
+	}
+	if *jitter < 0 || *waitTimeout < 0 || *batchWindow < 0 || *drainTimeout < 0 {
+		return fmt.Errorf("durations must not be negative")
+	}
+
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	cluster, err := core.NewCluster(core.Config{
+		Processes: *procs, Variables: *vars, Protocol: kind,
+		MaxDelay: *jitter, FIFO: *fifo, Seed: *seed,
+		WALDir: *walDir, WALSync: *walSync,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	srv, err := service.New(service.Config{
+		Cluster:     cluster,
+		Addr:        *addr,
+		WaitTimeout: *waitTimeout,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+		MaxPipeline: *maxPipeline,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "dsmd: debug endpoints on http://%s\n", dbg.Addr())
+	}
+
+	fmt.Fprintf(os.Stderr, "dsmd: serving %v (%d procs, %d vars) on %s\n",
+		kind, *procs, *vars, srv.Addr())
+	if ready != nil {
+		ready(srv.Addr())
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	sig := <-sigs
+	fmt.Fprintf(os.Stderr, "dsmd: %v, draining (second signal aborts)\n", sig)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case <-sigs:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		// The drain was cut short; connections are closed regardless.
+		fmt.Fprintf(os.Stderr, "dsmd: %v\n", err)
+	}
+	return cluster.Close()
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// startDaemon runs the dsmd entrypoint in-process and returns its
+// bound address and completion channel.
+func startDaemon(t *testing.T, args ...string) (string, chan error) {
+	t.Helper()
+	args = append([]string{"-addr", "127.0.0.1:0"}, args...)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(args, func(a string) { addrCh <- a })
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr, done
+	case err := <-done:
+		t.Fatalf("dsmd exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("dsmd never became ready")
+	}
+	return "", nil
+}
+
+// The full daemon lifecycle: serve real sessions, then drain cleanly
+// on SIGTERM — the exact path a supervisor exercises.
+func TestDaemonServesAndDrainsOnSIGTERM(t *testing.T) {
+	addr, done := startDaemon(t, "-procs", "2", "-vars", "4", "-wal-dir", t.TempDir())
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	s := c.Session()
+	if err := s.Write(ctx, 1, 11); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if v, err := s.Use(1).Read(ctx, 1); err != nil || v != 11 {
+		t.Fatalf("Read = %d, %v; want 11", v, err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("dsmd did not exit after SIGTERM")
+	}
+	// The listener is gone.
+	if _, err := client.Dial(addr); err == nil {
+		t.Fatal("Dial succeeded after shutdown")
+	}
+}
+
+// A request in a frontier wait when SIGTERM arrives is drained, not
+// dropped: its (Unavailable, after the wait times out) response is
+// flushed before the daemon exits, so the client sees a verdict rather
+// than a dead socket.
+func TestDaemonDrainFlushesInFlight(t *testing.T) {
+	addr, done := startDaemon(t, "-procs", "2", "-vars", "1", "-wait-timeout", "1s")
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	got := make(chan error, 1)
+	go func() {
+		// A token no frontier can reach: the wait runs out wait-timeout.
+		_, err := c.Do(context.Background(), protocol.Request{
+			Kind: protocol.ReqRead, Proc: 0, Var: 0, Token: vclock.VC{1 << 20, 0},
+		})
+		got <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // the read is server-side, waiting
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, client.ErrUnavailable) {
+			t.Fatalf("in-flight read = %v, want ErrUnavailable: the drain must flush the verdict", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight request never completed across the drain")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("dsmd did not exit after the drain")
+	}
+}
+
+func TestDaemonRejectsBadConfig(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "nonsense"},
+		{"-protocol", "WS-send"}, // not servable: frontiers never converge
+		{"-procs", "1"},
+		{"-vars", "0"},
+		{"extra-arg"},
+	}
+	for _, args := range cases {
+		if err := run(append([]string{"-addr", "127.0.0.1:0"}, args...), nil); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

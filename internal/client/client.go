@@ -1,0 +1,361 @@
+// Package client is the session-side counterpart of internal/service:
+// a connection-multiplexing, pipelining client for dsmd with causal
+// session tokens.
+//
+// One Client owns one TCP connection and any number of concurrent
+// requests on it: each request carries a tag, the read loop matches
+// responses back by tag, and completions arrive in whatever order the
+// server finishes them. Sessions layer the causal contract on top — a
+// Session threads its token (a vclock frontier of everything the
+// session has observed) through every request and merges each
+// response's advanced token back, which is all it takes for the server
+// to enforce read-your-writes and monotonic-reads across arbitrary
+// replica switches. Tokens are portable: Token/Resume hand a session's
+// causal past to another client, carrying the guarantee with it.
+package client
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// Errors mapped from response statuses and connection state.
+var (
+	// ErrClosed reports a request on (or interrupted by) a closed client.
+	ErrClosed = errors.New("client: connection closed")
+	// ErrShutdown reports a server that is draining or closing.
+	ErrShutdown = errors.New("client: server shutting down")
+	// ErrUnavailable reports a replica that cannot serve the session now
+	// (crash-stopped, or its frontier cannot reach the session token).
+	ErrUnavailable = errors.New("client: replica unavailable")
+	// ErrBadRequest reports a request the server rejected as malformed.
+	ErrBadRequest = errors.New("client: bad request")
+)
+
+// maxFrame mirrors the server's inbound bound; a response frame larger
+// than this marks a corrupt stream.
+const maxFrame = 1 << 16
+
+// call is one in-flight request: the response lands on ch, and base is
+// the request token the server delta-encoded the response token
+// against.
+type call struct {
+	base vclock.VC
+	ch   chan protocol.Response
+}
+
+// Client multiplexes tagged requests over one dsmd connection.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]*call
+	err     error // terminal connection error, set once
+	done    chan struct{}
+}
+
+// Dial connects to a dsmd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]*call{},
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight requests fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// Do sends one request and waits for its response. The request's Tag
+// is assigned by the client; a non-OK status is returned as both the
+// response and a mapped error.
+func (c *Client) Do(ctx context.Context, req protocol.Request) (protocol.Response, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return protocol.Response{}, err
+	}
+	c.next++
+	req.Tag = c.next
+	cl := &call{base: req.Token, ch: make(chan protocol.Response, 1)}
+	c.pending[req.Tag] = cl
+	c.mu.Unlock()
+
+	payload := req.AppendBinary(make([]byte, 0, 64))
+	frame := binary.AppendUvarint(make([]byte, 0, len(payload)+4), uint64(len(payload)))
+	frame = append(frame, payload...)
+	c.wmu.Lock()
+	_, err := c.conn.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(req.Tag)
+		return protocol.Response{}, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+
+	select {
+	case resp := <-cl.ch:
+		return resp, statusErr(resp)
+	case <-c.done:
+		// Drain the race: the response may have landed between the
+		// connection dying and this select firing.
+		select {
+		case resp := <-cl.ch:
+			return resp, statusErr(resp)
+		default:
+		}
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return protocol.Response{}, err
+	case <-ctx.Done():
+		c.forget(req.Tag)
+		return protocol.Response{}, ctx.Err()
+	}
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.Do(ctx, protocol.Request{Kind: protocol.ReqPing})
+	return err
+}
+
+// forget abandons an in-flight call (context cancellation, write
+// failure). A late response for the tag is discarded by the read loop.
+func (c *Client) forget(tag uint64) {
+	c.mu.Lock()
+	delete(c.pending, tag)
+	c.mu.Unlock()
+}
+
+// readLoop delivers response frames to their calls until the
+// connection dies, then fails everything pending.
+func (c *Client) readLoop() {
+	fr := newFrameReader(c.conn)
+	var err error
+	for {
+		var frame []byte
+		if frame, err = fr.next(); err != nil {
+			break
+		}
+		tag, perr := protocol.PeekTag(frame)
+		if perr != nil {
+			err = fmt.Errorf("client: corrupt response frame: %w", perr)
+			break
+		}
+		c.mu.Lock()
+		cl, ok := c.pending[tag]
+		delete(c.pending, tag)
+		c.mu.Unlock()
+		if !ok {
+			// Response for an abandoned call; nothing to deliver.
+			continue
+		}
+		resp, n, derr := protocol.DecodeResponse(frame, cl.base)
+		if derr != nil || n != len(frame) {
+			err = fmt.Errorf("client: corrupt response frame: %w", derr)
+			break
+		}
+		cl.ch <- resp
+	}
+	c.conn.Close()
+	c.mu.Lock()
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+		err = ErrClosed
+	}
+	c.err = err
+	pending := c.pending
+	c.pending = map[uint64]*call{}
+	c.mu.Unlock()
+	_ = pending // calls learn of the failure via done
+	close(c.done)
+}
+
+// statusErr maps a response status to a typed error, nil for OK.
+func statusErr(r protocol.Response) error {
+	var base error
+	switch r.Status {
+	case protocol.StatusOK:
+		return nil
+	case protocol.StatusBadRequest:
+		base = ErrBadRequest
+	case protocol.StatusShutdown:
+		base = ErrShutdown
+	default:
+		base = ErrUnavailable
+	}
+	if r.Err == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, r.Err)
+}
+
+// Session is one causal session over a Client. It is safe for
+// concurrent use; concurrent operations pipeline on the connection and
+// their tokens merge, so the session's past only grows.
+type Session struct {
+	c *Client
+
+	mu      sync.Mutex
+	token   vclock.VC
+	proc    int
+	noToken bool
+}
+
+// Session starts a fresh causal session (no past, any replica).
+func (c *Client) Session() *Session {
+	return &Session{c: c, proc: -1}
+}
+
+// NoTokenSession starts a deliberately broken session that never
+// sends or records tokens — no session guarantees. It exists so the
+// conformance suite can prove it detects the violations tokens
+// prevent.
+func (c *Client) NoTokenSession() *Session {
+	return &Session{c: c, proc: -1, noToken: true}
+}
+
+// Use pins the session to replica p (server-side round-robin when -1).
+func (s *Session) Use(p int) *Session {
+	s.mu.Lock()
+	s.proc = p
+	s.mu.Unlock()
+	return s
+}
+
+// Token snapshots the session's causal past, portable to Resume on any
+// session of the same cluster.
+func (s *Session) Token() vclock.VC {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.token.Clone()
+}
+
+// Resume merges tok into the session's past: the session now also
+// depends on everything tok counts.
+func (s *Session) Resume(tok vclock.VC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.absorbLocked(tok)
+}
+
+// absorbLocked merges a token into the session under s.mu.
+func (s *Session) absorbLocked(tok vclock.VC) {
+	if s.noToken || len(tok) == 0 {
+		return
+	}
+	if len(s.token) != len(tok) {
+		s.token = tok.Clone()
+		return
+	}
+	s.token.Merge(tok)
+}
+
+// begin snapshots the request token and pinned replica.
+func (s *Session) begin() (vclock.VC, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.noToken {
+		return nil, s.proc
+	}
+	return s.token.Clone(), s.proc
+}
+
+// finish folds a response back into the session.
+func (s *Session) finish(r protocol.Response) {
+	s.mu.Lock()
+	s.absorbLocked(r.Token)
+	s.mu.Unlock()
+}
+
+// Read returns the value of variable x, waiting until the serving
+// replica holds the session's past.
+func (s *Session) Read(ctx context.Context, x int) (int64, error) {
+	v, _, err := s.ReadMeta(ctx, x)
+	return v, err
+}
+
+// ReadMeta is Read plus the identity of the write that produced the
+// value (for audit trails).
+func (s *Session) ReadMeta(ctx context.Context, x int) (int64, history.WriteID, error) {
+	tok, proc := s.begin()
+	resp, err := s.c.Do(ctx, protocol.Request{
+		Kind: protocol.ReqRead, Proc: proc, Var: x, Token: tok,
+	})
+	if err != nil {
+		return 0, history.WriteID{}, err
+	}
+	s.finish(resp)
+	return resp.Val, resp.From, nil
+}
+
+// Write stores v into variable x. The write is issued on a replica
+// already holding the session's past, and the advanced token makes it
+// part of that past for every later operation.
+func (s *Session) Write(ctx context.Context, x int, v int64) error {
+	tok, proc := s.begin()
+	resp, err := s.c.Do(ctx, protocol.Request{
+		Kind: protocol.ReqWrite, Proc: proc, Var: x, Val: v, Token: tok,
+	})
+	if err != nil {
+		return err
+	}
+	s.finish(resp)
+	return nil
+}
+
+// frameReader decodes uvarint-length-prefixed frames, mirroring the
+// server side.
+type frameReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func newFrameReader(r io.Reader) *frameReader { return &frameReader{r: r} }
+
+// ReadByte implements io.ByteReader for binary.ReadUvarint.
+func (f *frameReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(f.r, f.buf[:]); err != nil {
+		return 0, err
+	}
+	return f.buf[0], nil
+}
+
+// next reads one frame.
+func (f *frameReader) next() ([]byte, error) {
+	n, err := binary.ReadUvarint(f)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("client: frame of %d bytes exceeds %d", n, maxFrame)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(f.r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,162 @@
+package client_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/service"
+	"repro/internal/vclock"
+)
+
+func startServer(t *testing.T, ccfg core.Config, scfg service.Config) *service.Server {
+	t.Helper()
+	cl, err := core.NewCluster(ccfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	scfg.Cluster = cl
+	srv, err := service.New(scfg)
+	if err != nil {
+		cl.Close()
+		t.Fatalf("service.New: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		cl.Close()
+	})
+	return srv
+}
+
+func TestDoAfterCloseFails(t *testing.T) {
+	srv := startServer(t, core.Config{Processes: 2, Variables: 1}, service.Config{})
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	c.Close()
+	if err := c.Ping(context.Background()); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("Ping after Close = %v, want ErrClosed", err)
+	}
+}
+
+// Cancelling a blocked request frees the caller immediately; the
+// connection survives and the abandoned response is discarded when it
+// eventually arrives.
+func TestContextCancellationAbandonsCall(t *testing.T) {
+	srv := startServer(t,
+		core.Config{Processes: 2, Variables: 1},
+		service.Config{WaitTimeout: 400 * time.Millisecond})
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = c.Do(ctx, protocol.Request{
+		Kind: protocol.ReqRead, Proc: 0, Var: 0, Token: vclock.VC{1 << 20, 0},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled Do = %v, want DeadlineExceeded", err)
+	}
+	// The server answers the abandoned tag ~350ms later; the client must
+	// shrug it off and keep serving this connection.
+	time.Sleep(600 * time.Millisecond)
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping after abandoned call: %v", err)
+	}
+}
+
+// A server-side connection drop (here: provoked by a malformed frame
+// from a second, raw connection — the client itself never sends one)
+// must fail in-flight and future calls with ErrClosed, not hang them.
+func TestServerDropFailsPending(t *testing.T) {
+	srv := startServer(t,
+		core.Config{Processes: 2, Variables: 1},
+		service.Config{WaitTimeout: 10 * time.Second})
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer raw.Close()
+	// A frame whose payload is garbage: the server drops the connection.
+	frame := binary.AppendUvarint(nil, 4)
+	frame = append(frame, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := raw.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read after malformed frame = %v, want EOF (connection dropped)", err)
+	}
+}
+
+func TestSessionTokenGrowsMonotonically(t *testing.T) {
+	srv := startServer(t, core.Config{Processes: 3, Variables: 2}, service.Config{})
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	s := c.Session()
+	if tok := s.Token(); tok != nil {
+		t.Fatalf("fresh session token = %v, want nil", tok)
+	}
+	var prev vclock.VC
+	for i := int64(1); i <= 5; i++ {
+		if err := s.Write(ctx, 0, i); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		tok := s.Token()
+		if len(tok) != 3 {
+			t.Fatalf("token %v, want dimension 3", tok)
+		}
+		if prev != nil && !tok.Dominates(prev) {
+			t.Fatalf("token went backwards: %v after %v", tok, prev)
+		}
+		prev = tok
+	}
+	// Resume folds a foreign past in; the token only grows.
+	other := vclock.VC{0, 99, 0}
+	s.Resume(other)
+	tok := s.Token()
+	if !tok.Dominates(other) || !tok.Dominates(prev) {
+		t.Fatalf("resumed token %v must dominate both %v and %v", tok, other, prev)
+	}
+}
+
+// The no-token session really sends no token — its whole point is to
+// be detectably broken.
+func TestNoTokenSessionStaysTokenless(t *testing.T) {
+	srv := startServer(t, core.Config{Processes: 2, Variables: 1}, service.Config{})
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	s := c.NoTokenSession()
+	for i := int64(1); i <= 3; i++ {
+		if err := s.Write(ctx, 0, i); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if _, err := s.Read(ctx, 0); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if tok := s.Token(); len(tok) != 0 {
+		t.Fatalf("no-token session accumulated %v", tok)
+	}
+}

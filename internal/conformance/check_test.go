@@ -1,0 +1,88 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+)
+
+func seqd(ops []Op) []Op {
+	for i := range ops {
+		ops[i].Seq = i
+	}
+	return ops
+}
+
+func TestCheckCleanTrace(t *testing.T) {
+	ops := seqd([]Op{
+		{Session: "a", Kind: OpWrite, Var: 0, Val: 1},
+		{Session: "a", Kind: OpRead, Var: 0, Val: 1},
+		{Session: "b", Kind: OpRead, Var: 0, Val: 0}, // b never observed x0: fine
+		{Session: "a", Kind: OpWrite, Var: 0, Val: 2},
+		{Session: "b", Kind: OpRead, Var: 0, Val: 2},
+		{Session: "b", Kind: OpRead, Var: 0, Val: 2},
+	})
+	if vs := Check(ops); len(vs) != 0 {
+		t.Fatalf("clean trace flagged: %v", vs)
+	}
+}
+
+func TestCheckReadYourWritesViolation(t *testing.T) {
+	ops := seqd([]Op{
+		{Session: "a", Kind: OpWrite, Var: 3, Val: 5},
+		{Session: "a", Kind: OpRead, Var: 3, Val: 4}, // older than own write
+	})
+	vs := Check(ops)
+	if len(vs) != 1 || vs[0].Guarantee != "read-your-writes" {
+		t.Fatalf("Check = %v, want one read-your-writes violation", vs)
+	}
+	if vs[0].Got != 4 || vs[0].Floor != 5 || vs[0].Var != 3 {
+		t.Fatalf("violation detail %+v", vs[0])
+	}
+}
+
+func TestCheckMonotonicReadsViolation(t *testing.T) {
+	ops := seqd([]Op{
+		{Session: "r", Kind: OpRead, Var: 1, Val: 9},
+		{Session: "r", Kind: OpRead, Var: 1, Val: 7}, // went backwards
+	})
+	vs := Check(ops)
+	if len(vs) != 1 || vs[0].Guarantee != "monotonic-reads" {
+		t.Fatalf("Check = %v, want one monotonic-reads violation", vs)
+	}
+}
+
+func TestCheckScopesPerSessionAndVar(t *testing.T) {
+	ops := seqd([]Op{
+		{Session: "a", Kind: OpWrite, Var: 0, Val: 9},
+		{Session: "b", Kind: OpRead, Var: 0, Val: 0}, // other session: no RYW claim
+		{Session: "a", Kind: OpRead, Var: 1, Val: 0}, // other variable: no claim
+	})
+	if vs := Check(ops); len(vs) != 0 {
+		t.Fatalf("cross-session/cross-var reads flagged: %v", vs)
+	}
+}
+
+func TestCheckIgnoresFailedOps(t *testing.T) {
+	ops := seqd([]Op{
+		{Session: "a", Kind: OpWrite, Var: 0, Val: 5},
+		{Session: "a", Kind: OpRead, Var: 0, Val: 0, Err: errors.New("unavailable")},
+		{Session: "a", Kind: OpRead, Var: 0, Val: 5},
+	})
+	if vs := Check(ops); len(vs) != 0 {
+		t.Fatalf("failed read counted against the guarantees: %v", vs)
+	}
+}
+
+func TestCheckOrdersBySeq(t *testing.T) {
+	// Records can arrive interleaved from concurrent sessions; Seq is
+	// the authority, not slice order.
+	ops := []Op{
+		{Session: "a", Kind: OpWrite, Var: 0, Val: 5, Seq: 2},
+		{Session: "a", Kind: OpRead, Var: 0, Val: 0, Seq: 0},
+	}
+	// In Seq order the read precedes the write, so the trace is clean;
+	// judging slice order instead would flag a bogus RYW violation.
+	if vs := Check(ops); len(vs) != 0 {
+		t.Fatalf("out-of-order records misjudged: %v", vs)
+	}
+}

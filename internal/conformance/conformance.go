@@ -1,0 +1,233 @@
+// Package conformance is the session-guarantee conformance suite of
+// the serving tier: it drives real client connections against a real
+// dsmd-style server (internal/service over a core.Cluster), records
+// every session operation, and checks the trace against the two
+// guarantees the session tokens promise — read-your-writes and
+// monotonic-reads (Terry et al.'s session guarantees, the client-side
+// face of causal consistency).
+//
+// The check leans on a workload discipline the harness enforces: each
+// variable has a single writer session, and that writer's values are
+// strictly increasing. Staleness is then decidable per read — a read
+// of variable x returning v is older than a read returning v' iff
+// v < v' — so the suite can state the guarantees exactly:
+//
+//   - read-your-writes: a session's read of x never returns less than
+//     the last value the session itself wrote to x;
+//   - monotonic-reads: a session's read of x never returns less than
+//     any earlier read of x by the same session.
+//
+// The suite must also catch the absence of the mechanism: a session
+// in no-token mode (client.NoTokenSession) carries no causal past, and
+// on a cluster with real propagation delay the checker is expected to
+// report violations for it. A conformance suite that cannot detect
+// the deliberately-broken mode proves nothing about the working one.
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// OpKind classifies a recorded session operation.
+type OpKind uint8
+
+const (
+	// OpWrite records Session.Write.
+	OpWrite OpKind = iota
+	// OpRead records Session.Read.
+	OpRead
+)
+
+// Op is one recorded session operation, in the session's issue order.
+type Op struct {
+	// Session names the session that issued the operation.
+	Session string
+	// Seq is the operation's global record order (per harness).
+	Seq int
+	// Kind, Var, Val describe the operation; Val is the value written
+	// or the value the read returned.
+	Kind OpKind
+	Var  int
+	Val  int64
+	// Err is the operation's error, if any. Failed operations are
+	// recorded but exempt from the guarantees (they returned nothing).
+	Err error
+}
+
+// Violation is one session-guarantee breach.
+type Violation struct {
+	// Guarantee is "read-your-writes" or "monotonic-reads".
+	Guarantee string
+	// Session is the violated session; Var the variable.
+	Session string
+	Var     int
+	// Got is the stale value read; Floor the newest value the session
+	// was already entitled to (own write or earlier read).
+	Got, Floor int64
+	// Seq is the violating read's record order.
+	Seq int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: session %s read x%d=%d after observing %d (op %d)",
+		v.Guarantee, v.Session, v.Var, v.Got, v.Floor, v.Seq)
+}
+
+// Check audits a recorded operation trace for session-guarantee
+// violations. It assumes the harness's workload discipline (per-var
+// single writer, strictly increasing values).
+func Check(ops []Op) []Violation {
+	sorted := make([]Op, len(ops))
+	copy(sorted, ops)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	type key struct {
+		session string
+		v       int
+	}
+	lastWrite := map[key]int64{} // newest value the session wrote to var
+	lastRead := map[key]int64{}  // newest value the session read from var
+	var out []Violation
+	for _, op := range sorted {
+		if op.Err != nil {
+			continue
+		}
+		k := key{op.Session, op.Var}
+		switch op.Kind {
+		case OpWrite:
+			if op.Val > lastWrite[k] {
+				lastWrite[k] = op.Val
+			}
+		case OpRead:
+			if floor, ok := lastWrite[k]; ok && op.Val < floor {
+				out = append(out, Violation{
+					Guarantee: "read-your-writes", Session: op.Session,
+					Var: op.Var, Got: op.Val, Floor: floor, Seq: op.Seq,
+				})
+			}
+			if floor, ok := lastRead[k]; ok && op.Val < floor {
+				out = append(out, Violation{
+					Guarantee: "monotonic-reads", Session: op.Session,
+					Var: op.Var, Got: op.Val, Floor: floor, Seq: op.Seq,
+				})
+			}
+			if op.Val > lastRead[k] {
+				lastRead[k] = op.Val
+			}
+		}
+	}
+	return out
+}
+
+// Harness runs one cluster + server and records every tracked session
+// operation for Check.
+type Harness struct {
+	T       *testing.T
+	Cluster *core.Cluster
+	Server  *service.Server
+
+	mu  sync.Mutex
+	seq int
+	ops []Op
+}
+
+// New builds a cluster and a server over it; teardown is wired into t.
+func New(t *testing.T, ccfg core.Config, scfg service.Config) *Harness {
+	t.Helper()
+	cl, err := core.NewCluster(ccfg)
+	if err != nil {
+		t.Fatalf("conformance: NewCluster: %v", err)
+	}
+	scfg.Cluster = cl
+	srv, err := service.New(scfg)
+	if err != nil {
+		cl.Close()
+		t.Fatalf("conformance: service.New: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		cl.Close()
+	})
+	return &Harness{T: t, Cluster: cl, Server: srv}
+}
+
+// Dial opens a client connection to the harness server.
+func (h *Harness) Dial() *client.Client {
+	h.T.Helper()
+	c, err := client.Dial(h.Server.Addr())
+	if err != nil {
+		h.T.Fatalf("conformance: Dial: %v", err)
+	}
+	h.T.Cleanup(func() { c.Close() })
+	return c
+}
+
+// record appends one operation to the trace.
+func (h *Harness) record(op Op) {
+	h.mu.Lock()
+	op.Seq = h.seq
+	h.seq++
+	h.ops = append(h.ops, op)
+	h.mu.Unlock()
+}
+
+// Ops snapshots the recorded trace.
+func (h *Harness) Ops() []Op {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Op(nil), h.ops...)
+}
+
+// Track wraps a session so its operations land in the harness trace.
+func (h *Harness) Track(name string, s *client.Session) *TrackedSession {
+	return &TrackedSession{h: h, name: name, s: s}
+}
+
+// TrackedSession records a session's operations for Check. Methods
+// mirror client.Session.
+type TrackedSession struct {
+	h    *Harness
+	name string
+	s    *client.Session
+}
+
+// Use pins the underlying session to replica p.
+func (ts *TrackedSession) Use(p int) *TrackedSession {
+	ts.s.Use(p)
+	return ts
+}
+
+// Session exposes the wrapped session (for Token/Resume).
+func (ts *TrackedSession) Session() *client.Session { return ts.s }
+
+// Write records a tracked write.
+func (ts *TrackedSession) Write(ctx context.Context, x int, v int64) error {
+	err := ts.s.Write(ctx, x, v)
+	ts.h.record(Op{Session: ts.name, Kind: OpWrite, Var: x, Val: v, Err: err})
+	return err
+}
+
+// Read records a tracked read.
+func (ts *TrackedSession) Read(ctx context.Context, x int) (int64, error) {
+	v, err := ts.s.Read(ctx, x)
+	ts.h.record(Op{Session: ts.name, Kind: OpRead, Var: x, Val: v, Err: err})
+	return v, err
+}
+
+// MustCheck fails the test on any violation in the recorded trace.
+func (h *Harness) MustCheck() {
+	h.T.Helper()
+	if vs := Check(h.Ops()); len(vs) > 0 {
+		for _, v := range vs {
+			h.T.Errorf("conformance: %s", v)
+		}
+	}
+}

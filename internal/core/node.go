@@ -10,6 +10,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/vclock"
 )
 
 // Node is one process of a live cluster: a full replica of the shared
@@ -129,6 +130,40 @@ func (n *Node) Clock() []uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.replica.(protocol.Introspector).ControlClock()
+}
+
+// Frontier returns a copy of the replica's applied-writes vector:
+// component j counts writes issued by p_j applied (or logically
+// applied) here. The serving tier derives session tokens from it. On
+// a crash-stopped node it returns nil.
+func (n *Node) Frontier() vclock.VC {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down.Load() {
+		return nil
+	}
+	return n.replica.(protocol.Introspector).ApplyClock()
+}
+
+// FrontierDominates reports whether the applied frontier covers t
+// component-wise — the session-token admission test of the serving
+// tier: a read may be served once the replica has applied everything
+// the session observed. The query is allocation-free for the built-in
+// protocols. t must have dimension Processes; a crash-stopped node
+// dominates nothing.
+func (n *Node) FrontierDominates(t vclock.VC) bool {
+	if len(t) == 0 {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down.Load() {
+		return false
+	}
+	if fd, ok := n.replica.(protocol.FrontierDominator); ok {
+		return fd.FrontierDominates(t)
+	}
+	return n.replica.(protocol.Introspector).ApplyClock().Dominates(t)
 }
 
 // PendingUpdates returns the current number of buffered (delayed)

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/service"
+)
+
+// ServiceName identifies the serving-tier scorecard experiment in
+// dsmbench/v1 documents; CheckServiceRegression matches baseline and
+// current results by it.
+const ServiceName = "E-service"
+
+// Service is the serving-tier load generator: a closed-loop
+// multi-connection benchmark against a real dsmd-style server (TCP
+// loopback, tagged pipelined wire protocol, per-replica write
+// batching). Each connection multiplexes several sessions; every
+// session runs a closed loop of token-carrying operations with a 3:1
+// write:read mix, so each op pays the full round trip — encode, frame,
+// socket, frontier admission, batch pump, response token — end to end.
+// The ops/s column is what CI gates against BENCH_service.json.
+func Service(sessionsPerConn, opsPerSession int) (Result, error) {
+	r := Result{
+		Name: ServiceName,
+		Desc: fmt.Sprintf("dsmd serving tier, closed loop over TCP loopback (%d sessions/conn × %d ops, 3:1 write:read, session tokens)",
+			sessionsPerConn, opsPerSession),
+		Header: []string{"conns", "sessions", "ops", "elapsed", "ops/s"},
+	}
+	for _, conns := range []int{1, 4, 8} {
+		row, err := serviceRun(conns, sessionsPerConn, opsPerSession)
+		if err != nil {
+			return r, fmt.Errorf("experiments: %s %d conns: %w", ServiceName, conns, err)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+func serviceRun(conns, sessionsPerConn, opsPerSession int) ([]string, error) {
+	const procs, vars = 3, 16
+	cl, err := core.NewCluster(core.Config{
+		Processes: procs, Variables: vars, Protocol: protocol.OptP, FIFO: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	srv, err := service.New(service.Config{Cluster: cl})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		if clients[i], err = client.Dial(srv.Addr()); err != nil {
+			return nil, err
+		}
+		defer clients[i].Close()
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, conns*sessionsPerConn)
+	for ci, c := range clients {
+		for si := 0; si < sessionsPerConn; si++ {
+			wg.Add(1)
+			go func(ci, si int, c *client.Client) {
+				defer wg.Done()
+				s := c.Session()
+				// One writer per (conn, session) slot: distinct variables
+				// where possible, distinct values always.
+				x := (ci*sessionsPerConn + si) % vars
+				base := int64(ci*1_000_000 + si*10_000)
+				for i := 1; i <= opsPerSession; i++ {
+					var err error
+					if i%4 == 0 {
+						_, err = s.Read(ctx, x)
+					} else {
+						err = s.Write(ctx, x, base+int64(i))
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(ci, si, c)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	// The drain is part of the served work: every response flushed.
+	sctx, cancel := context.WithTimeout(ctx, time.Minute)
+	err = srv.Shutdown(sctx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	qctx, cancel := context.WithTimeout(ctx, time.Minute)
+	err = cl.Quiesce(qctx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	total := conns * sessionsPerConn * opsPerSession
+	return []string{
+		fmt.Sprint(conns),
+		fmt.Sprint(conns * sessionsPerConn),
+		fmt.Sprint(total),
+		elapsed.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+	}, nil
+}
+
+// CheckServiceRegression compares the ops/s column of the E-service
+// experiment in current against the committed baseline scorecard and
+// reports an error if any connection count regressed by more than
+// tolerance (0.2 = 20%). Rows present in only one of the two documents
+// are ignored; improvements never fail.
+func CheckServiceRegression(current []Result, baseline Scorecard, tolerance float64) error {
+	base, err := serviceOpsPerSec(baseline.Experiments)
+	if err != nil {
+		return fmt.Errorf("experiments: baseline scorecard: %w", err)
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("experiments: baseline scorecard has no %s rows", ServiceName)
+	}
+	cur, err := serviceOpsPerSec(current)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("experiments: current results have no %s rows", ServiceName)
+	}
+	for conns, want := range base {
+		got, ok := cur[conns]
+		if !ok {
+			continue
+		}
+		if floor := want * (1 - tolerance); got < floor {
+			return fmt.Errorf("experiments: serving-tier regression at %s conns: %.0f ops/s < %.0f (baseline %.0f - %.0f%% tolerance)",
+				conns, got, floor, want, tolerance*100)
+		}
+	}
+	return nil
+}
+
+// serviceOpsPerSec extracts conns → ops/s from an E-service result.
+func serviceOpsPerSec(results []Result) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, r := range results {
+		if r.Name != ServiceName {
+			continue
+		}
+		connsCol, opsCol := -1, -1
+		for i, h := range r.Header {
+			switch h {
+			case "conns":
+				connsCol = i
+			case "ops/s":
+				opsCol = i
+			}
+		}
+		if connsCol < 0 || opsCol < 0 {
+			return nil, fmt.Errorf("experiments: %s table lacks conns/ops-per-sec columns (header %v)", r.Name, r.Header)
+		}
+		for _, row := range r.Rows {
+			if len(row) <= connsCol || len(row) <= opsCol {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[opsCol], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s ops/s cell %q: %w", r.Name, row[opsCol], err)
+			}
+			out[row[connsCol]] = v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// A miniature serving-tier run: one connection count would do for
+// shape, but the full conns ladder is what the scorecard schema
+// records, so run it tiny.
+func TestServiceShape(t *testing.T) {
+	r, err := Service(2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != ServiceName {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (conns ladder 1/4/8)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row %v has %d cells, header %d", row, len(row), len(r.Header))
+		}
+		if _, err := strconv.ParseFloat(row[4], 64); err != nil {
+			t.Fatalf("ops/s cell %q: %v", row[4], err)
+		}
+	}
+	if r.Rows[0][0] != "1" || r.Rows[2][0] != "8" {
+		t.Fatalf("conns column off: %v", r.Rows)
+	}
+}
+
+func TestCheckServiceRegression(t *testing.T) {
+	mk := func(ops string) []Result {
+		return []Result{{
+			Name:   ServiceName,
+			Header: []string{"conns", "sessions", "ops", "elapsed", "ops/s"},
+			Rows:   [][]string{{"4", "16", "16000", "1s", ops}},
+		}}
+	}
+	baseline := Scorecard{Schema: ScorecardSchema, Experiments: mk("10000")}
+
+	if err := CheckServiceRegression(mk("9000"), baseline, 0.2); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+	if err := CheckServiceRegression(mk("15000"), baseline, 0.2); err != nil {
+		t.Fatalf("improvement must pass: %v", err)
+	}
+	if err := CheckServiceRegression(mk("7000"), baseline, 0.2); err == nil {
+		t.Fatal("30% regression must fail")
+	}
+	// Rows only in one document are ignored; empty docs are errors.
+	other := mk("5000")
+	other[0].Rows[0][0] = "16"
+	if err := CheckServiceRegression(other, baseline, 0.2); err != nil {
+		t.Fatalf("disjoint rows must pass: %v", err)
+	}
+	if err := CheckServiceRegression(nil, baseline, 0.2); err == nil {
+		t.Fatal("empty current must fail")
+	}
+	if err := CheckServiceRegression(mk("9000"), Scorecard{Schema: ScorecardSchema}, 0.2); err == nil {
+		t.Fatal("empty baseline must fail")
+	}
+}

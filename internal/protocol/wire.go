@@ -1,0 +1,341 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/vclock"
+)
+
+// This file is the client/server wire protocol of the serving tier
+// (internal/service, cmd/dsmd): tagged request/response messages plus
+// the compact session token that carries a vclock frontier between
+// client and server.
+//
+// Frames on the socket are uvarint-length-prefixed, exactly like the
+// TCP transport's update frames; this file encodes only the payloads.
+//
+// Wire format of a Request (all integers varint/uvarint):
+//
+//	tag            — pipelining tag, echoed verbatim on the response
+//	kind           — ReqPing / ReqRead / ReqWrite
+//	proc           — serving replica (-1: server picks)
+//	var, val       — location and (for writes) payload
+//	token          — session token, delta-encoded against the zero clock
+//	flags          — bit 0: NoWait (fail instead of blocking on a
+//	                 lagging frontier)
+//
+// Wire format of a Response:
+//
+//	tag            — echoed request tag
+//	status         — StatusOK / StatusBadRequest / ...
+//	proc           — replica that served the request
+//	val            — read result (or echoed write payload)
+//	fromProc,fromSeq — WriteID of the write that produced val
+//	token          — new session token, delta-encoded against the
+//	                 request's token (absent when unchanged/unknown)
+//	errlen, err    — human-readable detail for non-OK statuses
+//
+// The session token is a vclock frontier: component j is the number of
+// writes issued by process j that the session has (transitively)
+// observed. Responses encode it as a delta against the token the
+// request carried — on a settled session only the components that
+// advanced travel, typically a handful of bytes — and requests encode
+// it against the zero clock (a sparse encoding: absent components are
+// zero).
+
+// Request kinds.
+const (
+	// ReqPing is a health/liveness probe; it round-trips the tag.
+	ReqPing uint8 = iota
+	// ReqRead reads one variable at the serving replica, blocking (or
+	// failing, with FlagNoWait) until the replica's applied frontier
+	// dominates the request token.
+	ReqRead
+	// ReqWrite writes one variable at the serving replica.
+	ReqWrite
+	reqKinds // sentinel: number of request kinds
+)
+
+// Request flag bits.
+const (
+	// FlagNoWait makes a lagging frontier an immediate StatusUnavailable
+	// instead of a blocking wait.
+	FlagNoWait uint64 = 1 << iota
+)
+
+// Response statuses.
+const (
+	// StatusOK reports success.
+	StatusOK uint8 = iota
+	// StatusBadRequest reports a malformed or out-of-range request.
+	StatusBadRequest
+	// StatusUnavailable reports a frontier wait that timed out (or, with
+	// FlagNoWait, would have blocked), or a crash-stopped replica.
+	StatusUnavailable
+	// StatusShutdown reports a request received while the server drains.
+	StatusShutdown
+)
+
+// StatusString names a response status for errors and logs.
+func StatusString(s uint8) string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("status(%d)", s)
+	}
+}
+
+// Wire-protocol decode errors.
+var (
+	// ErrWireTruncated reports a buffer ending inside an encoded message.
+	ErrWireTruncated = errors.New("protocol: truncated wire message")
+	// ErrWireCorrupt reports a structurally invalid message (absurd
+	// dimension, oversized string, unknown trailing bytes).
+	ErrWireCorrupt = errors.New("protocol: corrupt wire message")
+)
+
+// MaxTokenDim bounds the session-token dimension a decoder accepts.
+// The TCP transport caps clusters at 255 processes; anything beyond
+// this bound is a corrupt or hostile frame, rejected before the
+// decoder allocates for it.
+const MaxTokenDim = 4096
+
+// maxWireErr bounds the error-detail string a response may carry.
+const maxWireErr = 1024
+
+// Request is one client→server message.
+type Request struct {
+	// Tag is the pipelining tag: the client chooses it, the server
+	// echoes it, and responses may return in any order.
+	Tag uint64
+	// Kind is ReqPing, ReqRead or ReqWrite.
+	Kind uint8
+	// Proc selects the serving replica; -1 lets the server pick.
+	Proc int
+	// Var and Val are the location and (for writes) the payload.
+	Var int
+	Val int64
+	// Token is the session token (nil for a fresh session).
+	Token vclock.VC
+	// NoWait maps to FlagNoWait.
+	NoWait bool
+}
+
+// Response is one server→client message.
+type Response struct {
+	// Tag echoes the request tag.
+	Tag uint64
+	// Status classifies the outcome.
+	Status uint8
+	// Proc is the replica that served the request.
+	Proc int
+	// Val is the read result (reads) or the echoed payload (writes).
+	Val int64
+	// From identifies the write that produced Val (reads).
+	From history.WriteID
+	// Token is the advanced session token; nil means "unchanged".
+	Token vclock.VC
+	// Err carries human-readable detail for non-OK statuses.
+	Err string
+}
+
+// AppendToken appends the delta encoding of tok against base: a
+// uvarint dimension followed by vclock delta pairs. A nil tok encodes
+// as dimension 0 ("no token"). When base's dimension differs from
+// tok's, the zero clock substitutes — that is the full (sparse)
+// encoding. tok must dominate base component-wise when the dimensions
+// match; AppendToken panics otherwise, like vclock.AppendDelta,
+// because emitting a wrong delta would silently corrupt the session.
+func AppendToken(dst []byte, tok, base vclock.VC) []byte {
+	if len(tok) == 0 {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(tok)))
+	if len(base) != len(tok) {
+		base = vclock.New(len(tok))
+	}
+	return tok.AppendDelta(dst, base)
+}
+
+// DecodeToken decodes an AppendToken encoding from the front of buf,
+// reconstructing the token on top of base (ignored when its dimension
+// disagrees with the encoded one). It returns the token (nil when the
+// encoding says "no token") and the bytes consumed.
+func DecodeToken(buf []byte, base vclock.VC) (vclock.VC, int, error) {
+	dim, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("%w: token dimension", ErrWireTruncated)
+	}
+	if dim == 0 {
+		return nil, k, nil
+	}
+	if dim > MaxTokenDim {
+		return nil, 0, fmt.Errorf("%w: token dimension %d exceeds %d", ErrWireCorrupt, dim, MaxTokenDim)
+	}
+	if len(base) != int(dim) {
+		base = vclock.New(int(dim))
+	}
+	tok, n, err := vclock.DecodeDelta(buf[k:], base)
+	if err != nil {
+		return nil, 0, fmt.Errorf("protocol: token delta: %w", err)
+	}
+	return tok, k + n, nil
+}
+
+// AppendBinary appends the wire encoding of r to dst. The token is
+// encoded against the zero clock (see AppendToken).
+func (r Request) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, r.Tag)
+	dst = binary.AppendUvarint(dst, uint64(r.Kind))
+	dst = binary.AppendVarint(dst, int64(r.Proc))
+	dst = binary.AppendVarint(dst, int64(r.Var))
+	dst = binary.AppendVarint(dst, r.Val)
+	dst = AppendToken(dst, r.Token, nil)
+	var flags uint64
+	if r.NoWait {
+		flags |= FlagNoWait
+	}
+	return binary.AppendUvarint(dst, flags)
+}
+
+// DecodeRequest decodes one request from the front of buf, returning
+// it and the bytes consumed.
+func DecodeRequest(buf []byte) (Request, int, error) {
+	var r Request
+	d := wireDecoder{buf: buf}
+	r.Tag = d.uvarint()
+	kind := d.uvarint()
+	r.Proc = int(d.varint())
+	r.Var = int(d.varint())
+	r.Val = d.varint()
+	r.Token = d.token(nil)
+	flags := d.uvarint()
+	if d.err != nil {
+		return Request{}, 0, d.err
+	}
+	if kind >= uint64(reqKinds) {
+		return Request{}, 0, fmt.Errorf("%w: request kind %d", ErrWireCorrupt, kind)
+	}
+	r.Kind = uint8(kind)
+	r.NoWait = flags&FlagNoWait != 0
+	return r, d.off, nil
+}
+
+// AppendBinary appends the wire encoding of r to dst, delta-encoding
+// the token against base — the token of the request being answered.
+func (r Response) AppendBinary(dst []byte, base vclock.VC) []byte {
+	dst = binary.AppendUvarint(dst, r.Tag)
+	dst = binary.AppendUvarint(dst, uint64(r.Status))
+	dst = binary.AppendVarint(dst, int64(r.Proc))
+	dst = binary.AppendVarint(dst, r.Val)
+	dst = binary.AppendVarint(dst, int64(r.From.Proc))
+	dst = binary.AppendVarint(dst, int64(r.From.Seq))
+	dst = AppendToken(dst, r.Token, base)
+	err := r.Err
+	if len(err) > maxWireErr {
+		err = err[:maxWireErr]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(err)))
+	return append(dst, err...)
+}
+
+// DecodeResponse decodes one response from the front of buf,
+// reconstructing the token on top of base — the token the matching
+// request carried, which the client looks up by peeking the tag (see
+// PeekTag). It returns the response and the bytes consumed.
+func DecodeResponse(buf []byte, base vclock.VC) (Response, int, error) {
+	var r Response
+	d := wireDecoder{buf: buf}
+	r.Tag = d.uvarint()
+	status := d.uvarint()
+	r.Proc = int(d.varint())
+	r.Val = d.varint()
+	r.From.Proc = int(d.varint())
+	r.From.Seq = int(d.varint())
+	r.Token = d.token(base)
+	errLen := d.uvarint()
+	if d.err != nil {
+		return Response{}, 0, d.err
+	}
+	if status > uint64(StatusShutdown) {
+		return Response{}, 0, fmt.Errorf("%w: response status %d", ErrWireCorrupt, status)
+	}
+	if errLen > maxWireErr {
+		return Response{}, 0, fmt.Errorf("%w: error detail %d bytes exceeds %d", ErrWireCorrupt, errLen, maxWireErr)
+	}
+	if uint64(len(d.buf)-d.off) < errLen {
+		return Response{}, 0, fmt.Errorf("%w: error detail", ErrWireTruncated)
+	}
+	r.Status = uint8(status)
+	r.Err = string(d.buf[d.off : d.off+int(errLen)])
+	return r, d.off + int(errLen), nil
+}
+
+// PeekTag reads the leading tag of an encoded request or response
+// without decoding the rest — the client's pipelining demultiplexer
+// uses it to find the pending call (and its token base) before the
+// full DecodeResponse.
+func PeekTag(buf []byte) (uint64, error) {
+	tag, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: tag", ErrWireTruncated)
+	}
+	return tag, nil
+}
+
+// wireDecoder threads an offset and first-error through the field
+// reads, so the per-message decoders read as straight-line code.
+type wireDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *wireDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(d.buf[d.off:])
+	if k <= 0 {
+		d.err = ErrWireTruncated
+		return 0
+	}
+	d.off += k
+	return v
+}
+
+func (d *wireDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Varint(d.buf[d.off:])
+	if k <= 0 {
+		d.err = ErrWireTruncated
+		return 0
+	}
+	d.off += k
+	return v
+}
+
+func (d *wireDecoder) token(base vclock.VC) vclock.VC {
+	if d.err != nil {
+		return nil
+	}
+	tok, n, err := DecodeToken(d.buf[d.off:], base)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	d.off += n
+	return tok
+}

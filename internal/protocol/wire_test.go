@@ -1,0 +1,243 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/vclock"
+)
+
+func wireRequests() []Request {
+	return []Request{
+		{},
+		{Tag: 1, Kind: ReqPing, Proc: -1},
+		{Tag: 7, Kind: ReqRead, Proc: 2, Var: 5, Token: vclock.VC{3, 0, 9}},
+		{Tag: 1 << 40, Kind: ReqWrite, Proc: -1, Var: 0, Val: -12345,
+			Token: vclock.VC{0, 0, 0, 0}, NoWait: true},
+		{Tag: 42, Kind: ReqWrite, Proc: 0, Var: 9, Val: 1 << 50},
+		{Tag: 3, Kind: ReqRead, Proc: 1, Var: 2, Token: vclock.VC{1 << 33, 7}, NoWait: true},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, want := range wireRequests() {
+		buf := want.AppendBinary(nil)
+		got, n, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("DecodeRequest(%+v): %v", want, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("DecodeRequest(%+v) consumed %d of %d bytes", want, n, len(buf))
+		}
+		if got.Tag != want.Tag || got.Kind != want.Kind || got.Proc != want.Proc ||
+			got.Var != want.Var || got.Val != want.Val || got.NoWait != want.NoWait {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if want.Token == nil && got.Token != nil || want.Token != nil && !got.Token.Equal(want.Token) {
+			t.Fatalf("round trip token: got %v want %v", got.Token, want.Token)
+		}
+		tag, err := PeekTag(buf)
+		if err != nil || tag != want.Tag {
+			t.Fatalf("PeekTag = %d, %v; want %d", tag, err, want.Tag)
+		}
+	}
+}
+
+func wireResponses() []struct {
+	r    Response
+	base vclock.VC
+} {
+	return []struct {
+		r    Response
+		base vclock.VC
+	}{
+		{Response{}, nil},
+		{Response{Tag: 9, Status: StatusOK, Proc: 1, Val: 77,
+			From:  history.WriteID{Proc: 2, Seq: 31},
+			Token: vclock.VC{4, 8, 15}}, vclock.VC{4, 2, 15}},
+		{Response{Tag: 2, Status: StatusUnavailable, Proc: 0,
+			Err: "frontier behind session token"}, vclock.VC{1, 1}},
+		{Response{Tag: 1 << 55, Status: StatusShutdown, Proc: -1,
+			Err: "server draining"}, nil},
+		{Response{Tag: 5, Status: StatusOK, Proc: 3, Val: -9,
+			From:  history.WriteID{Proc: 0, Seq: 1},
+			Token: vclock.VC{10, 20}}, nil}, // dim mismatch with base → sparse
+		{Response{Tag: 6, Status: StatusBadRequest, Proc: -1,
+			Err: "variable 99 of 8"}, vclock.VC{0, 0, 0}},
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, tc := range wireResponses() {
+		buf := tc.r.AppendBinary(nil, tc.base)
+		got, n, err := DecodeResponse(buf, tc.base)
+		if err != nil {
+			t.Fatalf("DecodeResponse(%+v): %v", tc.r, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("DecodeResponse(%+v) consumed %d of %d bytes", tc.r, n, len(buf))
+		}
+		if got.Tag != tc.r.Tag || got.Status != tc.r.Status || got.Proc != tc.r.Proc ||
+			got.Val != tc.r.Val || got.From != tc.r.From || got.Err != tc.r.Err {
+			t.Fatalf("round trip: got %+v want %+v", got, tc.r)
+		}
+		if tc.r.Token == nil && got.Token != nil || tc.r.Token != nil && !got.Token.Equal(tc.r.Token) {
+			t.Fatalf("round trip token: got %v want %v", got.Token, tc.r.Token)
+		}
+	}
+}
+
+// A settled session's token delta should be tiny: one advanced
+// component costs a few bytes, not the full frontier.
+func TestResponseTokenDeltaCompact(t *testing.T) {
+	base := make(vclock.VC, 64)
+	for i := range base {
+		base[i] = 1 << 30
+	}
+	tok := base.Clone()
+	tok[7]++
+	full := Response{Tag: 1, Token: tok}.AppendBinary(nil, nil)
+	delta := Response{Tag: 1, Token: tok}.AppendBinary(nil, base)
+	if len(delta) >= len(full)/4 {
+		t.Fatalf("delta encoding %d bytes, sparse %d bytes: delta should be far smaller", len(delta), len(full))
+	}
+}
+
+// Every strict prefix of a valid encoding must fail to decode: the
+// framing layer delivers whole frames, so a short decode marks
+// corruption, never a "partial message".
+func TestRequestDecodeTruncated(t *testing.T) {
+	for _, r := range wireRequests() {
+		buf := r.AppendBinary(nil)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, _, err := DecodeRequest(buf[:cut]); err == nil {
+				t.Fatalf("DecodeRequest(%+v prefix %d/%d) succeeded", r, cut, len(buf))
+			}
+		}
+	}
+}
+
+func TestResponseDecodeTruncated(t *testing.T) {
+	for _, tc := range wireResponses() {
+		buf := tc.r.AppendBinary(nil, tc.base)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, _, err := DecodeResponse(buf[:cut], tc.base); err == nil {
+				t.Fatalf("DecodeResponse(%+v prefix %d/%d) succeeded", tc.r, cut, len(buf))
+			}
+		}
+	}
+}
+
+func TestDecodeTokenAbsurdDimension(t *testing.T) {
+	buf := binary.AppendUvarint(nil, MaxTokenDim+1)
+	buf = append(buf, bytes.Repeat([]byte{0}, 64)...)
+	if _, _, err := DecodeToken(buf, nil); !errors.Is(err, ErrWireCorrupt) {
+		t.Fatalf("DecodeToken(dim=%d) = %v, want ErrWireCorrupt", MaxTokenDim+1, err)
+	}
+	// The same bound must hold inside a full message.
+	req := Request{Tag: 1, Kind: ReqRead}.AppendBinary(nil)
+	req = req[:len(req)-2] // strip token(dim 0) + flags
+	req = binary.AppendUvarint(req, MaxTokenDim+1)
+	req = append(req, bytes.Repeat([]byte{1}, 32)...)
+	if _, _, err := DecodeRequest(req); err == nil {
+		t.Fatal("DecodeRequest with absurd token dimension succeeded")
+	}
+}
+
+func TestDecodeRequestBadKind(t *testing.T) {
+	r := Request{Tag: 3, Kind: ReqWrite, Var: 1}
+	buf := r.AppendBinary(nil)
+	// Kind is the second field; re-encode with an out-of-range kind.
+	bad := binary.AppendUvarint(nil, r.Tag)
+	bad = binary.AppendUvarint(bad, uint64(reqKinds))
+	bad = append(bad, buf[2:]...)
+	if _, _, err := DecodeRequest(bad); !errors.Is(err, ErrWireCorrupt) {
+		t.Fatalf("DecodeRequest(kind=%d) = %v, want ErrWireCorrupt", reqKinds, err)
+	}
+}
+
+func TestDecodeResponseBadStatus(t *testing.T) {
+	buf := binary.AppendUvarint(nil, 1)                       // tag
+	buf = binary.AppendUvarint(buf, uint64(StatusShutdown)+1) // status
+	buf = binary.AppendVarint(buf, 0)                         // proc
+	buf = binary.AppendVarint(buf, 0)                         // val
+	buf = binary.AppendVarint(buf, 0)                         // fromProc
+	buf = binary.AppendVarint(buf, 0)                         // fromSeq
+	buf = binary.AppendUvarint(buf, 0)                        // token dim
+	buf = binary.AppendUvarint(buf, 0)                        // errlen
+	if _, _, err := DecodeResponse(buf, nil); !errors.Is(err, ErrWireCorrupt) {
+		t.Fatalf("DecodeResponse(bad status) = %v, want ErrWireCorrupt", err)
+	}
+}
+
+func TestResponseErrTruncatedOnEncode(t *testing.T) {
+	long := string(bytes.Repeat([]byte{'x'}, maxWireErr+500))
+	buf := Response{Tag: 1, Status: StatusUnavailable, Err: long}.AppendBinary(nil, nil)
+	got, _, err := DecodeResponse(buf, nil)
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if len(got.Err) != maxWireErr {
+		t.Fatalf("error detail %d bytes on the wire, want cap %d", len(got.Err), maxWireErr)
+	}
+}
+
+func TestDecodeResponseErrTooLong(t *testing.T) {
+	buf := binary.AppendUvarint(nil, 1) // tag
+	buf = binary.AppendUvarint(buf, 0)  // status
+	buf = binary.AppendVarint(buf, 0)   // proc
+	buf = binary.AppendVarint(buf, 0)   // val
+	buf = binary.AppendVarint(buf, 0)   // fromProc
+	buf = binary.AppendVarint(buf, 0)   // fromSeq
+	buf = binary.AppendUvarint(buf, 0)  // token dim
+	buf = binary.AppendUvarint(buf, maxWireErr+1)
+	buf = append(buf, bytes.Repeat([]byte{'x'}, maxWireErr+1)...)
+	if _, _, err := DecodeResponse(buf, nil); !errors.Is(err, ErrWireCorrupt) {
+		t.Fatalf("DecodeResponse(errlen=%d) = %v, want ErrWireCorrupt", maxWireErr+1, err)
+	}
+}
+
+func TestAppendTokenBaseMismatchFallsBackToSparse(t *testing.T) {
+	tok := vclock.VC{5, 6, 7}
+	// Base of the wrong dimension must not panic — it encodes sparsely.
+	buf := AppendToken(nil, tok, vclock.VC{1, 2})
+	got, n, err := DecodeToken(buf, nil)
+	if err != nil || n != len(buf) {
+		t.Fatalf("DecodeToken: %v (consumed %d of %d)", err, n, len(buf))
+	}
+	if !got.Equal(tok) {
+		t.Fatalf("token = %v, want %v", got, tok)
+	}
+	// Decoding against a mismatched base likewise ignores the base.
+	got, _, err = DecodeToken(buf, vclock.VC{9})
+	if err != nil || !got.Equal(tok) {
+		t.Fatalf("DecodeToken(mismatched base) = %v, %v; want %v", got, err, tok)
+	}
+}
+
+func TestDecodeRequestTrailingBytesReported(t *testing.T) {
+	buf := Request{Tag: 2, Kind: ReqPing}.AppendBinary(nil)
+	buf = append(buf, 0xAB, 0xCD)
+	_, n, err := DecodeRequest(buf)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if n != len(buf)-2 {
+		t.Fatalf("consumed %d bytes, want %d; callers reject frames with trailing garbage", n, len(buf)-2)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[uint8]string{
+		StatusOK: "ok", StatusBadRequest: "bad-request",
+		StatusUnavailable: "unavailable", StatusShutdown: "shutdown",
+		200: "status(200)",
+	} {
+		if got := StatusString(s); got != want {
+			t.Fatalf("StatusString(%d) = %q, want %q", s, got, want)
+		}
+	}
+}

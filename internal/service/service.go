@@ -1,0 +1,529 @@
+// Package service is the serving tier of the repository: a long-running
+// TCP front end (cmd/dsmd) over a core.Cluster, speaking the tagged
+// request/response wire protocol of internal/protocol with per-session
+// causal tokens.
+//
+// The shape follows the Bayou/PNUTS serving-tier exemplars: the causal
+// store is replicated among the cluster's processes, and an arbitrary
+// number of stateless clients connect to the front end, each carrying
+// its session's causal knowledge in a compact token instead of a
+// replica. A session token is a vclock frontier — component j counts
+// the writes of process j the session has observed — and the server
+// enforces two session guarantees with one rule: an operation carrying
+// token t is admitted at replica p only once p's applied frontier
+// dominates t. Reads therefore see everything the session wrote
+// (read-your-writes) and everything previous reads saw
+// (monotonic-reads), across arbitrary replica switches; writes are
+// issued on a replica that already holds the session's past. Each
+// response returns the token advanced to max(t, frontier), so the
+// guarantee is transitive and tokens can be handed between clients to
+// carry causal dependencies.
+//
+// Connections are multiplexed and pipelined: requests carry tags,
+// each is served concurrently, and responses complete out of order (a
+// read blocked on a lagging frontier never stalls the pings behind
+// it). Writes funnel through a per-replica batching pump that
+// coalesces adjacent same-connection overwrites and amortizes one
+// frontier snapshot per batch — the network-side entrance to the PR 4
+// hot path.
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// Errors returned by server lifecycle operations.
+var (
+	// ErrServerClosed reports an operation on a closed/draining server.
+	ErrServerClosed = errors.New("service: server closed")
+)
+
+// maxFrame bounds an inbound request frame. Requests are tens of
+// bytes; anything near the bound is a corrupt or hostile stream.
+const maxFrame = 1 << 16
+
+// Config parameterizes a Server.
+type Config struct {
+	// Cluster is the replicated store the server fronts. Required; the
+	// server does not close it. WSSend clusters are rejected: their
+	// sender-suppressed writes make apply frontiers non-convergent, so
+	// token admission could block forever (see
+	// protocol.FrontierDominator).
+	Cluster *core.Cluster
+
+	// Addr is the TCP listen address; empty means "127.0.0.1:0".
+	Addr string
+
+	// WaitTimeout bounds a single request's frontier wait; a session
+	// token the serving replica cannot reach within it yields
+	// StatusUnavailable. 0 defaults to 5s.
+	WaitTimeout time.Duration
+
+	// BatchWindow is the write pump's linger: after the first write of
+	// a batch arrives the pump collects more for up to this long before
+	// issuing. 0 means no linger — the pump still batches whatever has
+	// queued while it was busy.
+	BatchWindow time.Duration
+
+	// MaxBatch caps writes per pump batch. 0 defaults to 64; 1
+	// disables batching and coalescing.
+	MaxBatch int
+
+	// MaxPipeline caps a connection's concurrently-served requests;
+	// further frames queue in the socket. 0 defaults to 256.
+	MaxPipeline int
+
+	// Metrics, when set, receives the per-connection/session serving
+	// metrics (dsm_svc_*) on the shared registry.
+	Metrics *obs.Registry
+}
+
+// withDefaults returns cfg with zero values resolved.
+func (cfg Config) withDefaults() Config {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.WaitTimeout == 0 {
+		cfg.WaitTimeout = 5 * time.Second
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxPipeline == 0 {
+		cfg.MaxPipeline = 256
+	}
+	return cfg
+}
+
+// Server fronts a cluster on one TCP listener.
+type Server struct {
+	cfg     Config
+	procs   int
+	vars    int
+	ln      net.Listener
+	pumps   []*pump
+	met     *metrics
+	gate    drainGate
+	next    atomic.Uint64 // round-robin replica cursor
+	closed  atomic.Bool
+	aborted atomic.Bool // Close (vs Shutdown): abort in-flight waits
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+}
+
+// New starts a server for cfg.Cluster on cfg.Addr.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("service: Config.Cluster is required")
+	}
+	if cfg.Cluster.Protocol() == protocol.WSSend {
+		return nil, fmt.Errorf("service: %v clusters are not servable: suppressed writes keep apply frontiers from converging, so session tokens could block forever", protocol.WSSend)
+	}
+	if cfg.WaitTimeout < 0 || cfg.BatchWindow < 0 || cfg.MaxBatch < 0 || cfg.MaxPipeline < 0 {
+		return nil, fmt.Errorf("service: negative tuning parameter")
+	}
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		procs: cfg.Cluster.Processes(),
+		vars:  cfg.Cluster.Variables(),
+		ln:    ln,
+		met:   newMetrics(cfg.Metrics, cfg.Cluster.Protocol().String()),
+		conns: map[net.Conn]struct{}{},
+	}
+	s.pumps = make([]*pump, s.procs)
+	for p := range s.pumps {
+		s.pumps[p] = newPump(s, p)
+	}
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown gracefully stops the server: the listener closes, requests
+// already being served run to completion (each bounded by WaitTimeout)
+// and their responses are flushed, later frames on open connections
+// are answered with StatusShutdown, and finally every connection is
+// closed. It returns ctx's error if the drain outlives it; the
+// teardown still completes. Shutdown of an already-stopped server
+// returns ErrServerClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return ErrServerClosed
+	}
+	s.ln.Close()
+	var err error
+	select {
+	case <-s.gate.drain():
+	case <-ctx.Done():
+		err = fmt.Errorf("service: shutdown: %w", ctx.Err())
+	}
+	for _, p := range s.pumps {
+		p.stop()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	return err
+}
+
+// Close stops the server immediately: like Shutdown with an expired
+// context, except in-flight frontier waits are also aborted (they
+// return StatusShutdown instead of running out their WaitTimeout).
+func (s *Server) Close() error {
+	s.aborted.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// acceptLoop serves inbound connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.met.connsOpen.Add(1)
+		s.met.connsTotal.Inc()
+		go s.serveConn(conn)
+	}
+}
+
+// dropConn unregisters and closes one connection.
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.met.connsOpen.Add(-1)
+}
+
+// srvConn is the response side of one connection: sends are serialized
+// by wmu, so concurrently-completing requests interleave whole frames.
+type srvConn struct {
+	s    *Server
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+// send frames and writes one response, delta-encoding its token
+// against base (the request's token). Write errors are dropped: a dead
+// peer surfaces in the read loop.
+func (c *srvConn) send(r protocol.Response, base vclock.VC) {
+	payload := r.AppendBinary(make([]byte, 0, 64), base)
+	frame := binary.AppendUvarint(make([]byte, 0, len(payload)+4), uint64(len(payload)))
+	frame = append(frame, payload...)
+	c.wmu.Lock()
+	_, err := c.conn.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.s.met.sendErrs.Inc()
+	}
+}
+
+// serveConn reads frames off one connection, dispatching each request
+// to its own goroutine so responses complete out of order. A decode
+// failure is a protocol error and drops the connection.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(conn)
+	c := &srvConn{s: s, conn: conn}
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	sem := make(chan struct{}, s.cfg.MaxPipeline)
+	br := newFrameReader(conn)
+	for {
+		frame, err := br.next()
+		if err != nil {
+			return
+		}
+		req, n, err := protocol.DecodeRequest(frame)
+		if err != nil || n != len(frame) {
+			s.met.protoErrs.Inc()
+			return
+		}
+		if !s.gate.enter() {
+			c.send(protocol.Response{
+				Tag: req.Tag, Status: protocol.StatusShutdown,
+				Proc: -1, Err: "server draining",
+			}, req.Token)
+			continue
+		}
+		sem <- struct{}{}
+		reqWG.Add(1)
+		go func() {
+			defer func() { <-sem; reqWG.Done(); s.gate.exit() }()
+			s.met.inflight.Add(1)
+			s.handle(c, req)
+			s.met.inflight.Add(-1)
+		}()
+	}
+}
+
+// handle serves one request end to end and sends its response.
+func (s *Server) handle(c *srvConn, req protocol.Request) {
+	resp := s.respond(c, req)
+	resp.Tag = req.Tag
+	if resp.Status != protocol.StatusOK {
+		s.met.errsTotal.Inc()
+	}
+	c.send(resp, req.Token)
+}
+
+// respond computes the response for one request; c is the coalescing
+// identity handed to the write pump.
+func (s *Server) respond(c *srvConn, req protocol.Request) protocol.Response {
+	s.met.reqKind(req.Kind).Inc()
+	if req.Kind == protocol.ReqPing {
+		return protocol.Response{Status: protocol.StatusOK, Proc: -1}
+	}
+	if req.Var < 0 || req.Var >= s.vars {
+		return badRequest(fmt.Sprintf("variable %d of %d", req.Var, s.vars))
+	}
+	if req.Proc < -1 || req.Proc >= s.procs {
+		return badRequest(fmt.Sprintf("replica %d of %d", req.Proc, s.procs))
+	}
+	if req.Token != nil && len(req.Token) != s.procs {
+		return badRequest(fmt.Sprintf("token dimension %d, cluster has %d processes", len(req.Token), s.procs))
+	}
+	proc := req.Proc
+	if proc < 0 {
+		proc = s.pick()
+	}
+	node := s.cfg.Cluster.Node(proc)
+	// Token admission: wait until the replica's applied frontier
+	// dominates the session's past. Writes wait too, so a session's
+	// write is issued on a replica that already holds everything the
+	// session observed.
+	if st, detail := s.waitFrontier(node, proc, req.Token, req.NoWait); st != protocol.StatusOK {
+		return protocol.Response{Status: st, Proc: proc, Err: detail}
+	}
+	switch req.Kind {
+	case protocol.ReqRead:
+		v, from, err := node.ReadMeta(req.Var)
+		if err != nil {
+			return errResponse(proc, err)
+		}
+		return protocol.Response{
+			Status: protocol.StatusOK, Proc: proc, Val: v, From: from,
+			Token: sessionToken(node, req.Token),
+		}
+	case protocol.ReqWrite:
+		return s.pumps[proc].submit(c, req)
+	default:
+		return badRequest(fmt.Sprintf("kind %d", req.Kind))
+	}
+}
+
+// pick chooses a serving replica round-robin, skipping crash-stopped
+// processes (falling back to the raw rotation if everything is down —
+// the per-node error path reports it properly).
+func (s *Server) pick() int {
+	base := int(s.next.Add(1))
+	for i := 0; i < s.procs; i++ {
+		p := (base + i) % s.procs
+		if !s.cfg.Cluster.Down(p) {
+			return p
+		}
+	}
+	return base % s.procs
+}
+
+// waitFrontier blocks until node's applied frontier dominates tok,
+// following the Quiesce poll idiom (spin, then brief sleeps). It
+// returns a non-OK status when the wait cannot succeed: NoWait and a
+// lagging frontier, a crash-stopped replica, WaitTimeout exceeded, or
+// server Close.
+func (s *Server) waitFrontier(node *core.Node, proc int, tok vclock.VC, noWait bool) (uint8, string) {
+	if len(tok) == 0 {
+		return protocol.StatusOK, ""
+	}
+	start := time.Now()
+	deadline := start.Add(s.cfg.WaitTimeout)
+	for spin := 0; ; spin++ {
+		if node.FrontierDominates(tok) {
+			s.met.frontierWait.Observe(time.Since(start).Nanoseconds())
+			return protocol.StatusOK, ""
+		}
+		if s.cfg.Cluster.Down(proc) {
+			return protocol.StatusUnavailable, fmt.Sprintf("replica %d is down", proc)
+		}
+		if noWait {
+			return protocol.StatusUnavailable, "frontier behind session token"
+		}
+		if s.aborted.Load() {
+			return protocol.StatusShutdown, "server closing"
+		}
+		if time.Now().After(deadline) {
+			s.met.waitTimeouts.Inc()
+			return protocol.StatusUnavailable,
+				fmt.Sprintf("frontier behind session token after %v", s.cfg.WaitTimeout)
+		}
+		if spin < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// sessionToken advances a session token past an operation served at
+// node: max(token, applied frontier). Returning nil (on a replica that
+// crashed mid-request) means "unchanged" on the wire.
+func sessionToken(node *core.Node, tok vclock.VC) vclock.VC {
+	f := node.Frontier()
+	if f == nil {
+		return nil
+	}
+	if len(tok) == len(f) {
+		f.Merge(tok)
+	}
+	return f
+}
+
+// badRequest builds a StatusBadRequest response.
+func badRequest(detail string) protocol.Response {
+	return protocol.Response{Status: protocol.StatusBadRequest, Proc: -1, Err: detail}
+}
+
+// errResponse maps a core error to a response status.
+func errResponse(proc int, err error) protocol.Response {
+	st := protocol.StatusUnavailable
+	if errors.Is(err, core.ErrClosed) {
+		st = protocol.StatusShutdown
+	} else if errors.Is(err, core.ErrBadVariable) {
+		st = protocol.StatusBadRequest
+	}
+	return protocol.Response{Status: st, Proc: proc, Err: err.Error()}
+}
+
+// drainGate tracks in-flight requests and refuses new ones once
+// draining, so Shutdown can wait for a true idle point: enter/exit
+// share one mutex with the drain flag, closing the race a bare
+// WaitGroup would have between the draining check and the Add.
+type drainGate struct {
+	mu       sync.Mutex
+	n        int
+	draining bool
+	idle     chan struct{}
+}
+
+// enter registers an in-flight request; false means the server is
+// draining and the request must be refused.
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.n++
+	return true
+}
+
+// exit retires an in-flight request.
+func (g *drainGate) exit() {
+	g.mu.Lock()
+	g.n--
+	if g.draining && g.n == 0 && g.idle != nil {
+		close(g.idle)
+		g.idle = nil
+	}
+	g.mu.Unlock()
+}
+
+// drain flips the gate to draining and returns a channel closed when
+// the last in-flight request exits.
+func (g *drainGate) drain() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch := make(chan struct{})
+	if !g.draining {
+		g.draining = true
+		if g.n == 0 {
+			close(ch)
+		} else {
+			g.idle = ch
+		}
+		return ch
+	}
+	// Second drain (Close after Shutdown): report current state.
+	if g.n == 0 {
+		close(ch)
+		return ch
+	}
+	return g.idle
+}
+
+// frameReader decodes uvarint-length-prefixed frames off a stream,
+// mirroring the TCP transport's framing.
+type frameReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func newFrameReader(r io.Reader) *frameReader { return &frameReader{r: r} }
+
+// ReadByte implements io.ByteReader for binary.ReadUvarint.
+func (f *frameReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(f.r, f.buf[:]); err != nil {
+		return 0, err
+	}
+	return f.buf[0], nil
+}
+
+// next reads one frame.
+func (f *frameReader) next() ([]byte, error) {
+	n, err := binary.ReadUvarint(f)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("service: frame of %d bytes exceeds %d", n, maxFrame)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(f.r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -186,7 +186,18 @@ func TestReliableDedupDropsReplayedSeqnos(t *testing.T) {
 	net := newScriptedNet(2)
 	net.dupData = true // every data frame arrives twice
 	var obs collectObs
-	r := relStack(t, net, obs.obs)
+	// The exact dup-discard count below assumes no retransmissions:
+	// a retransmitted frame is itself duplicated and discarded twice
+	// more. Use a generous timeout so scheduler stalls under a loaded
+	// test run cannot fire spurious retransmits.
+	r, err := NewReliable(net, ReliableConfig{
+		Procs:             net.procs,
+		RetransmitTimeout: time.Second,
+		Seed:              1,
+	}, obs.obs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var delivered int64
 	r.Register(0, func(Message) {})
 	r.Register(1, func(Message) { atomic.AddInt64(&delivered, 1) })
