@@ -1,17 +1,19 @@
 GO ?= go
 
-.PHONY: check ci build test vet race bench smoke throughput audit-bench service-bench conformance fuzz fuzz-smoke vuln clean
+.PHONY: check ci build test vet race bench smoke throughput audit-bench service-bench chaos-bench conformance chaos-conformance fuzz fuzz-smoke vuln clean
 
-## check: the full gate — vet, build, tests, a short race pass, and a
-## fuzz burst over the wire codec.
-check: vet build test race fuzz-smoke
+## check: the full gate — vet, build, tests, a short race pass, a
+## fuzz burst over the wire codec, and the chaos conformance suite
+## (fault-injected session guarantees + exactly-once accounting).
+check: vet build test race fuzz-smoke chaos-conformance
 
 ## ci: what .github/workflows/ci.yml runs — the full gate plus the
 ## conformance suite under the race detector, the dsmbench smoke sweep,
 ## the hot-path throughput gate, the offline audit gate and the
-## serving-tier gate (their dsmbench/v1 scorecards are uploaded as CI
-## artifacts) plus a vulnerability scan when govulncheck is on PATH.
-ci: check conformance smoke throughput audit-bench service-bench vuln
+## serving-tier gates, plain and chaos (their dsmbench/v1 scorecards
+## are uploaded as CI artifacts) plus a vulnerability scan when
+## govulncheck is on PATH.
+ci: check conformance smoke throughput audit-bench service-bench chaos-bench vuln
 
 ## smoke: the fast dsmbench subset (visibility, ws, obsoverhead) with
 ## the machine-readable scorecard written to smoke-scorecard.json.
@@ -45,11 +47,28 @@ service-bench:
 	$(GO) run ./cmd/dsmbench -exp service -ops 2000 \
 		-baseline BENCH_service.json -json service-scorecard.json
 
+## chaos-bench: the fault-injected serving-tier scorecard — the same
+## closed loop as service-bench but with seeded connection chaos (1%
+## kill, 2% stall, 0.5% truncation) on the server's listener, gated
+## against the committed BENCH_chaos.json baseline — fails on a >20%
+## ops/s regression or a 2× p99 blow-up at any connection count.
+chaos-bench:
+	$(GO) run ./cmd/dsmbench -exp service-chaos -ops 2000 \
+		-baseline BENCH_chaos.json -json chaos-scorecard.json
+
 ## conformance: the session-guarantee suite over real client
 ## connections, under the race detector — includes the negative case
 ## that proves the suite catches a token-less (guarantee-less) session.
 conformance:
 	$(GO) test -race -count=1 ./internal/conformance
+
+## chaos-conformance: the fault-injection gate — the conformance
+## workload under three seeds of connection chaos (1% kill + stalls +
+## truncation), requiring zero session-guarantee violations, zero
+## duplicate writes, exactly-once frontier accounting, and every call
+## resolving. Race detector on; part of `make check`.
+chaos-conformance:
+	$(GO) test -race -count=1 -run '^TestChaosConformance$$' ./internal/conformance
 
 ## vuln: govulncheck over the whole module; skipped quietly when the
 ## tool isn't installed (it is not vendored and CI may run offline).
@@ -94,4 +113,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json service-scorecard.json
+	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json service-scorecard.json chaos-scorecard.json

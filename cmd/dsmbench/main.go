@@ -24,6 +24,12 @@
 //	                            # multi-connection load against a live
 //	                            # dsmd server over TCP loopback; exits
 //	                            # nonzero if ops/s regresses >20%
+//	dsmbench -exp service-chaos -baseline BENCH_chaos.json
+//	                            # the same closed loop under seeded
+//	                            # connection chaos (1% kill, stalls,
+//	                            # truncation): ops/s and p99 with the
+//	                            # fault-tolerant client absorbing every
+//	                            # fault; gates ops/s at 20%, p99 at 2×
 //	dsmbench -exp chaos         # live OptP over lossy/duplicating links
 //	dsmbench -exp crash         # crash-stop + WAL restart, all protocols
 //	dsmbench -json out.json     # also write the machine-readable
@@ -146,6 +152,8 @@ func main() {
 		run(func() (experiments.Result, error) { return experiments.AuditScale(*ops) })
 	case "service":
 		run(func() (experiments.Result, error) { return experiments.Service(*sessions, *ops) })
+	case "service-chaos":
+		run(func() (experiments.Result, error) { return experiments.ServiceChaos(*sessions, *ops) })
 	case "smoke":
 		for _, fn := range smoke {
 			run(fn)
@@ -157,7 +165,7 @@ func main() {
 			for name := range sims {
 				names = append(names, name)
 			}
-			names = append(names, "throughput", "throughput-smoke", "audit-scale", "service", "smoke")
+			names = append(names, "throughput", "throughput-smoke", "audit-scale", "service", "service-chaos", "smoke")
 			sort.Strings(names)
 			usage("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
 		}
@@ -191,6 +199,7 @@ func main() {
 			{experiments.ThroughputSmokeName, experiments.CheckThroughputRegression},
 			{experiments.AuditScaleName, experiments.CheckAuditRegression},
 			{experiments.ServiceName, experiments.CheckServiceRegression},
+			{experiments.ServiceChaosName, experiments.CheckServiceChaosRegression},
 		} {
 			if !hasExperiment(baseline, gate.name) {
 				continue

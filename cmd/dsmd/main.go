@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netchaos"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/service"
@@ -59,8 +60,17 @@ func run(args []string, ready func(addr string)) error {
 	batchWindow := fs.Duration("batch-window", 0, "write pump linger: collect a batch for up to this long (0: no linger)")
 	maxBatch := fs.Int("max-batch", 64, "max writes per pump batch (1 disables batching)")
 	maxPipeline := fs.Int("max-pipeline", 256, "max concurrently-served requests per connection")
+	maxInflight := fs.Int("max-inflight", 0, "load shedding: fast-reject requests past this many in flight server-wide (0: default 4096)")
+	maxQueue := fs.Int("max-queue", 0, "load shedding: bound each replica's write admission queue (0: default 4096)")
+	dedupWindow := fs.Int("dedup-window", 0, "exactly-once retries: per-session dedup window in ops (0: default 512)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain at shutdown")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	chaosKill := fs.Float64("chaos-kill", 0, "fault injection: per-I/O probability of a connection reset")
+	chaosStall := fs.Float64("chaos-stall", 0, "fault injection: per-I/O probability of a stall")
+	chaosStallMax := fs.Duration("chaos-stall-max", 0, "fault injection: max stall duration (0: 20ms)")
+	chaosTrunc := fs.Float64("chaos-trunc", 0, "fault injection: per-write probability of truncating the frame then resetting")
+	chaosAccept := fs.Float64("chaos-accept", 0, "fault injection: probability of killing a connection at accept")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault injection: RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +90,17 @@ func run(args []string, ready func(addr string)) error {
 	if *jitter < 0 || *waitTimeout < 0 || *batchWindow < 0 || *drainTimeout < 0 {
 		return fmt.Errorf("durations must not be negative")
 	}
+	chaos := netchaos.Config{
+		Seed:       *chaosSeed,
+		KillProb:   *chaosKill,
+		StallProb:  *chaosStall,
+		StallMax:   *chaosStallMax,
+		TruncProb:  *chaosTrunc,
+		AcceptProb: *chaosAccept,
+	}
+	if err := chaos.Validate(); err != nil {
+		return err
+	}
 
 	var reg *obs.Registry
 	if *debugAddr != "" {
@@ -95,15 +116,24 @@ func run(args []string, ready func(addr string)) error {
 	}
 	defer cluster.Close()
 
-	srv, err := service.New(service.Config{
+	scfg := service.Config{
 		Cluster:     cluster,
 		Addr:        *addr,
 		WaitTimeout: *waitTimeout,
 		BatchWindow: *batchWindow,
 		MaxBatch:    *maxBatch,
 		MaxPipeline: *maxPipeline,
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		DedupWindow: *dedupWindow,
 		Metrics:     reg,
-	})
+	}
+	if chaos.Enabled() {
+		scfg.WrapListener = netchaos.Wrapper(chaos)
+		fmt.Fprintf(os.Stderr, "dsmd: CHAOS listener active (kill=%.3g stall=%.3g trunc=%.3g accept=%.3g seed=%d)\n",
+			chaos.KillProb, chaos.StallProb, chaos.TruncProb, chaos.AcceptProb, chaos.Seed)
+	}
+	srv, err := service.New(scfg)
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,7 @@
 // a connection-multiplexing, pipelining client for dsmd with causal
 // session tokens.
 //
-// One Client owns one TCP connection and any number of concurrent
+// One Client owns one logical connection and any number of concurrent
 // requests on it: each request carries a tag, the read loop matches
 // responses back by tag, and completions arrive in whatever order the
 // server finishes them. Sessions layer the causal contract on top — a
@@ -12,16 +12,32 @@
 // to enforce read-your-writes and monotonic-reads across arbitrary
 // replica switches. Tokens are portable: Token/Resume hand a session's
 // causal past to another client, carrying the guarantee with it.
+//
+// The logical connection is fault tolerant. When the TCP stream dies,
+// the client redials with capped exponential backoff and replays every
+// un-acknowledged in-flight request on the fresh stream; writes carry a
+// per-session op ID ((SID, OpSeq) in the wire frame) that the server's
+// exactly-once window dedups, so a write whose response was lost
+// applies once no matter how many times it is replayed. Retryable
+// server verdicts (StatusRetry, StatusOverloaded) are retried with the
+// same backoff under a per-call deadline; every call resolves — to its
+// value, or to a typed error — never hangs. Config.DisableRetry
+// restores the PR 6 fail-fast behaviour.
 package client
 
 import (
 	"context"
+	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/history"
 	"repro/internal/protocol"
@@ -39,60 +55,225 @@ var (
 	ErrUnavailable = errors.New("client: replica unavailable")
 	// ErrBadRequest reports a request the server rejected as malformed.
 	ErrBadRequest = errors.New("client: bad request")
+	// ErrRetryable reports a retryable condition the client ran out of
+	// deadline retrying: no live replica had reached the session token.
+	ErrRetryable = errors.New("client: retryable")
+	// ErrOverloaded reports a load-shedding server the client ran out of
+	// deadline backing off from.
+	ErrOverloaded = errors.New("client: server overloaded")
 )
+
+// Retryable reports whether err marks a condition worth retrying at a
+// higher level (backoff already applied): the server shed load or asked
+// for a retry, and the call's deadline ran out first.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRetryable) || errors.Is(err, ErrOverloaded)
+}
 
 // maxFrame mirrors the server's inbound bound; a response frame larger
 // than this marks a corrupt stream.
 const maxFrame = 1 << 16
 
-// call is one in-flight request: the response lands on ch, and base is
-// the request token the server delta-encoded the response token
-// against.
+// Config parameterizes a Client.
+type Config struct {
+	// Addr is the dsmd address to dial.
+	Addr string
+
+	// DisableRetry restores fail-fast semantics: no reconnect, no
+	// replay, no op IDs on writes, retryable statuses surface as
+	// errors, and no per-call deadline is imposed.
+	DisableRetry bool
+
+	// CallTimeout bounds one call end to end, including reconnects and
+	// status retries; past it the call returns its last typed error.
+	// 0 defaults to 15s. The context still applies on top.
+	CallTimeout time.Duration
+
+	// ReconnectWindow bounds how long the client keeps redialing a dead
+	// address before failing terminally with ErrClosed. 0 defaults to 3s.
+	ReconnectWindow time.Duration
+
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// (with jitter) used between redials and status retries. 0 defaults
+	// to 2ms base, 250ms cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// withDefaults resolves zero values.
+func (cfg Config) withDefaults() Config {
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 15 * time.Second
+	}
+	if cfg.ReconnectWindow == 0 {
+		cfg.ReconnectWindow = 3 * time.Second
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 2 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 250 * time.Millisecond
+	}
+	return cfg
+}
+
+// call is one in-flight request: the response lands on ch, req is kept
+// for replay after a reconnect, and base is the request token the
+// server delta-encoded the response token against.
 type call struct {
+	req  protocol.Request
 	base vclock.VC
 	ch   chan protocol.Response
 }
 
-// Client multiplexes tagged requests over one dsmd connection.
+// Client multiplexes tagged requests over one fault-tolerant dsmd
+// connection.
 type Client struct {
-	conn net.Conn
+	cfg   Config
+	sid   uint64        // session identity for the exactly-once window
+	opSeq atomic.Uint64 // per-write op sequence under sid
 
-	wmu sync.Mutex // serializes request frames
+	wmu sync.Mutex // serializes request frames onto the current conn
 
-	mu      sync.Mutex
-	next    uint64
-	pending map[uint64]*call
-	err     error // terminal connection error, set once
-	done    chan struct{}
+	mu           sync.Mutex
+	conn         net.Conn // nil while reconnecting
+	next         uint64
+	pending      map[uint64]*call
+	err          error // terminal error, set once
+	closed       bool
+	reconnecting bool
+	done         chan struct{} // closed on terminal failure/Close
 }
 
-// Dial connects to a dsmd server.
+// Dial connects to a dsmd server with fault tolerance on.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(Config{Addr: addr})
+}
+
+// DialConfig connects with explicit tuning.
+func DialConfig(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	conn, err := net.Dial("tcp", cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w", cfg.Addr, err)
 	}
 	c := &Client{
+		cfg:     cfg,
+		sid:     newSID(),
 		conn:    conn,
 		pending: map[uint64]*call{},
 		done:    make(chan struct{}),
 	}
-	go c.readLoop()
+	go c.readLoop(conn)
 	return c, nil
+}
+
+// newSID draws a random nonzero session ID; zero on the wire means "no
+// exactly-once semantics".
+func newSID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degraded fallback: unique enough per process lifetime.
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
 }
 
 // Close tears the connection down; in-flight requests fail with
 // ErrClosed.
 func (c *Client) Close() error {
-	err := c.conn.Close()
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+		c.fail(ErrClosed)
+	} else {
+		// Mid-reconnect: the reconnect loop observes closed and fails
+		// the client terminally; wait for it.
+		c.fail(ErrClosed)
+	}
 	<-c.done
 	return err
 }
 
+// fail latches the terminal error, fails everything pending, and
+// closes done. Idempotent; first error wins.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	c.pending = map[uint64]*call{}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// Pending returns the number of in-flight calls — test instrumentation
+// for cancellation and replay behaviour.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
 // Do sends one request and waits for its response. The request's Tag
 // is assigned by the client; a non-OK status is returned as both the
-// response and a mapped error.
-func (c *Client) Do(ctx context.Context, req protocol.Request) (protocol.Response, error) {
+// response and a mapped error. With retry enabled (the default) the
+// call transparently survives connection loss and retries retryable
+// statuses under the per-call deadline.
+func (c *Client) Do(outer context.Context, req protocol.Request) (protocol.Response, error) {
+	if c.cfg.DisableRetry {
+		return c.doOnce(outer, req, true)
+	}
+	ctx, cancel := context.WithTimeout(outer, c.cfg.CallTimeout)
+	defer cancel()
+	// Stamp writes with the session op ID so server-side dedup makes
+	// every replay and retry of this call apply at most once.
+	if req.Kind == protocol.ReqWrite && req.SID == 0 {
+		req.SID = c.sid
+		req.OpSeq = c.opSeq.Add(1)
+	}
+	backoff := c.cfg.BackoffBase
+	var lastResp protocol.Response
+	var lastErr error
+	for {
+		resp, err := c.doOnce(ctx, req, false)
+		retryable := errors.Is(err, ErrRetryable) || errors.Is(err, ErrOverloaded)
+		if !retryable {
+			// When the per-call deadline (not the caller's context) fires
+			// mid-attempt, the server's last verdict is the real answer.
+			if errors.Is(err, context.DeadlineExceeded) && outer.Err() == nil && lastErr != nil {
+				return lastResp, lastErr
+			}
+			return resp, err
+		}
+		lastResp, lastErr = resp, err
+		// Back off before the retry; the deadline still bounds the call.
+		select {
+		case <-time.After(jitter(backoff)):
+		case <-ctx.Done():
+			return resp, err // the typed retryable error, not ctx.Err()
+		case <-c.done:
+			return resp, err
+		}
+		if backoff *= 2; backoff > c.cfg.BackoffMax {
+			backoff = c.cfg.BackoffMax
+		}
+	}
+}
+
+// doOnce runs one attempt: register, send (if a conn is up; otherwise
+// the replay after reconnect sends it), await. failFast selects the
+// legacy error contract.
+func (c *Client) doOnce(ctx context.Context, req protocol.Request, failFast bool) (protocol.Response, error) {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -101,19 +282,21 @@ func (c *Client) Do(ctx context.Context, req protocol.Request) (protocol.Respons
 	}
 	c.next++
 	req.Tag = c.next
-	cl := &call{base: req.Token, ch: make(chan protocol.Response, 1)}
+	cl := &call{req: req, base: req.Token, ch: make(chan protocol.Response, 1)}
 	c.pending[req.Tag] = cl
+	conn := c.conn
 	c.mu.Unlock()
 
-	payload := req.AppendBinary(make([]byte, 0, 64))
-	frame := binary.AppendUvarint(make([]byte, 0, len(payload)+4), uint64(len(payload)))
-	frame = append(frame, payload...)
-	c.wmu.Lock()
-	_, err := c.conn.Write(frame)
-	c.wmu.Unlock()
-	if err != nil {
-		c.forget(req.Tag)
-		return protocol.Response{}, fmt.Errorf("%w: %v", ErrClosed, err)
+	if conn != nil {
+		if err := c.send(conn, req); err != nil {
+			if failFast {
+				c.forget(req.Tag)
+				return protocol.Response{}, fmt.Errorf("%w: %v", ErrClosed, err)
+			}
+			// The stream died under the send; hand it to the reconnect
+			// path and leave the call registered for replay.
+			c.connLost(conn, err)
+		}
 	}
 
 	select {
@@ -137,24 +320,36 @@ func (c *Client) Do(ctx context.Context, req protocol.Request) (protocol.Respons
 	}
 }
 
+// send frames and writes one request onto conn.
+func (c *Client) send(conn net.Conn, req protocol.Request) error {
+	payload := req.AppendBinary(make([]byte, 0, 64))
+	frame := binary.AppendUvarint(make([]byte, 0, len(payload)+4), uint64(len(payload)))
+	frame = append(frame, payload...)
+	c.wmu.Lock()
+	_, err := conn.Write(frame)
+	c.wmu.Unlock()
+	return err
+}
+
 // Ping round-trips an empty request.
 func (c *Client) Ping(ctx context.Context) error {
 	_, err := c.Do(ctx, protocol.Request{Kind: protocol.ReqPing})
 	return err
 }
 
-// forget abandons an in-flight call (context cancellation, write
-// failure). A late response for the tag is discarded by the read loop.
+// forget abandons an in-flight call (context cancellation, legacy-mode
+// write failure). A late response for the tag is discarded by the read
+// loop, and the call is excluded from replay.
 func (c *Client) forget(tag uint64) {
 	c.mu.Lock()
 	delete(c.pending, tag)
 	c.mu.Unlock()
 }
 
-// readLoop delivers response frames to their calls until the
-// connection dies, then fails everything pending.
-func (c *Client) readLoop() {
-	fr := newFrameReader(c.conn)
+// readLoop delivers response frames to their calls until the stream
+// dies, then hands the connection to the recovery path.
+func (c *Client) readLoop(conn net.Conn) {
+	fr := newFrameReader(conn)
 	var err error
 	for {
 		var frame []byte
@@ -181,17 +376,109 @@ func (c *Client) readLoop() {
 		}
 		cl.ch <- resp
 	}
-	c.conn.Close()
+	c.connLost(conn, err)
+}
+
+// connLost retires a dead connection. In legacy mode (or when closed)
+// it is terminal; otherwise it starts the reconnect loop, leaving
+// pending calls registered — they are the replay set.
+func (c *Client) connLost(conn net.Conn, err error) {
+	conn.Close()
 	c.mu.Lock()
+	if c.conn != conn {
+		// A stale loss report (older conn, or already handed off).
+		c.mu.Unlock()
+		return
+	}
+	c.conn = nil
 	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
 		err = ErrClosed
 	}
-	c.err = err
-	pending := c.pending
-	c.pending = map[uint64]*call{}
+	if c.closed || c.cfg.DisableRetry || c.err != nil {
+		c.mu.Unlock()
+		c.fail(err)
+		return
+	}
+	if c.reconnecting {
+		c.mu.Unlock()
+		return
+	}
+	c.reconnecting = true
 	c.mu.Unlock()
-	_ = pending // calls learn of the failure via done
-	close(c.done)
+	go c.reconnect(err)
+}
+
+// reconnect redials with capped exponential backoff plus jitter until
+// ReconnectWindow runs out, then fails the client terminally. On
+// success it installs the fresh conn and replays every pending call in
+// tag order.
+func (c *Client) reconnect(cause error) {
+	deadline := time.Now().Add(c.cfg.ReconnectWindow)
+	backoff := c.cfg.BackoffBase
+	for {
+		c.mu.Lock()
+		if c.closed || c.err != nil {
+			c.mu.Unlock()
+			c.fail(ErrClosed)
+			return
+		}
+		c.mu.Unlock()
+		conn, err := net.Dial("tcp", c.cfg.Addr)
+		if err == nil {
+			if c.install(conn) {
+				return
+			}
+			conn.Close()
+			c.fail(ErrClosed)
+			return
+		}
+		cause = err
+		if time.Now().After(deadline) {
+			c.fail(fmt.Errorf("%w: reconnect window exhausted: %v", ErrClosed, cause))
+			return
+		}
+		time.Sleep(jitter(backoff))
+		if backoff *= 2; backoff > c.cfg.BackoffMax {
+			backoff = c.cfg.BackoffMax
+		}
+	}
+}
+
+// install makes conn the live connection and replays the pending calls
+// on it, oldest tag first. False means the client closed meanwhile.
+func (c *Client) install(conn net.Conn) bool {
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		c.mu.Unlock()
+		return false
+	}
+	c.conn = conn
+	c.reconnecting = false
+	replay := make([]*call, 0, len(c.pending))
+	for _, cl := range c.pending {
+		replay = append(replay, cl)
+	}
+	c.mu.Unlock()
+	sort.Slice(replay, func(i, j int) bool { return replay[i].req.Tag < replay[j].req.Tag })
+	go c.readLoop(conn)
+	for _, cl := range replay {
+		if err := c.send(conn, cl.req); err != nil {
+			// The fresh conn died mid-replay; the new readLoop (or the
+			// failed send's connLost) restarts recovery, and the calls
+			// not yet replayed are still pending.
+			c.connLost(conn, err)
+			return true
+		}
+	}
+	return true
+}
+
+// jitter spreads d over [d/2, d) so reconnect storms decorrelate.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(mrand.Int63n(int64(d/2)))
 }
 
 // statusErr maps a response status to a typed error, nil for OK.
@@ -204,6 +491,10 @@ func statusErr(r protocol.Response) error {
 		base = ErrBadRequest
 	case protocol.StatusShutdown:
 		base = ErrShutdown
+	case protocol.StatusRetry:
+		base = ErrRetryable
+	case protocol.StatusOverloaded:
+		base = ErrOverloaded
 	default:
 		base = ErrUnavailable
 	}

@@ -127,6 +127,52 @@ func Check(ops []Op) []Violation {
 	return out
 }
 
+// DuplicateWrite is one write the trace shows applied (or surfaced)
+// more than once.
+type DuplicateWrite struct {
+	// Session, Var, Val identify the duplicated write.
+	Session string
+	Var     int
+	Val     int64
+	// Seqs are the record orders of every occurrence.
+	Seqs []int
+}
+
+func (d DuplicateWrite) String() string {
+	return fmt.Sprintf("duplicate write: session %s wrote x%d=%d %d times (ops %v)",
+		d.Session, d.Var, d.Val, len(d.Seqs), d.Seqs)
+}
+
+// CheckDuplicateWrites audits the trace for writes that completed
+// successfully more than once. Under the workload discipline (single
+// writer per variable, strictly increasing values) every successful
+// (session, var, val) triple is unique; a repeat means a retry leaked
+// through the exactly-once window as a second completion.
+func CheckDuplicateWrites(ops []Op) []DuplicateWrite {
+	type key struct {
+		session string
+		v       int
+		val     int64
+	}
+	seqs := map[key][]int{}
+	for _, op := range ops {
+		if op.Kind != OpWrite || op.Err != nil {
+			continue
+		}
+		k := key{op.Session, op.Var, op.Val}
+		seqs[k] = append(seqs[k], op.Seq)
+	}
+	var out []DuplicateWrite
+	for k, s := range seqs {
+		if len(s) > 1 {
+			sort.Ints(s)
+			out = append(out, DuplicateWrite{Session: k.session, Var: k.v, Val: k.val, Seqs: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seqs[0] < out[j].Seqs[0] })
+	return out
+}
+
 // Harness runs one cluster + server and records every tracked session
 // operation for Check.
 type Harness struct {

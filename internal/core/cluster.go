@@ -472,6 +472,10 @@ func (c *Cluster) Close() error {
 		<-c.tokenDone
 	}
 	c.closeWALs()
+	// Frontier waiters must not sleep through the close.
+	for _, n := range c.nodes {
+		n.fw.wakeAll()
+	}
 	return c.tr.Close()
 }
 

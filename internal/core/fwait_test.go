@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// A frontier wait is: check, register, re-check, park; the apply path
+// must wake a waiter whose token it satisfied.
+func TestFrontierWaitWakesOnRemoteApply(t *testing.T) {
+	c, err := NewCluster(Config{Processes: 2, Variables: 1})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	if err := c.Node(0).Write(0, 7); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	tok := c.Node(0).Frontier()
+	n1 := c.Node(1)
+	deadline := time.After(10 * time.Second)
+	for !n1.FrontierDominates(tok) {
+		ch, cancel := n1.FrontierWait(tok)
+		if n1.FrontierDominates(tok) { // register/check race guard
+			cancel()
+			break
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			t.Fatalf("frontier never reached %v (at %v)", tok, n1.Frontier())
+		}
+		cancel()
+	}
+}
+
+// A local write must wake waiters on the writing node itself: its own
+// frontier advanced.
+func TestFrontierWaitWakesOnLocalWrite(t *testing.T) {
+	c, err := NewCluster(Config{Processes: 2, Variables: 1})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	n0 := c.Node(0)
+	ch, cancel := n0.FrontierWait(vclock.VC{1, 0})
+	defer cancel()
+	if err := n0.Write(0, 1); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("local write did not wake the frontier waiter")
+	}
+}
+
+// A waiter whose token the frontier does NOT yet dominate must stay
+// parked — wake-ups are predicate-filtered, not broadcast.
+func TestFrontierWaitUnsatisfiedStaysParked(t *testing.T) {
+	c, err := NewCluster(Config{Processes: 2, Variables: 1})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	n0 := c.Node(0)
+	// Component 1 counts p1's writes; p0 writing can never satisfy it.
+	ch, cancel := n0.FrontierWait(vclock.VC{0, 1 << 40})
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		if err := n0.Write(0, int64(i)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	select {
+	case <-ch:
+		t.Fatal("unsatisfiable waiter was woken by local writes")
+	default:
+	}
+}
+
+// Crash must wake waiters so they can observe Down instead of sleeping
+// out their deadline.
+func TestFrontierWaitWakesOnCrash(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCluster(Config{Processes: 2, Variables: 1, WALDir: dir})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	ch, cancel := c.Node(1).FrontierWait(vclock.VC{1 << 40, 0})
+	defer cancel()
+	if err := c.Crash(1); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("crash did not wake the frontier waiter")
+	}
+}
+
+// cancel unparks bookkeeping: after the last waiter cancels, the apply
+// path is back to its armed-flag fast path and a stale wake never
+// fires.
+func TestFrontierWaitCancel(t *testing.T) {
+	c, err := NewCluster(Config{Processes: 2, Variables: 1})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	n0 := c.Node(0)
+	ch, cancel := n0.FrontierWait(vclock.VC{1, 0})
+	cancel()
+	if n0.fw.armed.Load() {
+		t.Fatal("waiter set still armed after the last cancel")
+	}
+	if err := n0.Write(0, 1); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("cancelled waiter was woken")
+	default:
+	}
+}

@@ -44,6 +44,10 @@ type Node struct {
 	// produced here, in delivery order — the store anti-entropy serves
 	// to a recovering peer. Only populated when recovery is enabled.
 	archive [][]protocol.Update
+
+	// fw notifies frontier-admission waiters (the serving tier) of
+	// frontier-affecting changes; see frontierWaiters.
+	fw frontierWaiters
 }
 
 // ID returns the node's 0-based process index.
@@ -85,6 +89,9 @@ func (n *Node) Write(x int, v int64) error {
 			Write: u.ID, Var: x, Val: v,
 		})
 	}
+	// The local apply advanced this replica's frontier; wake admission
+	// waiters it satisfied.
+	n.wakeFrontierLocked()
 	n.mu.Unlock()
 	// Broadcast outside the node lock: a full FIFO link must never
 	// block a holder of n.mu that a delivery goroutine is waiting for.
@@ -157,13 +164,7 @@ func (n *Node) FrontierDominates(t vclock.VC) bool {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.down.Load() {
-		return false
-	}
-	if fd, ok := n.replica.(protocol.FrontierDominator); ok {
-		return fd.FrontierDominates(t)
-	}
-	return n.replica.(protocol.Introspector).ApplyClock().Dominates(t)
+	return n.frontierDominatesLocked(t)
 }
 
 // PendingUpdates returns the current number of buffered (delayed)
@@ -266,6 +267,7 @@ func (n *Node) applyLocked(u protocol.Update, now int64) {
 		Kind: kind, Proc: n.id, Time: now,
 		Write: u.ID, Var: u.Var, Val: u.Val,
 	})
+	n.wakeFrontierLocked()
 }
 
 // dropLocked discards the late message of an already logically-applied
@@ -280,6 +282,7 @@ func (n *Node) dropLocked(u protocol.Update, now int64) {
 		Kind: trace.Drop, Proc: n.id, Time: now,
 		Write: u.ID, Var: u.Var, Val: u.Val,
 	})
+	n.wakeFrontierLocked()
 }
 
 // drainLocked applies buffered updates until a fixpoint. Caller holds

@@ -76,6 +76,9 @@ func (c *Cluster) Crash(p int) error {
 		c.det.SetDown(p, true)
 	}
 	c.appendEvent(trace.Event{Kind: trace.Crash, Proc: p, Time: c.now()})
+	// Admission waiters parked on p must observe the crash and fail
+	// over (or fail fast) instead of running out their deadline.
+	n.fw.wakeAll()
 	return nil
 }
 
@@ -149,6 +152,8 @@ func (c *Cluster) Restart(p int) (RecoveryStats, error) {
 		Kind: trace.Recover, Proc: p, Time: c.now(), Val: int64(st.Replayed),
 	})
 	n.mu.Unlock()
+	// The recovered frontier is live again; re-evaluate parked waits.
+	n.fw.wakeAll()
 
 	st.CaughtUp = c.catchUp(p)
 	st.Duration = time.Since(begin)

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/netchaos"
+	"repro/internal/protocol"
+	"repro/internal/service"
+)
+
+// ServiceChaosName identifies the fault-injected serving-tier
+// scorecard experiment in dsmbench/v1 documents; the gate against
+// BENCH_chaos.json matches baseline and current results by it.
+const ServiceChaosName = "E-service-chaos"
+
+// ServiceChaos is the Service closed loop run under connection chaos:
+// the server's listener injects seeded faults (1% kill, 2% stall, 0.5%
+// truncation per socket operation) and the fault-tolerant client is
+// expected to absorb all of it — reconnect, replay, dedup — without a
+// single failed call. The table reports throughput and p99 call
+// latency with the chaos tax included, plus the injected fault counts
+// so a run where chaos silently didn't fire is visible.
+func ServiceChaos(sessionsPerConn, opsPerSession int) (Result, error) {
+	r := Result{
+		Name: ServiceChaosName,
+		Desc: fmt.Sprintf("dsmd serving tier under connection chaos (1%%kill/2%%stall/0.5%%trunc; %d sessions/conn × %d ops, 3:1 write:read, exactly-once retries)",
+			sessionsPerConn, opsPerSession),
+		Header: []string{"conns", "sessions", "ops", "faults", "elapsed", "ops/s", "p99(ms)"},
+	}
+	for _, conns := range []int{1, 4, 8} {
+		row, err := serviceChaosRun(conns, sessionsPerConn, opsPerSession)
+		if err != nil {
+			return r, fmt.Errorf("experiments: %s %d conns: %w", ServiceChaosName, conns, err)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+func serviceChaosRun(conns, sessionsPerConn, opsPerSession int) ([]string, error) {
+	const procs, vars = 3, 16
+	cl, err := core.NewCluster(core.Config{
+		Processes: procs, Variables: vars, Protocol: protocol.OptP, FIFO: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	var chaosLn *netchaos.Listener
+	srv, err := service.New(service.Config{
+		Cluster: cl,
+		WrapListener: func(ln net.Listener) net.Listener {
+			wrapped := netchaos.Wrap(ln, netchaos.Config{
+				Seed:      int64(conns), // deterministic per row
+				KillProb:  0.01,
+				StallProb: 0.02,
+				StallMax:  2 * time.Millisecond,
+				TruncProb: 0.005,
+			})
+			chaosLn = wrapped.(*netchaos.Listener)
+			return wrapped
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		if clients[i], err = client.Dial(srv.Addr()); err != nil {
+			return nil, err
+		}
+		defer clients[i].Close()
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, conns*sessionsPerConn)
+	latCh := make(chan []time.Duration, conns*sessionsPerConn)
+	for ci, c := range clients {
+		for si := 0; si < sessionsPerConn; si++ {
+			wg.Add(1)
+			go func(ci, si int, c *client.Client) {
+				defer wg.Done()
+				s := c.Session()
+				x := (ci*sessionsPerConn + si) % vars
+				base := int64(ci*1_000_000 + si*10_000)
+				lats := make([]time.Duration, 0, opsPerSession)
+				for i := 1; i <= opsPerSession; i++ {
+					var err error
+					opStart := time.Now()
+					if i%4 == 0 {
+						_, err = s.Read(ctx, x)
+					} else {
+						err = s.Write(ctx, x, base+int64(i))
+					}
+					lats = append(lats, time.Since(opStart))
+					if err != nil {
+						errs <- fmt.Errorf("session (%d,%d) op %d: %w", ci, si, i, err)
+						return
+					}
+				}
+				latCh <- lats
+			}(ci, si, c)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		// Under chaos every call still owes the caller an answer; any
+		// error here is a fault-tolerance bug, not an acceptable loss.
+		return nil, err
+	default:
+	}
+	close(latCh)
+	var all []time.Duration
+	for lats := range latCh {
+		all = append(all, lats...)
+	}
+	sctx, cancel := context.WithTimeout(ctx, time.Minute)
+	err = srv.Shutdown(sctx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	qctx, cancel := context.WithTimeout(ctx, time.Minute)
+	err = cl.Quiesce(qctx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	st := chaosLn.Stats()
+	faults := st.Kills + st.AcceptKills + st.Stalls + st.Truncs
+	total := conns * sessionsPerConn * opsPerSession
+	return []string{
+		fmt.Sprint(conns),
+		fmt.Sprint(conns * sessionsPerConn),
+		fmt.Sprint(total),
+		fmt.Sprint(faults),
+		elapsed.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+		fmt.Sprintf("%.3f", float64(p99(all).Nanoseconds())/1e6),
+	}, nil
+}
+
+// p99 returns the 99th-percentile sample.
+func p99(lats []time.Duration) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := len(lats) * 99 / 100
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return lats[idx]
+}
+
+// CheckServiceChaosRegression gates the chaos scorecard: ops/s under
+// chaos may not drop more than tolerance (0.2 = 20%) below the
+// baseline, matching the plain serving-tier gate. p99 latency under
+// chaos is inherently noisy (it sits on top of seeded stalls and
+// reconnect backoff), so it gets a catastrophe bound instead of a
+// noise-sensitive one: it fails only past 2× baseline. Rows present in
+// only one document are ignored; improvements never fail.
+func CheckServiceChaosRegression(current []Result, baseline Scorecard, tolerance float64) error {
+	baseOps, baseP99, err := serviceChaosColumns(baseline.Experiments)
+	if err != nil {
+		return fmt.Errorf("experiments: baseline scorecard: %w", err)
+	}
+	if len(baseOps) == 0 {
+		return fmt.Errorf("experiments: baseline scorecard has no %s rows", ServiceChaosName)
+	}
+	curOps, curP99, err := serviceChaosColumns(current)
+	if err != nil {
+		return err
+	}
+	if len(curOps) == 0 {
+		return fmt.Errorf("experiments: current results have no %s rows", ServiceChaosName)
+	}
+	for conns, want := range baseOps {
+		got, ok := curOps[conns]
+		if !ok {
+			continue
+		}
+		if floor := want * (1 - tolerance); got < floor {
+			return fmt.Errorf("experiments: chaos serving-tier regression at %s conns: %.0f ops/s < %.0f (baseline %.0f - %.0f%% tolerance)",
+				conns, got, floor, want, tolerance*100)
+		}
+	}
+	for conns, want := range baseP99 {
+		got, ok := curP99[conns]
+		if !ok || want <= 0 {
+			continue
+		}
+		if ceil := want * 2; got > ceil {
+			return fmt.Errorf("experiments: chaos p99 blow-up at %s conns: %.3fms > %.3fms (2× baseline %.3fms)",
+				conns, got, ceil, want)
+		}
+	}
+	return nil
+}
+
+// serviceChaosColumns extracts conns → ops/s and conns → p99(ms) from
+// an E-service-chaos result set.
+func serviceChaosColumns(results []Result) (map[string]float64, map[string]float64, error) {
+	ops := map[string]float64{}
+	p99s := map[string]float64{}
+	for _, r := range results {
+		if r.Name != ServiceChaosName {
+			continue
+		}
+		connsCol, opsCol, p99Col := -1, -1, -1
+		for i, h := range r.Header {
+			switch h {
+			case "conns":
+				connsCol = i
+			case "ops/s":
+				opsCol = i
+			case "p99(ms)":
+				p99Col = i
+			}
+		}
+		if connsCol < 0 || opsCol < 0 || p99Col < 0 {
+			return nil, nil, fmt.Errorf("experiments: %s table lacks conns/ops-per-sec/p99 columns (header %v)", r.Name, r.Header)
+		}
+		for _, row := range r.Rows {
+			if len(row) <= connsCol || len(row) <= opsCol || len(row) <= p99Col {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[opsCol], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: %s ops/s cell %q: %w", r.Name, row[opsCol], err)
+			}
+			ops[row[connsCol]] = v
+			p, err := strconv.ParseFloat(row[p99Col], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: %s p99 cell %q: %w", r.Name, row[p99Col], err)
+			}
+			p99s[row[connsCol]] = p
+		}
+	}
+	return ops, p99s, nil
+}

@@ -1,0 +1,212 @@
+package netchaos
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newSeededRNG mirrors Wrap's source construction for determinism
+// tests.
+func newSeededRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// pair builds a chaos-wrapped server side of a real TCP connection and
+// the raw client side, plus the wrapped listener for stats.
+func pair(t *testing.T, cfg Config) (server net.Conn, client net.Conn, l *Listener) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ln := Wrap(inner, cfg)
+	wl, ok := ln.(*Listener)
+	if !ok {
+		t.Fatalf("Wrap returned %T, want *Listener for an enabled config", ln)
+	}
+	t.Cleanup(func() { ln.Close() })
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var aerr error
+	go func() {
+		defer wg.Done()
+		server, aerr = ln.Accept()
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	wg.Wait()
+	if aerr != nil {
+		t.Fatalf("Accept: %v", aerr)
+	}
+	t.Cleanup(func() {
+		server.Close()
+		client.Close()
+	})
+	return server, client, wl
+}
+
+func TestValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"full mix", Config{KillProb: 0.01, StallProb: 0.05, TruncProb: 0.01, AcceptProb: 0.02, StallMax: time.Millisecond}, true},
+		{"prob one", Config{KillProb: 1}, true},
+		{"negative prob", Config{KillProb: -0.1}, false},
+		{"prob above one", Config{StallProb: 1.1}, false},
+		{"negative stall", Config{StallMax: -1}, false},
+	} {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestDisabledConfigIsPassthrough(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer inner.Close()
+	if got := Wrap(inner, Config{Seed: 7}); got != inner {
+		t.Fatalf("Wrap with no faults = %T, want the inner listener unchanged", got)
+	}
+}
+
+// KillProb 1: the very first server read resets the connection, the
+// socket is really closed (the peer sees EOF/reset), and the error is
+// marked non-temporary.
+func TestKillResetsBothEnds(t *testing.T) {
+	server, client, l := pair(t, Config{Seed: 1, KillProb: 1})
+	_, err := server.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("chaos read succeeded, want injected reset")
+	}
+	var reset errReset
+	if !errors.As(err, &reset) {
+		t.Fatalf("chaos read error = %v (%T), want errReset", err, err)
+	}
+	if ne, ok := err.(net.Error); !ok || ne.Temporary() || ne.Timeout() {
+		t.Fatalf("injected reset should be a permanent net.Error, got %v", err)
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after injected reset")
+	}
+	if s := l.Stats(); s.Kills != 1 {
+		t.Fatalf("stats.Kills = %d, want 1", s.Kills)
+	}
+}
+
+// TruncProb 1: the peer receives a strict prefix of the write, then
+// the stream ends.
+func TestTruncationTearsTheFrame(t *testing.T) {
+	server, client, l := pair(t, Config{Seed: 1, TruncProb: 1})
+	payload := []byte("0123456789abcdef")
+	if _, err := server.Write(payload); err == nil {
+		t.Fatal("truncated write reported success, want reset error")
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(client)
+	if len(got) == 0 || len(got) >= len(payload) {
+		t.Fatalf("peer received %d bytes of %d, want a strict non-empty prefix", len(got), len(payload))
+	}
+	if s := l.Stats(); s.Truncs != 1 {
+		t.Fatalf("stats.Truncs = %d, want 1", s.Truncs)
+	}
+}
+
+// StallProb 1: I/O still succeeds, just late, and the stall respects
+// StallMax.
+func TestStallDelaysButDelivers(t *testing.T) {
+	server, client, l := pair(t, Config{Seed: 1, StallProb: 1, StallMax: 5 * time.Millisecond})
+	go client.Write([]byte("x"))
+	start := time.Now()
+	buf := make([]byte, 1)
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := server.Read(buf); err != nil {
+		t.Fatalf("stalled read failed: %v", err)
+	}
+	if buf[0] != 'x' {
+		t.Fatalf("stalled read delivered %q", buf)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("stall took %v, want bounded by ~StallMax", d)
+	}
+	if s := l.Stats(); s.Stalls == 0 {
+		t.Fatal("no stall recorded")
+	}
+}
+
+// AcceptProb 1: every accepted connection dies immediately — the
+// wrapped Accept never surfaces it, and the client sees the break on
+// first use.
+func TestAcceptKill(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ln := Wrap(inner, Config{Seed: 1, AcceptProb: 1})
+	defer ln.Close()
+	accepted := make(chan struct{})
+	go func() {
+		defer close(accepted)
+		if c, err := ln.Accept(); err == nil {
+			c.Close()
+			// Accept only returns once the listener closes under
+			// AcceptProb 1; surfacing a live conn is the bug.
+			panic("accept-kill listener surfaced a connection")
+		}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on an accept-killed connection succeeded")
+	}
+	ln.Close()
+	<-accepted
+	if s := ln.(*Listener).Stats(); s.AcceptKills == 0 {
+		t.Fatal("no accept kill recorded")
+	}
+}
+
+// The fault schedule is a deterministic function of the seed: two
+// listeners with the same seed draw identical decision sequences.
+func TestSeededDeterminism(t *testing.T) {
+	draw := func(seed int64) []float64 {
+		l := &Listener{cfg: Config{}.withDefaults(), rng: newSeededRNG(seed)}
+		out := make([]float64, 32)
+		for i := range out {
+			out[i] = l.roll()
+		}
+		return out
+	}
+	a, b, c := draw(42), draw(42), draw(43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical schedules")
+	}
+}

@@ -26,6 +26,12 @@ import (
 //	token          — session token, delta-encoded against the zero clock
 //	flags          — bit 0: NoWait (fail instead of blocking on a
 //	                 lagging frontier)
+//	sid, opSeq     — exactly-once identity of a mutating request: sid
+//	                 names the issuing client session, opSeq counts its
+//	                 mutating ops. A retried write re-sends the same
+//	                 (sid, opSeq) — possibly on a new connection — and
+//	                 the server's dedup window applies it once. 0/0
+//	                 means "no retry identity" (reads, pings, legacy).
 //
 // Wire format of a Response:
 //
@@ -77,6 +83,18 @@ const (
 	StatusUnavailable
 	// StatusShutdown reports a request received while the server drains.
 	StatusShutdown
+	// StatusRetry reports a transient condition — a frontier wait that
+	// ran out its server-side deadline with no replica able to take the
+	// failover, or a wait interrupted by a replica crash. The request
+	// was NOT applied (or, for a deduplicated write, its cached verdict
+	// travels instead); retrying it, with backoff, is safe and expected.
+	StatusRetry
+	// StatusOverloaded reports load shedding: the server's in-flight
+	// watermark or a write pump's admission queue is full, and the
+	// request was fast-rejected without being served. Retry with
+	// backoff.
+	StatusOverloaded
+	statusCount // sentinel: number of response statuses
 )
 
 // StatusString names a response status for errors and logs.
@@ -90,6 +108,10 @@ func StatusString(s uint8) string {
 		return "unavailable"
 	case StatusShutdown:
 		return "shutdown"
+	case StatusRetry:
+		return "retry"
+	case StatusOverloaded:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("status(%d)", s)
 	}
@@ -129,6 +151,12 @@ type Request struct {
 	Token vclock.VC
 	// NoWait maps to FlagNoWait.
 	NoWait bool
+	// SID and OpSeq are the request's exactly-once identity: SID names
+	// the issuing client session, OpSeq its mutating-op counter. The
+	// pair keys the server's dedup window so a retried write applies
+	// once. Both zero means no retry identity.
+	SID   uint64
+	OpSeq uint64
 }
 
 // Response is one server→client message.
@@ -205,7 +233,9 @@ func (r Request) AppendBinary(dst []byte) []byte {
 	if r.NoWait {
 		flags |= FlagNoWait
 	}
-	return binary.AppendUvarint(dst, flags)
+	dst = binary.AppendUvarint(dst, flags)
+	dst = binary.AppendUvarint(dst, r.SID)
+	return binary.AppendUvarint(dst, r.OpSeq)
 }
 
 // DecodeRequest decodes one request from the front of buf, returning
@@ -220,6 +250,8 @@ func DecodeRequest(buf []byte) (Request, int, error) {
 	r.Val = d.varint()
 	r.Token = d.token(nil)
 	flags := d.uvarint()
+	r.SID = d.uvarint()
+	r.OpSeq = d.uvarint()
 	if d.err != nil {
 		return Request{}, 0, d.err
 	}
@@ -267,7 +299,7 @@ func DecodeResponse(buf []byte, base vclock.VC) (Response, int, error) {
 	if d.err != nil {
 		return Response{}, 0, d.err
 	}
-	if status > uint64(StatusShutdown) {
+	if status >= uint64(statusCount) {
 		return Response{}, 0, fmt.Errorf("%w: response status %d", ErrWireCorrupt, status)
 	}
 	if errLen > maxWireErr {

@@ -39,6 +39,7 @@ func FuzzWireRequest(f *testing.F) {
 		}
 		if r2.Tag != r.Tag || r2.Kind != r.Kind || r2.Proc != r.Proc ||
 			r2.Var != r.Var || r2.Val != r.Val || r2.NoWait != r.NoWait ||
+			r2.SID != r.SID || r2.OpSeq != r.OpSeq ||
 			!r2.Token.Equal(r.Token) {
 			t.Fatalf("re-decode mismatch: %+v != %+v", r2, r)
 		}

@@ -19,6 +19,9 @@ func wireRequests() []Request {
 			Token: vclock.VC{0, 0, 0, 0}, NoWait: true},
 		{Tag: 42, Kind: ReqWrite, Proc: 0, Var: 9, Val: 1 << 50},
 		{Tag: 3, Kind: ReqRead, Proc: 1, Var: 2, Token: vclock.VC{1 << 33, 7}, NoWait: true},
+		{Tag: 8, Kind: ReqWrite, Proc: -1, Var: 3, Val: 11, SID: 0xdeadbeef, OpSeq: 1},
+		{Tag: 9, Kind: ReqWrite, Proc: 2, Var: 0, Val: -7,
+			Token: vclock.VC{2, 0, 5}, SID: 1 << 60, OpSeq: 1 << 20},
 	}
 }
 
@@ -33,7 +36,8 @@ func TestRequestRoundTrip(t *testing.T) {
 			t.Fatalf("DecodeRequest(%+v) consumed %d of %d bytes", want, n, len(buf))
 		}
 		if got.Tag != want.Tag || got.Kind != want.Kind || got.Proc != want.Proc ||
-			got.Var != want.Var || got.Val != want.Val || got.NoWait != want.NoWait {
+			got.Var != want.Var || got.Val != want.Val || got.NoWait != want.NoWait ||
+			got.SID != want.SID || got.OpSeq != want.OpSeq {
 			t.Fatalf("round trip: got %+v want %+v", got, want)
 		}
 		if want.Token == nil && got.Token != nil || want.Token != nil && !got.Token.Equal(want.Token) {
@@ -67,6 +71,10 @@ func wireResponses() []struct {
 			Token: vclock.VC{10, 20}}, nil}, // dim mismatch with base → sparse
 		{Response{Tag: 6, Status: StatusBadRequest, Proc: -1,
 			Err: "variable 99 of 8"}, vclock.VC{0, 0, 0}},
+		{Response{Tag: 11, Status: StatusRetry, Proc: 2,
+			Err: "no replica can serve the session token yet"}, vclock.VC{3, 3}},
+		{Response{Tag: 12, Status: StatusOverloaded, Proc: -1,
+			Err: "in-flight watermark reached"}, nil},
 	}
 }
 
@@ -139,7 +147,7 @@ func TestDecodeTokenAbsurdDimension(t *testing.T) {
 	}
 	// The same bound must hold inside a full message.
 	req := Request{Tag: 1, Kind: ReqRead}.AppendBinary(nil)
-	req = req[:len(req)-2] // strip token(dim 0) + flags
+	req = req[:len(req)-4] // strip token(dim 0) + flags + sid + opSeq
 	req = binary.AppendUvarint(req, MaxTokenDim+1)
 	req = append(req, bytes.Repeat([]byte{1}, 32)...)
 	if _, _, err := DecodeRequest(req); err == nil {
@@ -160,14 +168,14 @@ func TestDecodeRequestBadKind(t *testing.T) {
 }
 
 func TestDecodeResponseBadStatus(t *testing.T) {
-	buf := binary.AppendUvarint(nil, 1)                       // tag
-	buf = binary.AppendUvarint(buf, uint64(StatusShutdown)+1) // status
-	buf = binary.AppendVarint(buf, 0)                         // proc
-	buf = binary.AppendVarint(buf, 0)                         // val
-	buf = binary.AppendVarint(buf, 0)                         // fromProc
-	buf = binary.AppendVarint(buf, 0)                         // fromSeq
-	buf = binary.AppendUvarint(buf, 0)                        // token dim
-	buf = binary.AppendUvarint(buf, 0)                        // errlen
+	buf := binary.AppendUvarint(nil, 1)                  // tag
+	buf = binary.AppendUvarint(buf, uint64(statusCount)) // status
+	buf = binary.AppendVarint(buf, 0)                    // proc
+	buf = binary.AppendVarint(buf, 0)                    // val
+	buf = binary.AppendVarint(buf, 0)                    // fromProc
+	buf = binary.AppendVarint(buf, 0)                    // fromSeq
+	buf = binary.AppendUvarint(buf, 0)                   // token dim
+	buf = binary.AppendUvarint(buf, 0)                   // errlen
 	if _, _, err := DecodeResponse(buf, nil); !errors.Is(err, ErrWireCorrupt) {
 		t.Fatalf("DecodeResponse(bad status) = %v, want ErrWireCorrupt", err)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -44,7 +45,7 @@ func newPump(s *Server, proc int) *pump {
 		s:       s,
 		proc:    proc,
 		node:    s.cfg.Cluster.Node(proc),
-		ch:      make(chan writeReq, s.cfg.MaxBatch),
+		ch:      make(chan writeReq, s.cfg.MaxQueue),
 		stopped: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -61,7 +62,9 @@ func (p *pump) stop() {
 
 // submit hands one write to the pump and waits for its response. src
 // is the coalescing identity (nil never coalesces). The pump always
-// replies, so the caller cannot leak.
+// replies, so the caller cannot leak. Admission is bounded: a full
+// queue sheds the write with StatusOverloaded instead of blocking the
+// connection's pipeline slot behind a backed-up replica.
 func (p *pump) submit(src *srvConn, req protocol.Request) protocol.Response {
 	w := writeReq{
 		src: src, x: req.Var, v: req.Val, token: req.Token,
@@ -72,6 +75,12 @@ func (p *pump) submit(src *srvConn, req protocol.Request) protocol.Response {
 		return <-w.reply
 	case <-p.stopped:
 		return protocol.Response{Status: protocol.StatusShutdown, Proc: p.proc, Err: "server draining"}
+	default:
+		p.s.met.shed.Inc()
+		return protocol.Response{
+			Status: protocol.StatusOverloaded, Proc: p.proc,
+			Err: fmt.Sprintf("replica %d write queue full", p.proc),
+		}
 	}
 }
 

@@ -26,6 +26,9 @@ type metrics struct {
 	batchedWrites   *obs.Counter
 	coalescedWrites *obs.Counter
 	batchSize       *obs.Histogram
+	retries         *obs.Counter
+	shed            *obs.Counter
+	failovers       *obs.Counter
 }
 
 // batchSizeBuckets spans the useful MaxBatch range.
@@ -47,6 +50,9 @@ func newMetrics(reg *obs.Registry, proto string) *metrics {
 			batchedWrites:   &obs.Counter{},
 			coalescedWrites: &obs.Counter{},
 			batchSize:       obs.NewHistogram(batchSizeBuckets),
+			retries:         &obs.Counter{},
+			shed:            &obs.Counter{},
+			failovers:       &obs.Counter{},
 		}
 		for i := range m.requests {
 			m.requests[i] = &obs.Counter{}
@@ -67,6 +73,9 @@ func newMetrics(reg *obs.Registry, proto string) *metrics {
 		batchedWrites:   reg.Counter("dsm_svc_batched_writes_total", "writes that went through a pump batch", pl),
 		coalescedWrites: reg.Counter("dsm_svc_coalesced_writes_total", "writes collapsed into a same-session overwrite before issue", pl),
 		batchSize:       reg.Histogram("dsm_svc_batch_size", "writes per pump batch", batchSizeBuckets, pl),
+		retries:         reg.Counter("dsm_svc_retry_total", "retried writes absorbed by the exactly-once window", pl),
+		shed:            reg.Counter("dsm_svc_shed_total", "requests fast-rejected by load shedding", pl),
+		failovers:       reg.Counter("dsm_svc_failover_total", "reads failed over to a frontier-dominating replica", pl),
 	}
 	kinds := [3]string{"ping", "read", "write"}
 	for i, k := range kinds {

@@ -35,7 +35,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +54,10 @@ var (
 // maxFrame bounds an inbound request frame. Requests are tens of
 // bytes; anything near the bound is a corrupt or hostile stream.
 const maxFrame = 1 << 16
+
+// maxDedupSessions caps how many sessions the exactly-once window
+// tracks; beyond it, idle sessions are evicted LRU.
+const maxDedupSessions = 4096
 
 // Config parameterizes a Server.
 type Config struct {
@@ -87,6 +90,28 @@ type Config struct {
 	// further frames queue in the socket. 0 defaults to 256.
 	MaxPipeline int
 
+	// MaxInflight is the load-shedding watermark: when this many
+	// requests are in flight across all connections, further requests
+	// are fast-rejected with StatusOverloaded instead of queued. 0
+	// defaults to 4096.
+	MaxInflight int
+
+	// MaxQueue caps each replica's write-pump admission queue; a write
+	// arriving at a full queue is fast-rejected with StatusOverloaded
+	// instead of blocking the connection's pipeline slot. 0 defaults to
+	// 4096.
+	MaxQueue int
+
+	// DedupWindow is the per-session exactly-once window: how many op
+	// sequence numbers of applied writes the server remembers per
+	// session so a retried write applies once. It must comfortably
+	// exceed the client pipeline depth. 0 defaults to 512.
+	DedupWindow int
+
+	// WrapListener, when set, wraps the TCP listener before serving —
+	// the seam the netchaos fault injector plugs into.
+	WrapListener func(net.Listener) net.Listener
+
 	// Metrics, when set, receives the per-connection/session serving
 	// metrics (dsm_svc_*) on the shared registry.
 	Metrics *obs.Registry
@@ -106,6 +131,15 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxPipeline == 0 {
 		cfg.MaxPipeline = 256
 	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 4096
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4096
+	}
+	if cfg.DedupWindow == 0 {
+		cfg.DedupWindow = 512
+	}
 	return cfg
 }
 
@@ -117,10 +151,13 @@ type Server struct {
 	ln      net.Listener
 	pumps   []*pump
 	met     *metrics
+	dedup   *dedupTable
 	gate    drainGate
 	next    atomic.Uint64 // round-robin replica cursor
 	closed  atomic.Bool
 	aborted atomic.Bool // Close (vs Shutdown): abort in-flight waits
+	abortCh chan struct{}
+	abortOn sync.Once
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -135,7 +172,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Cluster.Protocol() == protocol.WSSend {
 		return nil, fmt.Errorf("service: %v clusters are not servable: suppressed writes keep apply frontiers from converging, so session tokens could block forever", protocol.WSSend)
 	}
-	if cfg.WaitTimeout < 0 || cfg.BatchWindow < 0 || cfg.MaxBatch < 0 || cfg.MaxPipeline < 0 {
+	if cfg.WaitTimeout < 0 || cfg.BatchWindow < 0 || cfg.MaxBatch < 0 || cfg.MaxPipeline < 0 ||
+		cfg.MaxInflight < 0 || cfg.MaxQueue < 0 || cfg.DedupWindow < 0 {
 		return nil, fmt.Errorf("service: negative tuning parameter")
 	}
 	cfg = cfg.withDefaults()
@@ -143,13 +181,18 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: listen %s: %w", cfg.Addr, err)
 	}
+	if cfg.WrapListener != nil {
+		ln = cfg.WrapListener(ln)
+	}
 	s := &Server{
-		cfg:   cfg,
-		procs: cfg.Cluster.Processes(),
-		vars:  cfg.Cluster.Variables(),
-		ln:    ln,
-		met:   newMetrics(cfg.Metrics, cfg.Cluster.Protocol().String()),
-		conns: map[net.Conn]struct{}{},
+		cfg:     cfg,
+		procs:   cfg.Cluster.Processes(),
+		vars:    cfg.Cluster.Variables(),
+		ln:      ln,
+		met:     newMetrics(cfg.Metrics, cfg.Cluster.Protocol().String()),
+		dedup:   newDedupTable(cfg.DedupWindow, maxDedupSessions),
+		abortCh: make(chan struct{}),
+		conns:   map[net.Conn]struct{}{},
 	}
 	s.pumps = make([]*pump, s.procs)
 	for p := range s.pumps {
@@ -198,6 +241,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // return StatusShutdown instead of running out their WaitTimeout).
 func (s *Server) Close() error {
 	s.aborted.Store(true)
+	s.abortOn.Do(func() { close(s.abortCh) })
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	err := s.Shutdown(ctx)
@@ -290,11 +334,23 @@ func (s *Server) serveConn(conn net.Conn) {
 			}, req.Token)
 			continue
 		}
+		// Load shedding: past the in-flight watermark the server
+		// fast-rejects instead of queueing — a retryable promise that the
+		// client backs off on, bounding queue depth and tail latency.
+		if int(s.met.inflight.Value()) >= s.cfg.MaxInflight {
+			s.met.shed.Inc()
+			s.gate.exit()
+			c.send(protocol.Response{
+				Tag: req.Tag, Status: protocol.StatusOverloaded,
+				Proc: -1, Err: "in-flight watermark reached",
+			}, req.Token)
+			continue
+		}
+		s.met.inflight.Add(1)
 		sem <- struct{}{}
 		reqWG.Add(1)
 		go func() {
 			defer func() { <-sem; reqWG.Done(); s.gate.exit() }()
-			s.met.inflight.Add(1)
 			s.handle(c, req)
 			s.met.inflight.Add(-1)
 		}()
@@ -312,7 +368,8 @@ func (s *Server) handle(c *srvConn, req protocol.Request) {
 }
 
 // respond computes the response for one request; c is the coalescing
-// identity handed to the write pump.
+// identity handed to the write pump. Writes carrying an op ID pass
+// through the exactly-once window before touching the store.
 func (s *Server) respond(c *srvConn, req protocol.Request) protocol.Response {
 	s.met.reqKind(req.Kind).Inc()
 	if req.Kind == protocol.ReqPing {
@@ -327,8 +384,60 @@ func (s *Server) respond(c *srvConn, req protocol.Request) protocol.Response {
 	if req.Token != nil && len(req.Token) != s.procs {
 		return badRequest(fmt.Sprintf("token dimension %d, cluster has %d processes", len(req.Token), s.procs))
 	}
-	proc := req.Proc
-	if proc < 0 {
+	if req.Kind != protocol.ReqWrite || req.SID == 0 {
+		return s.serve(c, req)
+	}
+	// Exactly-once admission: the first arrival of (SID, OpSeq) claims
+	// the op and executes; a retry returns the cached applied response,
+	// or waits for an in-flight first attempt and takes its outcome —
+	// claiming the op itself only if that attempt failed to apply.
+	counted := false
+	for {
+		cl := s.dedup.claim(req.SID, req.OpSeq)
+		switch {
+		case cl.tooOld:
+			return badRequest(fmt.Sprintf("write op %d below the session's dedup window", req.OpSeq))
+		case cl.cached:
+			if !counted {
+				s.met.retries.Inc()
+			}
+			return cachedResponse(cl.resp, req.Token)
+		case cl.wait != nil:
+			if !counted {
+				s.met.retries.Inc()
+				counted = true
+			}
+			select {
+			case <-cl.wait:
+			case <-s.abortCh:
+				return protocol.Response{Status: protocol.StatusShutdown, Proc: -1, Err: "server closing"}
+			}
+		default:
+			resp := s.serve(c, req)
+			s.dedup.complete(req.SID, req.OpSeq, resp)
+			return resp
+		}
+	}
+}
+
+// cachedResponse adapts a dedup-cached response to a retry: its token
+// is cloned and merged with the retry's request token so the reply
+// token still dominates the base the delta encoder works against.
+func cachedResponse(r protocol.Response, reqTok vclock.VC) protocol.Response {
+	if r.Token != nil {
+		tok := r.Token.Clone()
+		if len(reqTok) == len(tok) {
+			tok.Merge(reqTok)
+		}
+		r.Token = tok
+	}
+	return r
+}
+
+// serve routes one validated request to a replica and executes it.
+func (s *Server) serve(c *srvConn, req protocol.Request) protocol.Response {
+	proc, pinned := req.Proc, req.Proc >= 0
+	if !pinned {
 		proc = s.pick()
 	}
 	node := s.cfg.Cluster.Node(proc)
@@ -336,7 +445,22 @@ func (s *Server) respond(c *srvConn, req protocol.Request) protocol.Response {
 	// dominates the session's past. Writes wait too, so a session's
 	// write is issued on a replica that already holds everything the
 	// session observed.
-	if st, detail := s.waitFrontier(node, proc, req.Token, req.NoWait); st != protocol.StatusOK {
+	st, detail := s.waitFrontier(node, proc, req.Token, req.NoWait)
+	if st == protocol.StatusUnavailable && !pinned && !req.NoWait {
+		// The picked replica timed out or died under the wait. The pin
+		// was the server's own choice, so fail the operation over to a
+		// replica that already holds the session's past; with none
+		// live and caught up, promise the client a retry is worthwhile
+		// instead of reporting a hard unavailability.
+		if fp := s.dominatingReplica(req.Token, proc); fp >= 0 {
+			s.met.failovers.Inc()
+			proc, node = fp, s.cfg.Cluster.Node(fp)
+			st, detail = protocol.StatusOK, ""
+		} else {
+			st, detail = protocol.StatusRetry, "no live replica has reached the session token"
+		}
+	}
+	if st != protocol.StatusOK {
 		return protocol.Response{Status: st, Proc: proc, Err: detail}
 	}
 	switch req.Kind {
@@ -356,6 +480,20 @@ func (s *Server) respond(c *srvConn, req protocol.Request) protocol.Response {
 	}
 }
 
+// dominatingReplica finds a live replica other than not whose applied
+// frontier already dominates tok; -1 when there is none.
+func (s *Server) dominatingReplica(tok vclock.VC, not int) int {
+	for p := 0; p < s.procs; p++ {
+		if p == not || s.cfg.Cluster.Down(p) {
+			continue
+		}
+		if s.cfg.Cluster.Node(p).FrontierDominates(tok) {
+			return p
+		}
+	}
+	return -1
+}
+
 // pick chooses a serving replica round-robin, skipping crash-stopped
 // processes (falling back to the raw rotation if everything is down —
 // the per-node error path reports it properly).
@@ -371,17 +509,20 @@ func (s *Server) pick() int {
 }
 
 // waitFrontier blocks until node's applied frontier dominates tok,
-// following the Quiesce poll idiom (spin, then brief sleeps). It
-// returns a non-OK status when the wait cannot succeed: NoWait and a
-// lagging frontier, a crash-stopped replica, WaitTimeout exceeded, or
-// server Close.
+// parking on the node's frontier-change notification instead of
+// polling: the replica's apply path broadcasts on every frontier-
+// affecting event (apply, local write, logical apply, crash, restart),
+// so admission wakes at the event that satisfies it rather than at the
+// next poll tick. It returns a non-OK status when the wait cannot
+// succeed: NoWait and a lagging frontier, a crash-stopped replica,
+// WaitTimeout exceeded, or server Close.
 func (s *Server) waitFrontier(node *core.Node, proc int, tok vclock.VC, noWait bool) (uint8, string) {
 	if len(tok) == 0 {
 		return protocol.StatusOK, ""
 	}
 	start := time.Now()
-	deadline := start.Add(s.cfg.WaitTimeout)
-	for spin := 0; ; spin++ {
+	var timeout <-chan time.Time
+	for {
 		if node.FrontierDominates(tok) {
 			s.met.frontierWait.Observe(time.Since(start).Nanoseconds())
 			return protocol.StatusOK, ""
@@ -395,16 +536,30 @@ func (s *Server) waitFrontier(node *core.Node, proc int, tok vclock.VC, noWait b
 		if s.aborted.Load() {
 			return protocol.StatusShutdown, "server closing"
 		}
-		if time.Now().After(deadline) {
+		ch, cancel := node.FrontierWait(tok)
+		// Missed-wakeup guard: the frontier may have moved between the
+		// dominance check and the registration.
+		if node.FrontierDominates(tok) {
+			cancel()
+			continue
+		}
+		if timeout == nil {
+			timer := time.NewTimer(s.cfg.WaitTimeout)
+			defer timer.Stop()
+			timeout = timer.C
+		}
+		select {
+		case <-ch:
+		case <-timeout:
+			cancel()
 			s.met.waitTimeouts.Inc()
 			return protocol.StatusUnavailable,
 				fmt.Sprintf("frontier behind session token after %v", s.cfg.WaitTimeout)
+		case <-s.abortCh:
+			cancel()
+			return protocol.StatusShutdown, "server closing"
 		}
-		if spin < 64 {
-			runtime.Gosched()
-		} else {
-			time.Sleep(100 * time.Microsecond)
-		}
+		cancel()
 	}
 }
 

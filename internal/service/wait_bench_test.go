@@ -1,0 +1,119 @@
+package service_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/vclock"
+)
+
+// BenchmarkFrontierWaitWakeup measures the token-admission wakeup path:
+// each iteration writes pinned at replica 0 and then reads pinned at
+// replica 1 with the session token, so the read must wait until the
+// write propagates and applies at replica 1. Per-op time is replication
+// latency plus how fast waitFrontier notices the frontier moved — the
+// part the notification-based wait is meant to shrink.
+func BenchmarkFrontierWaitWakeup(b *testing.B) {
+	benchWakeup(b, core.Config{Processes: 2, Variables: 1})
+}
+
+// BenchmarkFrontierWaitWakeupDelayed is the same measurement with a
+// 500µs replication delay, so the admission wait really parks: the
+// difference from the raw link delay is pure wakeup overhead, which a
+// poll loop pays in sleep-grid quantization and a notification wait
+// does not.
+func BenchmarkFrontierWaitWakeupDelayed(b *testing.B) {
+	benchWakeup(b, core.Config{
+		Processes: 2, Variables: 1,
+		MinDelay: 500 * time.Microsecond, MaxDelay: 500 * time.Microsecond,
+	})
+}
+
+// BenchmarkWritesUnderParkedWaiters measures the write hot path while
+// 64 admission waits are parked on the same replica behind a token it
+// can never reach (a component only another replica could advance). A
+// poll-based wait re-takes the replica lock for a dominance check every
+// sleep tick per waiter; a notification-based wait costs the apply path
+// one atomic load. The gap is the tax blocked readers put on writers.
+func BenchmarkWritesUnderParkedWaiters(b *testing.B) {
+	cl, err := core.NewCluster(core.Config{Processes: 2, Variables: 1})
+	if err != nil {
+		b.Fatalf("NewCluster: %v", err)
+	}
+	defer cl.Close()
+	srv, err := service.New(service.Config{
+		Cluster: cl,
+		// Longer than the benchmark: the parked waiters stay parked.
+		WaitTimeout: time.Hour,
+	})
+	if err != nil {
+		b.Fatalf("service.New: %v", err)
+	}
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	// Park 64 reads at replica 0 behind a p1-component the benchmark's
+	// p0-only writes can never satisfy.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const parked = 64
+	done := make(chan struct{}, parked)
+	for i := 0; i < parked; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			s := c.Session()
+			s.Resume(vclock.VC{0, 1 << 40})
+			s.Use(0).Read(ctx, 0) // blocks until cancel
+		}()
+	}
+	// Writes race the waiters' wakeup checks for replica 0.
+	s := c.Session()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Use(0).Write(context.Background(), 0, int64(i)); err != nil {
+			b.Fatalf("Write: %v", err)
+		}
+	}
+	b.StopTimer()
+	cancel()
+	for i := 0; i < parked; i++ {
+		<-done
+	}
+}
+
+func benchWakeup(b *testing.B, ccfg core.Config) {
+	cl, err := core.NewCluster(ccfg)
+	if err != nil {
+		b.Fatalf("NewCluster: %v", err)
+	}
+	defer cl.Close()
+	srv, err := service.New(service.Config{Cluster: cl})
+	if err != nil {
+		b.Fatalf("service.New: %v", err)
+	}
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	s := c.Session()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Use(0).Write(ctx, 0, int64(i)); err != nil {
+			b.Fatalf("Write: %v", err)
+		}
+		if _, err := s.Use(1).Read(ctx, 0); err != nil {
+			b.Fatalf("Read: %v", err)
+		}
+	}
+}

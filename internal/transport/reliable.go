@@ -20,6 +20,30 @@ type ReliableConfig struct {
 	BackoffMax time.Duration
 	// Seed drives backoff jitter.
 	Seed int64
+	// Clock abstracts time for the retransmission machinery. nil uses
+	// the real clock; tests inject a fake to drive deadlines
+	// deterministically (freeze it and no retransmit can ever fire;
+	// advance it and one fires exactly on cue).
+	Clock Clock
+}
+
+// Clock is the time source of the reliability sublayer.
+type Clock interface {
+	// Now returns the current time; retransmit deadlines are computed
+	// from and compared against it.
+	Now() time.Time
+	// Ticker returns the retransmit-scan channel and a stop function.
+	Ticker(d time.Duration) (<-chan time.Time, func())
+}
+
+// realClock is the default Clock: time.Now and time.Ticker.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Ticker(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
 }
 
 // Validate reports configuration errors.
@@ -136,6 +160,9 @@ func NewReliable(inner Transport, cfg ReliableConfig, obs Observer) (*Reliable, 
 	if cfg.BackoffMax == 0 {
 		cfg.BackoffMax = 20 * cfg.RetransmitTimeout
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
 	r := &Reliable{
 		cfg:   cfg,
 		inner: inner,
@@ -210,7 +237,7 @@ func (r *Reliable) Send(m Message) {
 	m.Seq = l.nextSeq
 	l.unacked[m.Seq] = &frame{
 		msg:      m,
-		deadline: time.Now().Add(r.jittered(r.cfg.RetransmitTimeout)),
+		deadline: r.cfg.Clock.Now().Add(r.jittered(r.cfg.RetransmitTimeout)),
 		backoff:  r.cfg.RetransmitTimeout,
 	}
 	l.mu.Unlock()
@@ -284,15 +311,15 @@ func (r *Reliable) retransmitLoop() {
 	if tick < 50*time.Microsecond {
 		tick = 50 * time.Microsecond
 	}
-	ticker := time.NewTicker(tick)
-	defer ticker.Stop()
+	tickC, stopTick := r.cfg.Clock.Ticker(tick)
+	defer stopTick()
 	for {
 		select {
 		case <-r.stop:
 			return
-		case <-ticker.C:
+		case <-tickC:
 		}
-		now := time.Now()
+		now := r.cfg.Clock.Now()
 		var resend []Message
 		var attempts []int
 		for _, row := range r.links {

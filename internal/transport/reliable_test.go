@@ -186,14 +186,15 @@ func TestReliableDedupDropsReplayedSeqnos(t *testing.T) {
 	net := newScriptedNet(2)
 	net.dupData = true // every data frame arrives twice
 	var obs collectObs
-	// The exact dup-discard count below assumes no retransmissions:
-	// a retransmitted frame is itself duplicated and discarded twice
-	// more. Use a generous timeout so scheduler stalls under a loaded
-	// test run cannot fire spurious retransmits.
+	// The exact dup-discard count below assumes no retransmissions: a
+	// retransmitted frame is itself duplicated and discarded twice
+	// more. A frozen fake clock makes that structural, not timing luck:
+	// deadlines never pass, so no scheduler stall under a loaded test
+	// run can fire a spurious retransmit.
 	r, err := NewReliable(net, ReliableConfig{
-		Procs:             net.procs,
-		RetransmitTimeout: time.Second,
-		Seed:              1,
+		Procs: net.procs,
+		Seed:  1,
+		Clock: newFakeClock(),
 	}, obs.obs)
 	if err != nil {
 		t.Fatal(err)
@@ -329,4 +330,76 @@ func TestReliableConfigValidate(t *testing.T) {
 			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
 		}
 	}
+}
+
+// fakeClock is a hand-cranked Clock: Now is whatever the test set it
+// to, and advance moves time forward and fires exactly one retransmit
+// scan — deterministic deadline control with no real sleeping.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	tick chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(0, 0), tick: make(chan time.Time)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Ticker(time.Duration) (<-chan time.Time, func()) {
+	return c.tick, func() {}
+}
+
+// advance moves the clock and blocks until the retransmit loop has
+// accepted the scan trigger.
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	c.mu.Unlock()
+	c.tick <- now
+}
+
+// The Clock seam the dedup test's determinism rests on, exercised the
+// other way: a dropped frame is retransmitted exactly when the fake
+// clock steps past its deadline — no real time passes at all.
+func TestReliableRetransmitFiresOnFakeClockAdvance(t *testing.T) {
+	net := newScriptedNet(2)
+	net.drop = func(m Message, nth int) bool { return !m.Ack && nth == 1 }
+	clk := newFakeClock()
+	var obs collectObs
+	r, err := NewReliable(net, ReliableConfig{
+		Procs:             net.procs,
+		RetransmitTimeout: time.Millisecond,
+		Seed:              1,
+		Clock:             clk,
+	}, obs.obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered int64
+	r.Register(0, func(Message) {})
+	r.Register(1, func(Message) { atomic.AddInt64(&delivered, 1) })
+
+	r.Send(Message{From: 0, To: 1, Update: upd(0, 1)})
+	// The first transmission was dropped. A scan short of the deadline
+	// must not resend; one past it must.
+	clk.advance(time.Microsecond)
+	if got := obs.count(EvRetransmit); got != 0 {
+		t.Fatalf("retransmits before the deadline = %d, want 0", got)
+	}
+	clk.advance(10 * time.Millisecond) // past deadline+jitter (≤1.25ms)
+	r.Flush()
+	if atomic.LoadInt64(&delivered) != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", delivered)
+	}
+	if got := obs.count(EvRetransmit); got == 0 {
+		t.Fatal("no retransmit after the clock stepped past the deadline")
+	}
+	r.Close()
 }
