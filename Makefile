@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build test vet race bench smoke throughput audit-bench service-bench chaos-bench conformance chaos-conformance fuzz fuzz-smoke vuln clean
+.PHONY: check ci build test vet race bench smoke throughput audit-bench service-bench chaos-bench trace-bench conformance chaos-conformance fuzz fuzz-smoke vuln clean
 
 ## check: the full gate — vet, build, tests, a short race pass, a
 ## fuzz burst over the wire codec, and the chaos conformance suite
@@ -9,11 +9,12 @@ check: vet build test race fuzz-smoke chaos-conformance
 
 ## ci: what .github/workflows/ci.yml runs — the full gate plus the
 ## conformance suite under the race detector, the dsmbench smoke sweep,
-## the hot-path throughput gate, the offline audit gate and the
-## serving-tier gates, plain and chaos (their dsmbench/v1 scorecards
-## are uploaded as CI artifacts) plus a vulnerability scan when
+## the hot-path throughput gate, the offline audit gate, the
+## serving-tier gates, plain and chaos, and the request-tracing
+## overhead gate (their dsmbench/v1 scorecards and the dsmtrace sample
+## report are uploaded as CI artifacts) plus a vulnerability scan when
 ## govulncheck is on PATH.
-ci: check conformance smoke throughput audit-bench service-bench chaos-bench vuln
+ci: check conformance smoke throughput audit-bench service-bench chaos-bench trace-bench vuln
 
 ## smoke: the fast dsmbench subset (visibility, ws, obsoverhead) with
 ## the machine-readable scorecard written to smoke-scorecard.json.
@@ -55,6 +56,18 @@ service-bench:
 chaos-bench:
 	$(GO) run ./cmd/dsmbench -exp service-chaos -ops 2000 \
 		-baseline BENCH_chaos.json -json chaos-scorecard.json
+
+## trace-bench: the request-tracing overhead gate — the E-service
+## closed loop with the full tracing stack on (per-stage histograms on
+## both ends, 5% wire sampling, tail sampler live), gated at 5% of the
+## committed BENCH_service.json ops/s envelope; always-on tracing must
+## stay near-free. The run's tail-sampled records are rendered into a
+## sample dsmtrace forensics report (uploaded as a CI artifact).
+trace-bench:
+	$(GO) run ./cmd/dsmbench -exp trace -ops 2000 \
+		-baseline BENCH_service.json -json trace-scorecard.json \
+		-trace-out trace-records.jsonl
+	$(GO) run ./cmd/dsmtrace trace-records.jsonl > trace-report.txt
 
 ## conformance: the session-guarantee suite over real client
 ## connections, under the race detector — includes the negative case
@@ -113,4 +126,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json service-scorecard.json chaos-scorecard.json
+	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json service-scorecard.json chaos-scorecard.json trace-scorecard.json trace-records.jsonl trace-report.txt

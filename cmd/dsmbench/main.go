@@ -30,6 +30,13 @@
 //	                            # truncation): ops/s and p99 with the
 //	                            # fault-tolerant client absorbing every
 //	                            # fault; gates ops/s at 20%, p99 at 2×
+//	dsmbench -exp trace -baseline BENCH_service.json -trace-out t.jsonl
+//	                            # the service workload with request
+//	                            # tracing on: ops/s plus the server's
+//	                            # stage-decomposed p99; gated at 5% vs
+//	                            # the E-service baseline — the tracing
+//	                            # overhead budget. -trace-out dumps the
+//	                            # tail-sampled records for cmd/dsmtrace
 //	dsmbench -exp chaos         # live OptP over lossy/duplicating links
 //	dsmbench -exp crash         # crash-stop + WAL restart, all protocols
 //	dsmbench -json out.json     # also write the machine-readable
@@ -55,6 +62,7 @@ func main() {
 	ops := flag.Int("ops", 1000, "ops per process for the throughput experiment (also ops per session for -exp service); extra ladder rung for audit-scale when > 100000")
 	sessions := flag.Int("sessions", 4, "sessions per connection for the service experiment")
 	jsonPath := flag.String("json", "", "write the dsmbench/v1 JSON scorecard to this path")
+	traceOut := flag.String("trace-out", "", "for -exp trace: dump the tail-sampled request records as JSONL to this path (cmd/dsmtrace input)")
 	baselinePath := flag.String("baseline", "", "dsmbench/v1 scorecard to gate against (>20% regression of any experiment present in it fails)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
@@ -154,6 +162,21 @@ func main() {
 		run(func() (experiments.Result, error) { return experiments.Service(*sessions, *ops) })
 	case "service-chaos":
 		run(func() (experiments.Result, error) { return experiments.ServiceChaos(*sessions, *ops) })
+	case "trace":
+		run(func() (experiments.Result, error) {
+			if *traceOut == "" {
+				return experiments.TraceOverhead(*sessions, *ops)
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return experiments.Result{}, fmt.Errorf("-trace-out: %w", err)
+			}
+			r, err := experiments.TraceOverheadRecords(*sessions, *ops, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return r, err
+		})
 	case "smoke":
 		for _, fn := range smoke {
 			run(fn)
@@ -165,7 +188,7 @@ func main() {
 			for name := range sims {
 				names = append(names, name)
 			}
-			names = append(names, "throughput", "throughput-smoke", "audit-scale", "service", "service-chaos", "smoke")
+			names = append(names, "throughput", "throughput-smoke", "audit-scale", "service", "service-chaos", "trace", "smoke")
 			sort.Strings(names)
 			usage("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
 		}
@@ -201,7 +224,7 @@ func main() {
 			{experiments.ServiceName, experiments.CheckServiceRegression},
 			{experiments.ServiceChaosName, experiments.CheckServiceChaosRegression},
 		} {
-			if !hasExperiment(baseline, gate.name) {
+			if !hasExperiment(baseline, gate.name) || !hasResult(results, gate.name) {
 				continue
 			}
 			gated = true
@@ -210,8 +233,19 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "dsmbench: %s within 20%% of %s\n", gate.name, *baselinePath)
 		}
+		// The tracing-overhead gate compares E-trace against the
+		// E-service baseline with a tighter 5% budget: always-on tracing
+		// must stay near-free.
+		if hasResult(results, experiments.TraceOverheadName) && hasExperiment(baseline, experiments.ServiceName) {
+			gated = true
+			if err := experiments.CheckTraceOverhead(results, baseline, 0.05); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dsmbench: %s within 5%% of the %s baseline in %s\n",
+				experiments.TraceOverheadName, experiments.ServiceName, *baselinePath)
+		}
 		if !gated {
-			fatal(fmt.Errorf("baseline %s contains no gateable experiment", *baselinePath))
+			fatal(fmt.Errorf("baseline %s gates nothing the current run produced", *baselinePath))
 		}
 	}
 }
@@ -220,6 +254,17 @@ func main() {
 // named experiment.
 func hasExperiment(sc experiments.Scorecard, name string) bool {
 	for _, r := range sc.Experiments {
+		if r.Name == name && len(r.Rows) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasResult reports whether the current run produced rows for the
+// named experiment.
+func hasResult(results []experiments.Result, name string) bool {
+	for _, r := range results {
 		if r.Name == name && len(r.Rows) > 0 {
 			return true
 		}

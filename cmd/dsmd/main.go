@@ -12,6 +12,8 @@
 //	dsmd -protocol ANBKH -batch-window 200us -max-batch 128
 //	dsmd -wal-dir /var/lib/dsmd                 # survive crash/restart
 //	dsmd -debug-addr :6060                      # /metrics + pprof
+//	dsmd -trace-stream traces.jsonl             # tail-sampled request
+//	                                            # forensics (cmd/dsmtrace)
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
 // requests run to completion and flush, then connections close and the
@@ -22,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netchaos"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/protocol"
 	"repro/internal/service"
 )
@@ -65,6 +69,9 @@ func run(args []string, ready func(addr string)) error {
 	dedupWindow := fs.Int("dedup-window", 0, "exactly-once retries: per-session dedup window in ops (0: default 512)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain at shutdown")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	traceThreshold := fs.Duration("trace-threshold", 0, "request tracing: tail-sample requests at least this slow (0: default 20ms, negative: disable latency sampling)")
+	traceRing := fs.Int("trace-ring", 0, "request tracing: retained-trace ring capacity (0: default 1024)")
+	traceStream := fs.String("trace-stream", "", "request tracing: stream tail-sampled request records as JSONL to this file (\"-\" for stderr), dsmtrace's input")
 	chaosKill := fs.Float64("chaos-kill", 0, "fault injection: per-I/O probability of a connection reset")
 	chaosStall := fs.Float64("chaos-stall", 0, "fault injection: per-I/O probability of a stall")
 	chaosStallMax := fs.Duration("chaos-stall-max", 0, "fault injection: max stall duration (0: 20ms)")
@@ -102,9 +109,13 @@ func run(args []string, ready func(addr string)) error {
 		return err
 	}
 
+	if *traceRing < 0 {
+		return fmt.Errorf("-trace-ring must not be negative, got %d", *traceRing)
+	}
 	var reg *obs.Registry
 	if *debugAddr != "" {
 		reg = obs.NewRegistry()
+		obs.RegisterBuildInfo(reg, "dsmd")
 	}
 	cluster, err := core.NewCluster(core.Config{
 		Processes: *procs, Variables: *vars, Protocol: kind,
@@ -117,19 +128,50 @@ func run(args []string, ready func(addr string)) error {
 	defer cluster.Close()
 
 	scfg := service.Config{
-		Cluster:     cluster,
-		Addr:        *addr,
-		WaitTimeout: *waitTimeout,
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
-		MaxPipeline: *maxPipeline,
-		MaxInflight: *maxInflight,
-		MaxQueue:    *maxQueue,
-		DedupWindow: *dedupWindow,
-		Metrics:     reg,
+		Cluster:        cluster,
+		Addr:           *addr,
+		WaitTimeout:    *waitTimeout,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
+		MaxPipeline:    *maxPipeline,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		DedupWindow:    *dedupWindow,
+		Metrics:        reg,
+		TraceThreshold: *traceThreshold,
+		TraceRing:      *traceRing,
+	}
+	if *traceStream != "" {
+		w := os.Stderr
+		if *traceStream != "-" {
+			f, err := os.Create(*traceStream)
+			if err != nil {
+				return fmt.Errorf("-trace-stream: %w", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		sink := reqtrace.NewSinkWriter(w, 0)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "dsmd: trace stream: %v\n", err)
+			}
+			if n := sink.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "dsmd: trace stream dropped %d records\n", n)
+			}
+		}()
+		scfg.TraceSink = sink.Record
 	}
 	if chaos.Enabled() {
-		scfg.WrapListener = netchaos.Wrapper(chaos)
+		// Wrap manually instead of through netchaos.Wrapper so the chaos
+		// listener's fault counters land on the metrics registry.
+		scfg.WrapListener = func(ln net.Listener) net.Listener {
+			wrapped := netchaos.Wrap(ln, chaos)
+			if cl, ok := wrapped.(*netchaos.Listener); ok && reg != nil {
+				cl.RegisterMetrics(reg)
+			}
+			return wrapped
+		}
 		fmt.Fprintf(os.Stderr, "dsmd: CHAOS listener active (kill=%.3g stall=%.3g trunc=%.3g accept=%.3g seed=%d)\n",
 			chaos.KillProb, chaos.StallProb, chaos.TruncProb, chaos.AcceptProb, chaos.Seed)
 	}

@@ -3,7 +3,11 @@ package main
 import (
 	"context"
 	"errors"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -107,6 +111,52 @@ func TestDaemonDrainFlushesInFlight(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("dsmd did not exit after the drain")
+	}
+}
+
+// The daemon's debug mux carries the build-info pair: who is running
+// (dsm_build_info) and for how long (dsm_uptime_seconds).
+func TestDaemonDebugMuxServesBuildInfo(t *testing.T) {
+	// Reserve an ephemeral port for -debug-addr; the tiny window between
+	// closing the probe listener and dsmd rebinding is benign in CI.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe listen: %v", err)
+	}
+	debugAddr := probe.Addr().String()
+	probe.Close()
+
+	_, done := startDaemon(t, "-procs", "2", "-vars", "2", "-debug-addr", debugAddr)
+	defer func() {
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		<-done
+	}()
+
+	var body []byte
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + debugAddr + "/metrics")
+		if err == nil {
+			body, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scrape never succeeded: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`dsm_build_info{component="dsmd"`,
+		"dsm_uptime_seconds",
+		"dsm_svc_stage_ns",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("debug scrape missing %q", want)
+		}
 	}
 }
 

@@ -158,6 +158,7 @@ func main() {
 	if *debugAddr != "" || *report > 0 || *spansOut != "" {
 		observer = obs.NewObserver(obs.Options{Procs: *procs, Protocol: kind.String()})
 		cfg.Obs = observer
+		obs.RegisterBuildInfo(observer.Registry(), "dsmrun")
 	}
 	var sink *obs.JSONLSink
 	if *stream != "" {

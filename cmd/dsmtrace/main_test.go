@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs/reqtrace"
+)
+
+// synthetic builds a deterministic record set: one slow server write
+// dominated by its frontier wait, the client record of the same call
+// (joined by trace ID, carrying the echoed server stages), and a fast
+// unrelated read.
+func synthetic() []reqtrace.Record {
+	return []reqtrace.Record{
+		{
+			TraceID: 0xabcdef01, Origin: "server", Kind: "write", Status: "ok",
+			Proc: 1, Var: 3, TotalNs: 25_000_000,
+			Stages: []reqtrace.StageNs{
+				{Stage: "admission", Ns: 10_000},
+				{Stage: "frontier_wait", Ns: 20_000_000},
+				{Stage: "batch_queue", Ns: 2_000_000},
+				{Stage: "apply", Ns: 2_500_000},
+				{Stage: "respond", Ns: 490_000},
+			},
+			WriteProc: 1, WriteSeq: 42,
+		},
+		{
+			TraceID: 0xabcdef01, Origin: "client", Kind: "write", Status: "ok",
+			Proc: 1, Var: 3, TotalNs: 26_000_000, Attempts: 2,
+			Stages: []reqtrace.StageNs{
+				{Stage: "backoff", Ns: 1_000_000},
+				{Stage: "send", Ns: 50_000},
+				{Stage: "await", Ns: 24_900_000},
+			},
+			ServerStages: []reqtrace.StageNs{
+				{Stage: "admission", Ns: 10_000},
+				{Stage: "frontier_wait", Ns: 20_000_000},
+			},
+			WriteProc: 1, WriteSeq: 42,
+		},
+		{
+			Origin: "server", Kind: "read", Status: "unavailable",
+			Proc: 0, Var: 1, TotalNs: 400_000,
+			Stages: []reqtrace.StageNs{
+				{Stage: "admission", Ns: 5_000},
+				{Stage: "frontier_wait", Ns: 390_000},
+			},
+			Err: "frontier wait timed out",
+		},
+	}
+}
+
+func TestReportSections(t *testing.T) {
+	var sb strings.Builder
+	if err := report(&sb, synthetic(), 3); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"records: 3",
+		"server=2 client=1",
+		"status:  ok=2 unavailable=1",
+		"per-stage breakdown",
+		"frontier_wait",
+		"critical path",
+		"slowest 3 requests",
+		"trace=00000000abcdef01",
+		"attempts=2",
+		"write=(1,42)",
+		"server: admission",
+		"err: frontier wait timed out",
+		"joined client+server traces: 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// The frontier wait dominates both the slow write and the failed read,
+// so the critical-path table must attribute both records to it.
+func TestCriticalPathAttribution(t *testing.T) {
+	var sb strings.Builder
+	criticalPath(&sb, synthetic())
+	out := sb.String()
+	if !strings.Contains(out, "frontier_wait") {
+		t.Fatalf("critical path missing frontier_wait:\n%s", out)
+	}
+	// 2 of 3 records are dominated by the frontier wait (the client
+	// record is dominated by await).
+	if !strings.Contains(out, "66.7%") {
+		t.Errorf("frontier_wait share not 66.7%%:\n%s", out)
+	}
+	if !strings.Contains(out, "await") {
+		t.Errorf("await missing from critical path:\n%s", out)
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := report(&sb, nil, 5); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no records") {
+		t.Errorf("empty report = %q", sb.String())
+	}
+}
+
+// Percentile is nearest-rank: p50 of 4 samples is the 2nd, p99 the 4th.
+func TestPct(t *testing.T) {
+	ns := []int64{10, 20, 30, 40}
+	if got := pct(ns, 50); got != 20 {
+		t.Errorf("p50 = %d, want 20", got)
+	}
+	if got := pct(ns, 99); got != 40 {
+		t.Errorf("p99 = %d, want 40", got)
+	}
+	if got := pct(nil, 50); got != 0 {
+		t.Errorf("p50(nil) = %d, want 0", got)
+	}
+}

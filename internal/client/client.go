@@ -40,6 +40,8 @@ import (
 	"time"
 
 	"repro/internal/history"
+	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/protocol"
 	"repro/internal/vclock"
 )
@@ -98,6 +100,31 @@ type Config struct {
 	// to 2ms base, 250ms cap.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+
+	// Metrics, when set, receives the client-side metrics on the shared
+	// registry: dsm_cli_retries_total, dsm_cli_reconnects_total, the
+	// dsm_cli_call_ns latency histogram, and the per-stage
+	// dsm_cli_stage_ns decomposition (backoff / send / await).
+	Metrics *obs.Registry
+
+	// TraceSample is the fraction of calls stamped with wire trace
+	// context, in (0, 1]; 0 disables. A sampled call carries a fresh
+	// trace ID plus the force-sample flag, so the server retains its
+	// side of the timeline and the two records join in cmd/dsmtrace.
+	TraceSample float64
+
+	// TraceThreshold is the client-side tail-sampling bound: a call
+	// whose end-to-end latency reaches it retains its full timeline even
+	// when unsampled (so do calls that end in an error). 0 defaults to
+	// 20ms; negative disables latency-based sampling.
+	TraceThreshold time.Duration
+
+	// TraceRing bounds the ring of retained call records; 0 → 1024.
+	TraceRing int
+
+	// TraceSink, when set, receives every retained call record. It must
+	// not block.
+	TraceSink func(reqtrace.Record)
 }
 
 // withDefaults resolves zero values.
@@ -126,12 +153,46 @@ type call struct {
 	ch   chan protocol.Response
 }
 
+// cliMetrics is the client's registered metric set; with no registry
+// the handles are unregistered but still live, so the hot path never
+// branches.
+type cliMetrics struct {
+	retries    *obs.Counter
+	reconnects *obs.Counter
+	callNs     *obs.Histogram
+}
+
+// callBuckets spans loopback microseconds to multi-second retry storms.
+var callBuckets = []int64{
+	10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_500_000,
+	5_000_000, 10_000_000, 25_000_000, 50_000_000, 100_000_000,
+	250_000_000, 1_000_000_000, 5_000_000_000, 15_000_000_000,
+}
+
+func newCliMetrics(reg *obs.Registry) *cliMetrics {
+	if reg == nil {
+		return &cliMetrics{
+			retries:    &obs.Counter{},
+			reconnects: &obs.Counter{},
+			callNs:     obs.NewHistogram(callBuckets),
+		}
+	}
+	return &cliMetrics{
+		retries:    reg.Counter("dsm_cli_retries_total", "calls retried after a retryable server verdict"),
+		reconnects: reg.Counter("dsm_cli_reconnects_total", "successful redials of a lost connection"),
+		callNs:     reg.Histogram("dsm_cli_call_ns", "end-to-end call latency including retries and backoff", callBuckets),
+	}
+}
+
 // Client multiplexes tagged requests over one fault-tolerant dsmd
 // connection.
 type Client struct {
-	cfg   Config
-	sid   uint64        // session identity for the exactly-once window
-	opSeq atomic.Uint64 // per-write op sequence under sid
+	cfg    Config
+	sid    uint64        // session identity for the exactly-once window
+	opSeq  atomic.Uint64 // per-write op sequence under sid
+	met    *cliMetrics
+	trace  *reqtrace.Recorder
+	sample reqtrace.SampleRate
 
 	wmu sync.Mutex // serializes request frames onto the current conn
 
@@ -158,8 +219,17 @@ func DialConfig(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("client: dial %s: %w", cfg.Addr, err)
 	}
 	c := &Client{
-		cfg:     cfg,
-		sid:     newSID(),
+		cfg:    cfg,
+		sid:    newSID(),
+		met:    newCliMetrics(cfg.Metrics),
+		sample: reqtrace.SampleRate(cfg.TraceSample),
+		trace: reqtrace.NewRecorder(reqtrace.Config{
+			Registry:  cfg.Metrics,
+			Origin:    "client",
+			Threshold: cfg.TraceThreshold,
+			Capacity:  cfg.TraceRing,
+			Sink:      cfg.TraceSink,
+		}),
 		conn:    conn,
 		pending: map[uint64]*call{},
 		done:    make(chan struct{}),
@@ -167,6 +237,10 @@ func DialConfig(cfg Config) (*Client, error) {
 	go c.readLoop(conn)
 	return c, nil
 }
+
+// Trace returns the client's call-trace recorder: per-stage histograms
+// plus the ring of tail-sampled call timelines.
+func (c *Client) Trace() *reqtrace.Recorder { return c.trace }
 
 // newSID draws a random nonzero session ID; zero on the wire means "no
 // exactly-once semantics".
@@ -229,9 +303,98 @@ func (c *Client) Pending() int {
 // response and a mapped error. With retry enabled (the default) the
 // call transparently survives connection loss and retries retryable
 // statuses under the per-call deadline.
+//
+// Every Do opens a call span on the trace recorder: the per-stage
+// histograms (backoff / send / await) are always on, and a sampled
+// call (TraceSample) carries wire trace context so the server's side
+// of the timeline joins the client's by trace ID.
 func (c *Client) Do(outer context.Context, req protocol.Request) (protocol.Response, error) {
+	q := c.trace.Begin()
+	if c.sample.Hit() {
+		q.TraceID = reqtrace.NewTraceID()
+		q.Sampled = true
+		req.TraceID = q.TraceID
+		req.TraceSampled = true
+	}
+	resp, err := c.doTraced(outer, req, q)
+	c.endTrace(q, req, resp, err)
+	return resp, err
+}
+
+// endTrace closes a call span: the latency histogram, the stage
+// decomposition, the span linkage to the write the call touched, and —
+// for sampled/slow/failed calls — the retained record with the
+// server's echoed stage timeline folded in.
+func (c *Client) endTrace(q *reqtrace.Req, req protocol.Request, resp protocol.Response, err error) {
+	m := reqtrace.Meta{
+		Kind:   kindString(req.Kind),
+		Status: errClass(err),
+		OK:     err == nil,
+		Proc:   resp.Proc,
+		Var:    req.Var,
+	}
+	if req.Kind == protocol.ReqPing {
+		m.Var = -1
+	}
+	if err != nil {
+		m.Err = err.Error()
+	}
+	if resp.From.Seq > 0 {
+		q.WriteProc, q.WriteSeq = resp.From.Proc, resp.From.Seq
+	}
+	if q.TraceID != 0 && resp.TraceID == q.TraceID {
+		for _, sn := range resp.TraceStages {
+			m.ServerStages = append(m.ServerStages, reqtrace.StageNs{
+				Stage: reqtrace.Stage(sn[0]).String(), Ns: int64(sn[1]),
+			})
+		}
+	}
+	total, _ := c.trace.End(q, m)
+	c.met.callNs.Observe(total)
+}
+
+// kindString names a request kind for trace records.
+func kindString(k uint8) string {
+	switch k {
+	case protocol.ReqPing:
+		return "ping"
+	case protocol.ReqRead:
+		return "read"
+	case protocol.ReqWrite:
+		return "write"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// errClass labels a call outcome for trace records.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrRetryable):
+		return "retry"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrBadRequest):
+		return "bad-request"
+	case errors.Is(err, ErrShutdown):
+		return "shutdown"
+	case errors.Is(err, ErrUnavailable):
+		return "unavailable"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "error"
+}
+
+// doTraced is Do's body with the span threaded through.
+func (c *Client) doTraced(outer context.Context, req protocol.Request, q *reqtrace.Req) (protocol.Response, error) {
 	if c.cfg.DisableRetry {
-		return c.doOnce(outer, req, true)
+		return c.doOnce(outer, req, true, q)
 	}
 	ctx, cancel := context.WithTimeout(outer, c.cfg.CallTimeout)
 	defer cancel()
@@ -245,7 +408,7 @@ func (c *Client) Do(outer context.Context, req protocol.Request) (protocol.Respo
 	var lastResp protocol.Response
 	var lastErr error
 	for {
-		resp, err := c.doOnce(ctx, req, false)
+		resp, err := c.doOnce(ctx, req, false, q)
 		retryable := errors.Is(err, ErrRetryable) || errors.Is(err, ErrOverloaded)
 		if !retryable {
 			// When the per-call deadline (not the caller's context) fires
@@ -256,14 +419,18 @@ func (c *Client) Do(outer context.Context, req protocol.Request) (protocol.Respo
 			return resp, err
 		}
 		lastResp, lastErr = resp, err
+		c.met.retries.Inc()
 		// Back off before the retry; the deadline still bounds the call.
 		select {
 		case <-time.After(jitter(backoff)):
 		case <-ctx.Done():
+			q.Mark(reqtrace.StageBackoff)
 			return resp, err // the typed retryable error, not ctx.Err()
 		case <-c.done:
+			q.Mark(reqtrace.StageBackoff)
 			return resp, err
 		}
+		q.Mark(reqtrace.StageBackoff)
 		if backoff *= 2; backoff > c.cfg.BackoffMax {
 			backoff = c.cfg.BackoffMax
 		}
@@ -272,12 +439,15 @@ func (c *Client) Do(outer context.Context, req protocol.Request) (protocol.Respo
 
 // doOnce runs one attempt: register, send (if a conn is up; otherwise
 // the replay after reconnect sends it), await. failFast selects the
-// legacy error contract.
-func (c *Client) doOnce(ctx context.Context, req protocol.Request, failFast bool) (protocol.Response, error) {
+// legacy error contract. The span's send stage covers register+frame+
+// write; everything after lands in await.
+func (c *Client) doOnce(ctx context.Context, req protocol.Request, failFast bool, q *reqtrace.Req) (protocol.Response, error) {
+	q.Attempts++
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		q.Mark(reqtrace.StageSend)
 		return protocol.Response{}, err
 	}
 	c.next++
@@ -291,6 +461,7 @@ func (c *Client) doOnce(ctx context.Context, req protocol.Request, failFast bool
 		if err := c.send(conn, req); err != nil {
 			if failFast {
 				c.forget(req.Tag)
+				q.Mark(reqtrace.StageSend)
 				return protocol.Response{}, fmt.Errorf("%w: %v", ErrClosed, err)
 			}
 			// The stream died under the send; hand it to the reconnect
@@ -298,24 +469,29 @@ func (c *Client) doOnce(ctx context.Context, req protocol.Request, failFast bool
 			c.connLost(conn, err)
 		}
 	}
+	q.Mark(reqtrace.StageSend)
 
 	select {
 	case resp := <-cl.ch:
+		q.Mark(reqtrace.StageAwait)
 		return resp, statusErr(resp)
 	case <-c.done:
 		// Drain the race: the response may have landed between the
 		// connection dying and this select firing.
 		select {
 		case resp := <-cl.ch:
+			q.Mark(reqtrace.StageAwait)
 			return resp, statusErr(resp)
 		default:
 		}
 		c.mu.Lock()
 		err := c.err
 		c.mu.Unlock()
+		q.Mark(reqtrace.StageAwait)
 		return protocol.Response{}, err
 	case <-ctx.Done():
 		c.forget(req.Tag)
+		q.Mark(reqtrace.StageAwait)
 		return protocol.Response{}, ctx.Err()
 	}
 }
@@ -454,6 +630,7 @@ func (c *Client) install(conn net.Conn) bool {
 	}
 	c.conn = conn
 	c.reconnecting = false
+	c.met.reconnects.Inc()
 	replay := make([]*call, 0, len(c.pending))
 	for _, cl := range c.pending {
 		replay = append(replay, cl)

@@ -132,14 +132,14 @@ func serviceRun(conns, sessionsPerConn, opsPerSession int) ([]string, error) {
 // tolerance (0.2 = 20%). Rows present in only one of the two documents
 // are ignored; improvements never fail.
 func CheckServiceRegression(current []Result, baseline Scorecard, tolerance float64) error {
-	base, err := serviceOpsPerSec(baseline.Experiments)
+	base, err := opsPerSecByName(baseline.Experiments, ServiceName)
 	if err != nil {
 		return fmt.Errorf("experiments: baseline scorecard: %w", err)
 	}
 	if len(base) == 0 {
 		return fmt.Errorf("experiments: baseline scorecard has no %s rows", ServiceName)
 	}
-	cur, err := serviceOpsPerSec(current)
+	cur, err := opsPerSecByName(current, ServiceName)
 	if err != nil {
 		return err
 	}
@@ -159,11 +159,12 @@ func CheckServiceRegression(current []Result, baseline Scorecard, tolerance floa
 	return nil
 }
 
-// serviceOpsPerSec extracts conns → ops/s from an E-service result.
-func serviceOpsPerSec(results []Result) (map[string]float64, error) {
+// opsPerSecByName extracts conns → ops/s from the named experiment's
+// rows (E-service and E-trace share the column convention).
+func opsPerSecByName(results []Result, name string) (map[string]float64, error) {
 	out := map[string]float64{}
 	for _, r := range results {
-		if r.Name != ServiceName {
+		if r.Name != name {
 			continue
 		}
 		connsCol, opsCol := -1, -1

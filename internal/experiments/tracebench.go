@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
+	"repro/internal/protocol"
+	"repro/internal/service"
+)
+
+// TraceOverheadName identifies the tracing-overhead scorecard in
+// dsmbench/v1 documents. CheckTraceOverhead gates its ops/s against
+// the committed *E-service* baseline: the experiment is the E-service
+// workload with the full tracing stack switched on, so the gap between
+// the two is exactly what always-on tracing costs.
+const TraceOverheadName = "E-trace"
+
+// traceStages are the server stages whose p99 the scorecard decomposes.
+var traceStages = []reqtrace.Stage{
+	reqtrace.StageAdmission, reqtrace.StageDedup, reqtrace.StageFrontierWait,
+	reqtrace.StageBatchQueue, reqtrace.StageApply, reqtrace.StageRespond,
+}
+
+// TraceOverhead runs the serving-tier closed loop with request tracing
+// fully enabled — registered per-stage histograms on both ends, 5% of
+// calls carrying wire trace context, tail sampler live — and reports
+// ops/s plus the stage-decomposed server-side p99. CI gates the ops/s
+// column against BENCH_service.json at 5%: the always-on tracing path
+// must cost less than a twentieth of the serving tier's throughput.
+func TraceOverhead(sessionsPerConn, opsPerSession int) (Result, error) {
+	return traceOverhead(sessionsPerConn, opsPerSession, nil)
+}
+
+// TraceOverheadRecords is TraceOverhead plus a JSONL dump of every
+// tail-sampled request record (server then clients) to w — the input
+// of cmd/dsmtrace, uploaded as a CI artifact.
+func TraceOverheadRecords(sessionsPerConn, opsPerSession int, w io.Writer) (Result, error) {
+	return traceOverhead(sessionsPerConn, opsPerSession, w)
+}
+
+func traceOverhead(sessionsPerConn, opsPerSession int, w io.Writer) (Result, error) {
+	r := Result{
+		Name: TraceOverheadName,
+		Desc: fmt.Sprintf("E-service workload with tracing on (%d sessions/conn × %d ops, stage histograms, 5%% wire sampling); ops/s gated at 5%% vs the E-service baseline",
+			sessionsPerConn, opsPerSession),
+		Header: []string{"conns", "sessions", "ops", "elapsed", "ops/s", "p99(req)"},
+	}
+	for _, s := range traceStages {
+		r.Header = append(r.Header, "p99("+s.String()+")")
+	}
+	for _, conns := range []int{1, 4, 8} {
+		row, err := traceRun(conns, sessionsPerConn, opsPerSession, w)
+		if err != nil {
+			return r, fmt.Errorf("experiments: %s %d conns: %w", TraceOverheadName, conns, err)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+// traceRun is serviceRun with the tracing stack on. The workload is
+// kept identical so the ops/s column is comparable to E-service.
+func traceRun(conns, sessionsPerConn, opsPerSession int, w io.Writer) ([]string, error) {
+	const procs, vars = 3, 16
+	cl, err := core.NewCluster(core.Config{
+		Processes: procs, Variables: vars, Protocol: protocol.OptP, FIFO: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	reg := obs.NewRegistry()
+	srv, err := service.New(service.Config{Cluster: cl, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		clients[i], err = client.DialConfig(client.Config{
+			Addr: srv.Addr(), Metrics: reg, TraceSample: 0.05,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer clients[i].Close()
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, conns*sessionsPerConn)
+	for ci, c := range clients {
+		for si := 0; si < sessionsPerConn; si++ {
+			wg.Add(1)
+			go func(ci, si int, c *client.Client) {
+				defer wg.Done()
+				s := c.Session()
+				x := (ci*sessionsPerConn + si) % vars
+				base := int64(ci*1_000_000 + si*10_000)
+				for i := 1; i <= opsPerSession; i++ {
+					var err error
+					if i%4 == 0 {
+						_, err = s.Read(ctx, x)
+					} else {
+						err = s.Write(ctx, x, base+int64(i))
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(ci, si, c)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	if w != nil {
+		if err := srv.Trace().WriteRecords(w); err != nil {
+			return nil, err
+		}
+		for _, c := range clients {
+			if err := c.Trace().WriteRecords(w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	trace := srv.Trace()
+	sctx, cancel := context.WithTimeout(ctx, time.Minute)
+	err = srv.Shutdown(sctx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	qctx, cancel := context.WithTimeout(ctx, time.Minute)
+	err = cl.Quiesce(qctx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	total := conns * sessionsPerConn * opsPerSession
+	row := []string{
+		fmt.Sprint(conns),
+		fmt.Sprint(conns * sessionsPerConn),
+		fmt.Sprint(total),
+		elapsed.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+		fmtP99(trace.TotalHistogram().Quantile(0.99)),
+	}
+	for _, s := range traceStages {
+		row = append(row, fmtP99(trace.StageHistogram(s).Quantile(0.99)))
+	}
+	return row, nil
+}
+
+// fmtP99 renders a nanosecond quantile; "-" when the stage never ran.
+func fmtP99(ns int64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(100 * time.Nanosecond).String()
+}
+
+// CheckTraceOverhead gates the E-trace ops/s column against the
+// committed E-service baseline: tracing-on throughput must stay within
+// tolerance (0.05 = 5%) of the tracing-off envelope at every
+// connection count both documents share.
+func CheckTraceOverhead(current []Result, baseline Scorecard, tolerance float64) error {
+	base, err := opsPerSecByName(baseline.Experiments, ServiceName)
+	if err != nil {
+		return fmt.Errorf("experiments: baseline scorecard: %w", err)
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("experiments: baseline scorecard has no %s rows", ServiceName)
+	}
+	cur, err := opsPerSecByName(current, TraceOverheadName)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("experiments: current results have no %s rows", TraceOverheadName)
+	}
+	for conns, want := range base {
+		got, ok := cur[conns]
+		if !ok {
+			continue
+		}
+		if floor := want * (1 - tolerance); got < floor {
+			return fmt.Errorf("experiments: tracing overhead at %s conns: %.0f ops/s < %.0f (service baseline %.0f - %.0f%% budget)",
+				conns, got, floor, want, tolerance*100)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/reqtrace"
+)
+
+// A miniature tracing-on serving run: the full conns ladder, a valid
+// ops/s cell, and the stage-decomposed p99 columns the scorecard adds.
+func TestTraceOverheadShape(t *testing.T) {
+	var sb strings.Builder
+	r, err := TraceOverheadRecords(2, 40, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != TraceOverheadName {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (conns ladder 1/4/8)", len(r.Rows))
+	}
+	if want := 6 + len(traceStages); len(r.Header) != want {
+		t.Fatalf("header %v: %d columns, want %d", r.Header, len(r.Header), want)
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row %v has %d cells, header %d", row, len(row), len(r.Header))
+		}
+		if _, err := strconv.ParseFloat(row[4], 64); err != nil {
+			t.Fatalf("ops/s cell %q: %v", row[4], err)
+		}
+	}
+	// The record dump is parseable dsmtrace input. With 5% sampling on
+	// a tiny run it may legitimately be empty, but never malformed.
+	recs, err := reqtrace.ReadRecords(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadRecords on dump: %v", err)
+	}
+	t.Logf("dump carried %d records", len(recs))
+}
+
+func TestCheckTraceOverhead(t *testing.T) {
+	mkBase := func(ops string) Scorecard {
+		return Scorecard{Schema: ScorecardSchema, Experiments: []Result{{
+			Name:   ServiceName,
+			Header: []string{"conns", "sessions", "ops", "elapsed", "ops/s"},
+			Rows:   [][]string{{"4", "16", "16000", "1s", ops}},
+		}}}
+	}
+	mkCur := func(ops string) []Result {
+		return []Result{{
+			Name:   TraceOverheadName,
+			Header: []string{"conns", "sessions", "ops", "elapsed", "ops/s", "p99(req)"},
+			Rows:   [][]string{{"4", "16", "16000", "1s", ops, "1ms"}},
+		}}
+	}
+	baseline := mkBase("10000")
+	if err := CheckTraceOverhead(mkCur("9600"), baseline, 0.05); err != nil {
+		t.Fatalf("4%% overhead within the 5%% budget: %v", err)
+	}
+	if err := CheckTraceOverhead(mkCur("12000"), baseline, 0.05); err != nil {
+		t.Fatalf("improvement must pass: %v", err)
+	}
+	if err := CheckTraceOverhead(mkCur("9000"), baseline, 0.05); err == nil {
+		t.Fatal("10% overhead must bust the 5% budget")
+	}
+	if err := CheckTraceOverhead(nil, baseline, 0.05); err == nil {
+		t.Fatal("empty current must fail")
+	}
+	if err := CheckTraceOverhead(mkCur("9600"), Scorecard{Schema: ScorecardSchema}, 0.05); err == nil {
+		t.Fatal("baseline without E-service rows must fail")
+	}
+}

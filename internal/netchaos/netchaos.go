@@ -26,6 +26,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config parameterizes the fault mix. All probabilities are per
@@ -127,6 +129,26 @@ func (l *Listener) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.stats
+}
+
+// RegisterMetrics publishes the fault counters on reg as scrape-time
+// gauges, so a chaos run's injected-fault mix sits next to the serving
+// tier's own metrics on the same /metrics page:
+//
+//	dsm_chaos_kills, dsm_chaos_accept_kills, dsm_chaos_stalls,
+//	dsm_chaos_truncs
+func (l *Listener) RegisterMetrics(reg *obs.Registry) {
+	snap := func(f func(Stats) uint64) func() int64 {
+		return func() int64 { return int64(f(l.Stats())) }
+	}
+	reg.GaugeFunc("dsm_chaos_kills", "connections reset mid-I/O by the chaos listener",
+		snap(func(s Stats) uint64 { return s.Kills }))
+	reg.GaugeFunc("dsm_chaos_accept_kills", "connections killed at accept by the chaos listener",
+		snap(func(s Stats) uint64 { return s.AcceptKills }))
+	reg.GaugeFunc("dsm_chaos_stalls", "I/O calls stalled by the chaos listener",
+		snap(func(s Stats) uint64 { return s.Stalls }))
+	reg.GaugeFunc("dsm_chaos_truncs", "writes truncated by the chaos listener",
+		snap(func(s Stats) uint64 { return s.Truncs }))
 }
 
 // roll draws one uniform [0,1) decision from the seeded source.

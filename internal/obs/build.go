@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterBuildInfo publishes the identity of the running binary on
+// reg, the two series every deployed daemon should carry:
+//
+//	dsm_build_info{component="...",go_version="...",revision="..."} 1
+//	dsm_uptime_seconds{component="..."} <seconds since registration>
+//
+// The info-metric convention (constant 1, identity in the labels) lets
+// a scrape join any other series to the exact build that produced it;
+// uptime turns "did it restart?" into a query. component names the
+// binary ("dsmd", "dsmrun"). Revision comes from the VCS stamp the Go
+// toolchain embeds, "unknown" for builds outside a checkout (go test,
+// stripped builds).
+func RegisterBuildInfo(reg *Registry, component string) {
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+				if len(revision) > 12 {
+					revision = revision[:12]
+				}
+			}
+		}
+	}
+	reg.Gauge("dsm_build_info", "build identity: constant 1, identity in the labels",
+		L("component", component), L("go_version", runtime.Version()), L("revision", revision)).Set(1)
+	start := time.Now()
+	reg.GaugeFunc("dsm_uptime_seconds", "seconds since this process registered its metrics",
+		func() int64 { return int64(time.Since(start).Seconds()) },
+		L("component", component))
+}

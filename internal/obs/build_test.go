@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// The build-info pair is scraped over the real debug mux, end to end:
+// a constant-1 info metric carrying the binary's identity, plus a
+// live uptime gauge.
+func TestBuildInfoScrape(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "testbin")
+	srv, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	text := string(body)
+
+	for _, want := range []string{
+		"# TYPE dsm_build_info gauge",
+		`component="testbin"`,
+		`go_version="go`,
+		`revision="`,
+		"# TYPE dsm_uptime_seconds gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, text)
+		}
+	}
+	// The info metric's value is the constant 1 by convention.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "dsm_build_info{") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("dsm_build_info value != 1: %q", line)
+		}
+	}
+}

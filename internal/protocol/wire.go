@@ -32,6 +32,15 @@ import (
 //	                 (sid, opSeq) — possibly on a new connection — and
 //	                 the server's dedup window applies it once. 0/0
 //	                 means "no retry identity" (reads, pings, legacy).
+//	[traceID, traceFlags] — OPTIONAL trace context, present iff bytes
+//	                 remain after opSeq: a nonzero trace ID joining the
+//	                 client's and server's records of this call, and
+//	                 flags (bit 0: force tail-sampling). A frame that
+//	                 ends at opSeq carries no trace context — old
+//	                 clients interoperate unchanged. A present-but-zero
+//	                 trace ID or an unknown flag bit is corrupt: the
+//	                 encoder never emits either, and accepting them
+//	                 would break decode→encode→decode equality.
 //
 // Wire format of a Response:
 //
@@ -43,6 +52,13 @@ import (
 //	token          — new session token, delta-encoded against the
 //	                 request's token (absent when unchanged/unknown)
 //	errlen, err    — human-readable detail for non-OK statuses
+//	[traceID, nstages, (stage, ns)...] — OPTIONAL trace echo, present
+//	                 iff bytes remain after err: the request's trace ID
+//	                 plus the server's per-stage latency decomposition
+//	                 of this request (stage indexes strictly increasing,
+//	                 each < MaxTraceStage), echoed only for sampled
+//	                 requests so the client can fold server time into
+//	                 its own record of the call.
 //
 // The session token is a vclock frontier: component j is the number of
 // writes issued by process j that the session has (transitively)
@@ -71,6 +87,24 @@ const (
 	// instead of a blocking wait.
 	FlagNoWait uint64 = 1 << iota
 )
+
+// Trace-context flag bits (the second field of the optional trailing
+// trace context; a separate namespace from the request flags).
+const (
+	// TraceSampled forces tail-sampling of this request at the server
+	// regardless of its latency or outcome.
+	TraceSampled uint64 = 1 << iota
+
+	// traceFlagsKnown masks the defined trace flag bits; anything else
+	// on the wire is corrupt.
+	traceFlagsKnown = TraceSampled
+)
+
+// MaxTraceStage bounds the stage indexes a response's trace echo may
+// carry (the server-side stage enum of internal/obs/reqtrace is far
+// below this; the slack leaves room to add stages without a wire
+// break).
+const MaxTraceStage = 16
 
 // Response statuses.
 const (
@@ -157,6 +191,13 @@ type Request struct {
 	// once. Both zero means no retry identity.
 	SID   uint64
 	OpSeq uint64
+	// TraceID is the optional trace context: nonzero joins this call's
+	// client- and server-side trace records; zero means untraced (and
+	// encodes as an absent trailing field, so old peers interoperate).
+	TraceID uint64
+	// TraceSampled forces server-side tail-sampling of this request.
+	// Meaningless (and never encoded) without a TraceID.
+	TraceSampled bool
 }
 
 // Response is one server→client message.
@@ -175,6 +216,14 @@ type Response struct {
 	Token vclock.VC
 	// Err carries human-readable detail for non-OK statuses.
 	Err string
+	// TraceID echoes the request's trace context; zero encodes as an
+	// absent trailing field.
+	TraceID uint64
+	// TraceStages is the server's per-stage latency decomposition of
+	// this request as (stage, ns) pairs — stage indexes strictly
+	// increasing, each < MaxTraceStage — echoed only for sampled
+	// requests (it travels only with a nonzero TraceID).
+	TraceStages [][2]uint64
 }
 
 // AppendToken appends the delta encoding of tok against base: a
@@ -235,7 +284,16 @@ func (r Request) AppendBinary(dst []byte) []byte {
 	}
 	dst = binary.AppendUvarint(dst, flags)
 	dst = binary.AppendUvarint(dst, r.SID)
-	return binary.AppendUvarint(dst, r.OpSeq)
+	dst = binary.AppendUvarint(dst, r.OpSeq)
+	if r.TraceID != 0 {
+		dst = binary.AppendUvarint(dst, r.TraceID)
+		var tf uint64
+		if r.TraceSampled {
+			tf |= TraceSampled
+		}
+		dst = binary.AppendUvarint(dst, tf)
+	}
+	return dst
 }
 
 // DecodeRequest decodes one request from the front of buf, returning
@@ -252,6 +310,20 @@ func DecodeRequest(buf []byte) (Request, int, error) {
 	flags := d.uvarint()
 	r.SID = d.uvarint()
 	r.OpSeq = d.uvarint()
+	if d.err == nil && d.off < len(d.buf) {
+		// Bytes remain past the mandatory fields: trace context.
+		r.TraceID = d.uvarint()
+		tf := d.uvarint()
+		if d.err == nil {
+			if r.TraceID == 0 {
+				return Request{}, 0, fmt.Errorf("%w: trace context with zero trace ID", ErrWireCorrupt)
+			}
+			if tf&^traceFlagsKnown != 0 {
+				return Request{}, 0, fmt.Errorf("%w: unknown trace flags %#x", ErrWireCorrupt, tf)
+			}
+			r.TraceSampled = tf&TraceSampled != 0
+		}
+	}
 	if d.err != nil {
 		return Request{}, 0, d.err
 	}
@@ -278,7 +350,16 @@ func (r Response) AppendBinary(dst []byte, base vclock.VC) []byte {
 		err = err[:maxWireErr]
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(err)))
-	return append(dst, err...)
+	dst = append(dst, err...)
+	if r.TraceID != 0 {
+		dst = binary.AppendUvarint(dst, r.TraceID)
+		dst = binary.AppendUvarint(dst, uint64(len(r.TraceStages)))
+		for _, sn := range r.TraceStages {
+			dst = binary.AppendUvarint(dst, sn[0])
+			dst = binary.AppendUvarint(dst, sn[1])
+		}
+	}
+	return dst
 }
 
 // DecodeResponse decodes one response from the front of buf,
@@ -310,7 +391,40 @@ func DecodeResponse(buf []byte, base vclock.VC) (Response, int, error) {
 	}
 	r.Status = uint8(status)
 	r.Err = string(d.buf[d.off : d.off+int(errLen)])
-	return r, d.off + int(errLen), nil
+	d.off += int(errLen)
+	if d.off < len(d.buf) {
+		// Bytes remain past the mandatory fields: trace echo.
+		r.TraceID = d.uvarint()
+		nstages := d.uvarint()
+		if d.err == nil {
+			if r.TraceID == 0 {
+				return Response{}, 0, fmt.Errorf("%w: trace echo with zero trace ID", ErrWireCorrupt)
+			}
+			if nstages > MaxTraceStage {
+				return Response{}, 0, fmt.Errorf("%w: %d trace stages exceeds %d", ErrWireCorrupt, nstages, MaxTraceStage)
+			}
+		}
+		var prev uint64
+		for i := uint64(0); i < nstages && d.err == nil; i++ {
+			stage := d.uvarint()
+			ns := d.uvarint()
+			if d.err != nil {
+				break
+			}
+			if stage >= MaxTraceStage {
+				return Response{}, 0, fmt.Errorf("%w: trace stage %d exceeds %d", ErrWireCorrupt, stage, MaxTraceStage)
+			}
+			if i > 0 && stage <= prev {
+				return Response{}, 0, fmt.Errorf("%w: trace stages not strictly increasing", ErrWireCorrupt)
+			}
+			prev = stage
+			r.TraceStages = append(r.TraceStages, [2]uint64{stage, ns})
+		}
+		if d.err != nil {
+			return Response{}, 0, d.err
+		}
+	}
+	return r, d.off, nil
 }
 
 // PeekTag reads the leading tag of an encoded request or response

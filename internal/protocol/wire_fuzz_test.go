@@ -40,6 +40,7 @@ func FuzzWireRequest(f *testing.F) {
 		if r2.Tag != r.Tag || r2.Kind != r.Kind || r2.Proc != r.Proc ||
 			r2.Var != r.Var || r2.Val != r.Val || r2.NoWait != r.NoWait ||
 			r2.SID != r.SID || r2.OpSeq != r.OpSeq ||
+			r2.TraceID != r.TraceID || r2.TraceSampled != r.TraceSampled ||
 			!r2.Token.Equal(r.Token) {
 			t.Fatalf("re-decode mismatch: %+v != %+v", r2, r)
 		}
@@ -72,6 +73,7 @@ func FuzzWireResponse(f *testing.F) {
 		}
 		if r2.Tag != r.Tag || r2.Status != r.Status || r2.Proc != r.Proc ||
 			r2.Val != r.Val || r2.From != r.From || r2.Err != r.Err ||
+			r2.TraceID != r.TraceID || !traceStagesEqual(r2.TraceStages, r.TraceStages) ||
 			!r2.Token.Equal(r.Token) {
 			t.Fatalf("re-decode mismatch: %+v != %+v", r2, r)
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/history"
@@ -22,6 +23,9 @@ func wireRequests() []Request {
 		{Tag: 8, Kind: ReqWrite, Proc: -1, Var: 3, Val: 11, SID: 0xdeadbeef, OpSeq: 1},
 		{Tag: 9, Kind: ReqWrite, Proc: 2, Var: 0, Val: -7,
 			Token: vclock.VC{2, 0, 5}, SID: 1 << 60, OpSeq: 1 << 20},
+		{Tag: 10, Kind: ReqRead, Proc: 1, Var: 4, TraceID: 0xfeedface},
+		{Tag: 11, Kind: ReqWrite, Proc: -1, Var: 2, Val: 9, SID: 5, OpSeq: 3,
+			Token: vclock.VC{1, 2}, TraceID: 1 << 62, TraceSampled: true},
 	}
 }
 
@@ -37,7 +41,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		}
 		if got.Tag != want.Tag || got.Kind != want.Kind || got.Proc != want.Proc ||
 			got.Var != want.Var || got.Val != want.Val || got.NoWait != want.NoWait ||
-			got.SID != want.SID || got.OpSeq != want.OpSeq {
+			got.SID != want.SID || got.OpSeq != want.OpSeq ||
+			got.TraceID != want.TraceID || got.TraceSampled != want.TraceSampled {
 			t.Fatalf("round trip: got %+v want %+v", got, want)
 		}
 		if want.Token == nil && got.Token != nil || want.Token != nil && !got.Token.Equal(want.Token) {
@@ -75,6 +80,12 @@ func wireResponses() []struct {
 			Err: "no replica can serve the session token yet"}, vclock.VC{3, 3}},
 		{Response{Tag: 12, Status: StatusOverloaded, Proc: -1,
 			Err: "in-flight watermark reached"}, nil},
+		{Response{Tag: 13, Status: StatusOK, Proc: 0, Val: 4,
+			TraceID: 0xfeedface}, nil},
+		{Response{Tag: 14, Status: StatusOK, Proc: 2, Val: 8,
+			From: history.WriteID{Proc: 2, Seq: 5}, Token: vclock.VC{1, 2, 6},
+			TraceID:     1 << 62,
+			TraceStages: [][2]uint64{{0, 1200}, {2, 1 << 40}, {5, 350}}}, vclock.VC{1, 2, 5}},
 	}
 }
 
@@ -89,13 +100,29 @@ func TestResponseRoundTrip(t *testing.T) {
 			t.Fatalf("DecodeResponse(%+v) consumed %d of %d bytes", tc.r, n, len(buf))
 		}
 		if got.Tag != tc.r.Tag || got.Status != tc.r.Status || got.Proc != tc.r.Proc ||
-			got.Val != tc.r.Val || got.From != tc.r.From || got.Err != tc.r.Err {
+			got.Val != tc.r.Val || got.From != tc.r.From || got.Err != tc.r.Err ||
+			got.TraceID != tc.r.TraceID {
 			t.Fatalf("round trip: got %+v want %+v", got, tc.r)
 		}
 		if tc.r.Token == nil && got.Token != nil || tc.r.Token != nil && !got.Token.Equal(tc.r.Token) {
 			t.Fatalf("round trip token: got %v want %v", got.Token, tc.r.Token)
 		}
+		if !traceStagesEqual(got.TraceStages, tc.r.TraceStages) {
+			t.Fatalf("round trip trace stages: got %v want %v", got.TraceStages, tc.r.TraceStages)
+		}
 	}
+}
+
+func traceStagesEqual(a, b [][2]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // A settled session's token delta should be tiny: one advanced
@@ -116,13 +143,20 @@ func TestResponseTokenDeltaCompact(t *testing.T) {
 
 // Every strict prefix of a valid encoding must fail to decode: the
 // framing layer delivers whole frames, so a short decode marks
-// corruption, never a "partial message".
+// corruption, never a "partial message". The one sanctioned exception
+// is the trace-context boundary — a traced message cut exactly at the
+// end of its mandatory fields IS a valid untraced message (that is what
+// backward compatibility means) — so a successful prefix decode must be
+// exactly that: the untraced reading, consuming every prefix byte.
 func TestRequestDecodeTruncated(t *testing.T) {
 	for _, r := range wireRequests() {
 		buf := r.AppendBinary(nil)
 		for cut := 0; cut < len(buf); cut++ {
-			if _, _, err := DecodeRequest(buf[:cut]); err == nil {
-				t.Fatalf("DecodeRequest(%+v prefix %d/%d) succeeded", r, cut, len(buf))
+			got, n, err := DecodeRequest(buf[:cut])
+			if err == nil {
+				if r.TraceID == 0 || n != cut || got.TraceID != 0 {
+					t.Fatalf("DecodeRequest(%+v prefix %d/%d) succeeded: %+v", r, cut, len(buf), got)
+				}
 			}
 		}
 	}
@@ -132,8 +166,11 @@ func TestResponseDecodeTruncated(t *testing.T) {
 	for _, tc := range wireResponses() {
 		buf := tc.r.AppendBinary(nil, tc.base)
 		for cut := 0; cut < len(buf); cut++ {
-			if _, _, err := DecodeResponse(buf[:cut], tc.base); err == nil {
-				t.Fatalf("DecodeResponse(%+v prefix %d/%d) succeeded", tc.r, cut, len(buf))
+			got, n, err := DecodeResponse(buf[:cut], tc.base)
+			if err == nil {
+				if tc.r.TraceID == 0 || n != cut || got.TraceID != 0 {
+					t.Fatalf("DecodeResponse(%+v prefix %d/%d) succeeded: %+v", tc.r, cut, len(buf), got)
+				}
 			}
 		}
 	}
@@ -226,26 +263,98 @@ func TestAppendTokenBaseMismatchFallsBackToSparse(t *testing.T) {
 	}
 }
 
-func TestDecodeRequestTrailingBytesReported(t *testing.T) {
+// Trailing bytes after the mandatory fields are parsed as trace
+// context; garbage there is now a decode error, not silently-ignored
+// slack. Bytes after a complete trace context remain unconsumed, and
+// callers reject the frame by the n != len(frame) check.
+func TestDecodeRequestTrailingGarbageRejected(t *testing.T) {
 	buf := Request{Tag: 2, Kind: ReqPing}.AppendBinary(nil)
-	buf = append(buf, 0xAB, 0xCD)
-	_, n, err := DecodeRequest(buf)
+	buf = append(buf, 0xAB, 0xCD) // unterminated uvarint
+	if _, _, err := DecodeRequest(buf); err == nil {
+		t.Fatal("DecodeRequest with garbage trailing bytes succeeded")
+	}
+	traced := Request{Tag: 2, Kind: ReqPing, TraceID: 9}.AppendBinary(nil)
+	full := len(traced)
+	traced = append(traced, 0x01) // a byte after a complete trace context
+	got, n, err := DecodeRequest(traced)
 	if err != nil {
 		t.Fatalf("DecodeRequest: %v", err)
 	}
-	if n != len(buf)-2 {
-		t.Fatalf("consumed %d bytes, want %d; callers reject frames with trailing garbage", n, len(buf)-2)
+	if n != full || got.TraceID != 9 {
+		t.Fatalf("consumed %d bytes (TraceID=%d), want %d; callers reject frames with trailing garbage", n, got.TraceID, full)
 	}
 }
 
-func TestStatusString(t *testing.T) {
-	for s, want := range map[uint8]string{
-		StatusOK: "ok", StatusBadRequest: "bad-request",
-		StatusUnavailable: "unavailable", StatusShutdown: "shutdown",
-		200: "status(200)",
-	} {
-		if got := StatusString(s); got != want {
-			t.Fatalf("StatusString(%d) = %q, want %q", s, got, want)
+func TestDecodeRequestTraceContextRejects(t *testing.T) {
+	base := Request{Tag: 3, Kind: ReqRead, Var: 1}.AppendBinary(nil)
+	zeroID := binary.AppendUvarint(append([]byte(nil), base...), 0)
+	zeroID = binary.AppendUvarint(zeroID, 0)
+	if _, _, err := DecodeRequest(zeroID); !errors.Is(err, ErrWireCorrupt) {
+		t.Fatalf("DecodeRequest(trace ID 0) = %v, want ErrWireCorrupt", err)
+	}
+	badFlags := binary.AppendUvarint(append([]byte(nil), base...), 7)
+	badFlags = binary.AppendUvarint(badFlags, 1<<5) // undefined flag bit
+	if _, _, err := DecodeRequest(badFlags); !errors.Is(err, ErrWireCorrupt) {
+		t.Fatalf("DecodeRequest(unknown trace flags) = %v, want ErrWireCorrupt", err)
+	}
+}
+
+func TestDecodeResponseTraceEchoRejects(t *testing.T) {
+	base := Response{Tag: 4, Status: StatusOK}.AppendBinary(nil, nil)
+	add := func(vals ...uint64) []byte {
+		buf := append([]byte(nil), base...)
+		for _, v := range vals {
+			buf = binary.AppendUvarint(buf, v)
 		}
+		return buf
+	}
+	for name, buf := range map[string][]byte{
+		"zero trace ID":    add(0, 0),
+		"stage count":      add(9, MaxTraceStage+1),
+		"stage index":      add(9, 1, MaxTraceStage, 50),
+		"stage order":      add(9, 2, 3, 50, 2, 60),
+		"duplicate stage":  add(9, 2, 3, 50, 3, 60),
+		"missing stage ns": add(9, 1, 3),
+	} {
+		if _, _, err := DecodeResponse(buf, nil); err == nil {
+			t.Errorf("DecodeResponse(%s) succeeded", name)
+		}
+	}
+}
+
+// TestStatusStringExhaustive fails when a status is added without a
+// name: every defined status must render something better than the
+// numeric fallback, and no two statuses may share a name.
+func TestStatusStringExhaustive(t *testing.T) {
+	seen := make(map[string]uint8)
+	for s := uint8(0); s < uint8(statusCount); s++ {
+		name := StatusString(s)
+		if name == "" || strings.HasPrefix(name, "status(") {
+			t.Errorf("status %d has no name (StatusString = %q)", s, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("statuses %d and %d share the name %q", prev, s, name)
+		}
+		seen[name] = s
+	}
+	if got := StatusString(200); got != "status(200)" {
+		t.Errorf("StatusString(200) = %q, want fallback", got)
+	}
+}
+
+func TestPeekTagTruncated(t *testing.T) {
+	for name, buf := range map[string][]byte{
+		"empty":              {},
+		"unterminated":       {0x80},
+		"unterminated long":  bytes.Repeat([]byte{0xFF}, 5),
+		"overflowing varint": bytes.Repeat([]byte{0xFF}, 11),
+	} {
+		if _, err := PeekTag(buf); !errors.Is(err, ErrWireTruncated) {
+			t.Errorf("PeekTag(%s) = %v, want ErrWireTruncated", name, err)
+		}
+	}
+	tag, err := PeekTag(Request{Tag: 1 << 40, Kind: ReqPing}.AppendBinary(nil))
+	if err != nil || tag != 1<<40 {
+		t.Fatalf("PeekTag(valid) = %d, %v", tag, err)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/protocol"
 	"repro/internal/vclock"
 )
@@ -27,6 +29,7 @@ type writeReq struct {
 	x     int
 	v     int64
 	token vclock.VC
+	trace *reqtrace.Req
 	reply chan protocol.Response
 }
 
@@ -65,9 +68,9 @@ func (p *pump) stop() {
 // replies, so the caller cannot leak. Admission is bounded: a full
 // queue sheds the write with StatusOverloaded instead of blocking the
 // connection's pipeline slot behind a backed-up replica.
-func (p *pump) submit(src *srvConn, req protocol.Request) protocol.Response {
+func (p *pump) submit(src *srvConn, req protocol.Request, q *reqtrace.Req) protocol.Response {
 	w := writeReq{
-		src: src, x: req.Var, v: req.Val, token: req.Token,
+		src: src, x: req.Var, v: req.Val, token: req.Token, trace: q,
 		reply: make(chan protocol.Response, 1),
 	}
 	select {
@@ -169,6 +172,11 @@ func (p *pump) issue(batch []writeReq) {
 	p.s.met.batchedWrites.Add(uint64(len(batch)))
 	p.s.met.coalescedWrites.Add(uint64(len(batch) - len(entries)))
 	p.s.met.batchSize.Observe(int64(len(batch)))
+	// Everything between the handler's submit and this point was time
+	// spent queued in the pump.
+	for i := range batch {
+		batch[i].trace.Mark(reqtrace.StageBatchQueue)
+	}
 
 	// Issue until the first failure; the rest of the batch fails too,
 	// because answering later writes OK after dropping earlier ones
@@ -185,9 +193,19 @@ func (p *pump) issue(batch []writeReq) {
 	if issued > 0 {
 		frontier = p.node.Frontier()
 	}
+	// All writes at replica p serialize through this pump, so the batch
+	// entries got consecutive sequence numbers ending at the snapshot's
+	// own component: entry i is write (p.proc, seq0+i+1) where seq0 was
+	// the frontier before the batch. That WriteID is the hinge between a
+	// request trace and the cluster's propagation spans.
+	var seq0 int
+	if frontier != nil {
+		seq0 = int(frontier[p.proc]) - issued
+	}
 	for i, e := range entries {
 		for _, w := range e.acks {
 			if i >= issued {
+				w.trace.Mark(reqtrace.StageApply)
 				w.reply <- errResponse(p.proc, failed)
 				continue
 			}
@@ -198,8 +216,14 @@ func (p *pump) issue(batch []writeReq) {
 					tok.Merge(w.token)
 				}
 			}
+			if w.trace != nil {
+				w.trace.WriteProc, w.trace.WriteSeq = p.proc, seq0+i+1
+				w.trace.Mark(reqtrace.StageApply)
+			}
 			w.reply <- protocol.Response{
-				Status: protocol.StatusOK, Proc: p.proc, Val: w.v, Token: tok,
+				Status: protocol.StatusOK, Proc: p.proc, Val: w.v,
+				From:  history.WriteID{Proc: p.proc, Seq: seq0 + i + 1},
+				Token: tok,
 			}
 		}
 	}

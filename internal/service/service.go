@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/protocol"
 	"repro/internal/vclock"
 )
@@ -113,8 +114,25 @@ type Config struct {
 	WrapListener func(net.Listener) net.Listener
 
 	// Metrics, when set, receives the per-connection/session serving
-	// metrics (dsm_svc_*) on the shared registry.
+	// metrics (dsm_svc_*) on the shared registry, including the per-stage
+	// request-latency histograms (dsm_svc_stage_ns{stage=...}).
 	Metrics *obs.Registry
+
+	// TraceThreshold is the tail-sampling latency bound: a request whose
+	// end-to-end server time reaches it retains its full stage timeline
+	// (so do non-OK requests and requests force-sampled by the wire's
+	// trace context). 0 defaults to 20ms; negative disables latency-based
+	// sampling.
+	TraceThreshold time.Duration
+
+	// TraceRing bounds the in-memory ring of retained trace records
+	// (overwrite-oldest). 0 defaults to 1024.
+	TraceRing int
+
+	// TraceSink, when set, receives every tail-sampled trace record —
+	// typically a reqtrace.SinkWriter streaming JSONL for cmd/dsmtrace.
+	// It must not block.
+	TraceSink func(reqtrace.Record)
 }
 
 // withDefaults returns cfg with zero values resolved.
@@ -151,6 +169,7 @@ type Server struct {
 	ln      net.Listener
 	pumps   []*pump
 	met     *metrics
+	trace   *reqtrace.Recorder
 	dedup   *dedupTable
 	gate    drainGate
 	next    atomic.Uint64 // round-robin replica cursor
@@ -173,7 +192,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("service: %v clusters are not servable: suppressed writes keep apply frontiers from converging, so session tokens could block forever", protocol.WSSend)
 	}
 	if cfg.WaitTimeout < 0 || cfg.BatchWindow < 0 || cfg.MaxBatch < 0 || cfg.MaxPipeline < 0 ||
-		cfg.MaxInflight < 0 || cfg.MaxQueue < 0 || cfg.DedupWindow < 0 {
+		cfg.MaxInflight < 0 || cfg.MaxQueue < 0 || cfg.DedupWindow < 0 || cfg.TraceRing < 0 {
 		return nil, fmt.Errorf("service: negative tuning parameter")
 	}
 	cfg = cfg.withDefaults()
@@ -190,6 +209,14 @@ func New(cfg Config) (*Server, error) {
 		vars:    cfg.Cluster.Variables(),
 		ln:      ln,
 		met:     newMetrics(cfg.Metrics, cfg.Cluster.Protocol().String()),
+		trace: reqtrace.NewRecorder(reqtrace.Config{
+			Registry:  cfg.Metrics,
+			Origin:    "server",
+			Labels:    []obs.Label{obs.L("protocol", cfg.Cluster.Protocol().String())},
+			Threshold: cfg.TraceThreshold,
+			Capacity:  cfg.TraceRing,
+			Sink:      cfg.TraceSink,
+		}),
 		dedup:   newDedupTable(cfg.DedupWindow, maxDedupSessions),
 		abortCh: make(chan struct{}),
 		conns:   map[net.Conn]struct{}{},
@@ -205,6 +232,10 @@ func New(cfg Config) (*Server, error) {
 
 // Addr returns the listener's address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Trace returns the server's request-trace recorder: the always-on
+// per-stage histograms plus the ring of tail-sampled request timelines.
+func (s *Server) Trace() *reqtrace.Recorder { return s.trace }
 
 // Shutdown gracefully stops the server: the listener closes, requests
 // already being served run to completion (each bounded by WaitTimeout)
@@ -327,11 +358,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.met.protoErrs.Inc()
 			return
 		}
+		// The stage clock starts here: everything from decode to the
+		// first Mark is admission time (including the pipeline-slot and
+		// goroutine-spawn wait below).
+		q := s.beginTrace(req)
 		if !s.gate.enter() {
-			c.send(protocol.Response{
+			s.refuse(c, q, req, protocol.Response{
 				Tag: req.Tag, Status: protocol.StatusShutdown,
 				Proc: -1, Err: "server draining",
-			}, req.Token)
+			})
 			continue
 		}
 		// Load shedding: past the in-flight watermark the server
@@ -340,10 +375,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		if int(s.met.inflight.Value()) >= s.cfg.MaxInflight {
 			s.met.shed.Inc()
 			s.gate.exit()
-			c.send(protocol.Response{
+			s.refuse(c, q, req, protocol.Response{
 				Tag: req.Tag, Status: protocol.StatusOverloaded,
 				Proc: -1, Err: "in-flight watermark reached",
-			}, req.Token)
+			})
 			continue
 		}
 		s.met.inflight.Add(1)
@@ -351,56 +386,132 @@ func (s *Server) serveConn(conn net.Conn) {
 		reqWG.Add(1)
 		go func() {
 			defer func() { <-sem; reqWG.Done(); s.gate.exit() }()
-			s.handle(c, req)
+			s.handle(c, req, q)
 			s.met.inflight.Add(-1)
 		}()
 	}
 }
 
+// beginTrace opens the per-request stage clock, carrying the wire's
+// trace context onto it. The recorder is always on — without a
+// registry the histograms simply go unscraped — so every request pays
+// the same (pooled, allocation-free) cost.
+func (s *Server) beginTrace(req protocol.Request) *reqtrace.Req {
+	q := s.trace.Begin()
+	q.TraceID = req.TraceID
+	q.Sampled = req.TraceSampled
+	return q
+}
+
+// endTrace closes the request's stage clock, folding it into the
+// histograms and — when the request qualifies — the tail-sample ring.
+func (s *Server) endTrace(q *reqtrace.Req, req protocol.Request, resp protocol.Response) {
+	v := req.Var
+	if req.Kind == protocol.ReqPing {
+		v = -1
+	}
+	s.trace.End(q, reqtrace.Meta{
+		Kind:   kindString(req.Kind),
+		Status: protocol.StatusString(resp.Status),
+		OK:     resp.Status == protocol.StatusOK,
+		Proc:   resp.Proc,
+		Var:    v,
+		Err:    resp.Err,
+	})
+}
+
+// stampEcho attaches the trace echo to a response bound for a traced
+// request: the trace ID plus the server's stage decomposition so far.
+// (The respond stage cannot be echoed from inside itself; it lives only
+// in the server-side record, and shows up client-side as part of the
+// await slack.)
+func stampEcho(q *reqtrace.Req, resp *protocol.Response) {
+	if q.TraceID == 0 {
+		return
+	}
+	resp.TraceID = q.TraceID
+	resp.TraceStages = q.ServerStages(nil)
+}
+
+// kindString names a request kind for trace records.
+func kindString(k uint8) string {
+	switch k {
+	case protocol.ReqPing:
+		return "ping"
+	case protocol.ReqRead:
+		return "read"
+	case protocol.ReqWrite:
+		return "write"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// refuse answers a request rejected before serving (drain, shedding)
+// and closes its trace.
+func (s *Server) refuse(c *srvConn, q *reqtrace.Req, req protocol.Request, resp protocol.Response) {
+	q.Mark(reqtrace.StageAdmission)
+	stampEcho(q, &resp)
+	c.send(resp, req.Token)
+	q.Mark(reqtrace.StageRespond)
+	s.endTrace(q, req, resp)
+}
+
 // handle serves one request end to end and sends its response.
-func (s *Server) handle(c *srvConn, req protocol.Request) {
-	resp := s.respond(c, req)
+func (s *Server) handle(c *srvConn, req protocol.Request, q *reqtrace.Req) {
+	resp := s.respond(c, req, q)
 	resp.Tag = req.Tag
 	if resp.Status != protocol.StatusOK {
 		s.met.errsTotal.Inc()
 	}
+	stampEcho(q, &resp)
 	c.send(resp, req.Token)
+	q.Mark(reqtrace.StageRespond)
+	s.endTrace(q, req, resp)
 }
 
 // respond computes the response for one request; c is the coalescing
 // identity handed to the write pump. Writes carrying an op ID pass
 // through the exactly-once window before touching the store.
-func (s *Server) respond(c *srvConn, req protocol.Request) protocol.Response {
+func (s *Server) respond(c *srvConn, req protocol.Request, q *reqtrace.Req) protocol.Response {
 	s.met.reqKind(req.Kind).Inc()
 	if req.Kind == protocol.ReqPing {
+		q.Mark(reqtrace.StageAdmission)
 		return protocol.Response{Status: protocol.StatusOK, Proc: -1}
 	}
 	if req.Var < 0 || req.Var >= s.vars {
+		q.Mark(reqtrace.StageAdmission)
 		return badRequest(fmt.Sprintf("variable %d of %d", req.Var, s.vars))
 	}
 	if req.Proc < -1 || req.Proc >= s.procs {
+		q.Mark(reqtrace.StageAdmission)
 		return badRequest(fmt.Sprintf("replica %d of %d", req.Proc, s.procs))
 	}
 	if req.Token != nil && len(req.Token) != s.procs {
+		q.Mark(reqtrace.StageAdmission)
 		return badRequest(fmt.Sprintf("token dimension %d, cluster has %d processes", len(req.Token), s.procs))
 	}
+	q.Mark(reqtrace.StageAdmission)
 	if req.Kind != protocol.ReqWrite || req.SID == 0 {
-		return s.serve(c, req)
+		return s.serve(c, req, q)
 	}
 	// Exactly-once admission: the first arrival of (SID, OpSeq) claims
 	// the op and executes; a retry returns the cached applied response,
 	// or waits for an in-flight first attempt and takes its outcome —
 	// claiming the op itself only if that attempt failed to apply.
+	// Everything from here to the claim resolution — including a wait
+	// for an in-flight first attempt — is dedup time on the stage clock.
 	counted := false
 	for {
 		cl := s.dedup.claim(req.SID, req.OpSeq)
 		switch {
 		case cl.tooOld:
+			q.Mark(reqtrace.StageDedup)
 			return badRequest(fmt.Sprintf("write op %d below the session's dedup window", req.OpSeq))
 		case cl.cached:
 			if !counted {
 				s.met.retries.Inc()
 			}
+			q.Mark(reqtrace.StageDedup)
 			return cachedResponse(cl.resp, req.Token)
 		case cl.wait != nil:
 			if !counted {
@@ -410,10 +521,12 @@ func (s *Server) respond(c *srvConn, req protocol.Request) protocol.Response {
 			select {
 			case <-cl.wait:
 			case <-s.abortCh:
+				q.Mark(reqtrace.StageDedup)
 				return protocol.Response{Status: protocol.StatusShutdown, Proc: -1, Err: "server closing"}
 			}
 		default:
-			resp := s.serve(c, req)
+			q.Mark(reqtrace.StageDedup)
+			resp := s.serve(c, req, q)
 			s.dedup.complete(req.SID, req.OpSeq, resp)
 			return resp
 		}
@@ -435,7 +548,7 @@ func cachedResponse(r protocol.Response, reqTok vclock.VC) protocol.Response {
 }
 
 // serve routes one validated request to a replica and executes it.
-func (s *Server) serve(c *srvConn, req protocol.Request) protocol.Response {
+func (s *Server) serve(c *srvConn, req protocol.Request, q *reqtrace.Req) protocol.Response {
 	proc, pinned := req.Proc, req.Proc >= 0
 	if !pinned {
 		proc = s.pick()
@@ -460,6 +573,7 @@ func (s *Server) serve(c *srvConn, req protocol.Request) protocol.Response {
 			st, detail = protocol.StatusRetry, "no live replica has reached the session token"
 		}
 	}
+	q.Mark(reqtrace.StageFrontierWait)
 	if st != protocol.StatusOK {
 		return protocol.Response{Status: st, Proc: proc, Err: detail}
 	}
@@ -467,15 +581,23 @@ func (s *Server) serve(c *srvConn, req protocol.Request) protocol.Response {
 	case protocol.ReqRead:
 		v, from, err := node.ReadMeta(req.Var)
 		if err != nil {
+			q.Mark(reqtrace.StageApply)
 			return errResponse(proc, err)
 		}
-		return protocol.Response{
+		resp := protocol.Response{
 			Status: protocol.StatusOK, Proc: proc, Val: v, From: from,
 			Token: sessionToken(node, req.Token),
 		}
+		// Span linkage for reads: the trace record points at the write
+		// the read observed, whose propagation obs.Span shares the same
+		// (proc, seq).
+		q.WriteProc, q.WriteSeq = from.Proc, from.Seq
+		q.Mark(reqtrace.StageApply)
+		return resp
 	case protocol.ReqWrite:
-		return s.pumps[proc].submit(c, req)
+		return s.pumps[proc].submit(c, req, q)
 	default:
+		q.Mark(reqtrace.StageApply)
 		return badRequest(fmt.Sprintf("kind %d", req.Kind))
 	}
 }
