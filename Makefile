@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build test vet race bench smoke throughput audit-bench service-bench chaos-bench trace-bench conformance chaos-conformance fuzz fuzz-smoke vuln clean
+.PHONY: check ci build test vet race bench smoke throughput audit-bench metadata-bench service-bench chaos-bench trace-bench conformance chaos-conformance fuzz fuzz-smoke vuln clean
 
 ## check: the full gate — vet, build, tests, a short race pass, a
 ## fuzz burst over the wire codec, and the chaos conformance suite
@@ -10,11 +10,12 @@ check: vet build test race fuzz-smoke chaos-conformance
 ## ci: what .github/workflows/ci.yml runs — the full gate plus the
 ## conformance suite under the race detector, the dsmbench smoke sweep,
 ## the hot-path throughput gate, the offline audit gate, the
-## serving-tier gates, plain and chaos, and the request-tracing
+## metadata-codec gate, the serving-tier gates, plain and chaos, and
+## the request-tracing
 ## overhead gate (their dsmbench/v1 scorecards and the dsmtrace sample
 ## report are uploaded as CI artifacts) plus a vulnerability scan when
 ## govulncheck is on PATH.
-ci: check conformance smoke throughput audit-bench service-bench chaos-bench trace-bench vuln
+ci: check conformance smoke throughput audit-bench metadata-bench service-bench chaos-bench trace-bench vuln
 
 ## smoke: the fast dsmbench subset (visibility, ws, obsoverhead) with
 ## the machine-readable scorecard written to smoke-scorecard.json.
@@ -39,6 +40,16 @@ audit-bench:
 		./internal/checker ./internal/history
 	$(GO) run ./cmd/dsmbench -exp audit-scale \
 		-baseline BENCH_checker.json -json audit-scorecard.json
+
+## metadata-bench: the causality-metadata codec gate — the E-metadata
+## sweep (clock/wire bytes and codec time per update on OptP
+## steady-state streams at P ∈ {8, 64, 256}), gated against the
+## committed BENCH_metadata.json baseline — fails when clock bytes or
+## codec time regress >20% at any (procs, mode) cell, or when delta
+## and auto stop halving the clock bytes at 64 processes.
+metadata-bench:
+	$(GO) run ./cmd/dsmbench -exp metadata \
+		-baseline BENCH_metadata.json -json metadata-scorecard.json
 
 ## service-bench: the serving-tier scorecard — closed-loop multi-
 ## connection load against a live dsmd server over TCP loopback, gated
@@ -126,4 +137,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json service-scorecard.json chaos-scorecard.json trace-scorecard.json trace-records.jsonl trace-report.txt
+	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json metadata-scorecard.json service-scorecard.json chaos-scorecard.json trace-scorecard.json trace-records.jsonl trace-report.txt

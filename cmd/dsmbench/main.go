@@ -19,6 +19,13 @@
 //	                            # synthetic traces; -ops > 100000 appends
 //	                            # a rung); exits nonzero if audit time
 //	                            # regresses >20% vs the baseline
+//	dsmbench -exp metadata -baseline BENCH_metadata.json
+//	                            # causality-metadata codec scorecard:
+//	                            # clock/wire bytes and codec ns per
+//	                            # update at P ∈ {8, 64, 256}; exits
+//	                            # nonzero if bytes or time regress >20%
+//	                            # or delta/auto stop halving the clock
+//	                            # bytes at P=64
 //	dsmbench -exp service -baseline BENCH_service.json
 //	                            # serving-tier scorecard: closed-loop
 //	                            # multi-connection load against a live
@@ -75,7 +82,7 @@ func main() {
 		"buffer":         experiments.BufferOccupancy,
 		"ws":             experiments.WritingSemantics,
 		"ablation":       experiments.Ablation,
-		"metadata":       experiments.MetadataOverhead,
+		"metadata":       experiments.MetadataCompression,
 		"twosite":        experiments.TwoSiteTopology,
 		"visibility":     experiments.VisibilityLatency,
 		"chaos":          experiments.Chaos,
@@ -223,6 +230,7 @@ func main() {
 			{experiments.AuditScaleName, experiments.CheckAuditRegression},
 			{experiments.ServiceName, experiments.CheckServiceRegression},
 			{experiments.ServiceChaosName, experiments.CheckServiceChaosRegression},
+			{experiments.MetadataName, experiments.CheckMetadataRegression},
 		} {
 			if !hasExperiment(baseline, gate.name) || !hasResult(results, gate.name) {
 				continue

@@ -11,6 +11,7 @@
 //	dsmd -addr :7450 -procs 3 -vars 16
 //	dsmd -protocol ANBKH -batch-window 200us -max-batch 128
 //	dsmd -wal-dir /var/lib/dsmd                 # survive crash/restart
+//	dsmd -meta-codec auto                       # compress clock metadata
 //	dsmd -debug-addr :6060                      # /metrics + pprof
 //	dsmd -trace-stream traces.jsonl             # tail-sampled request
 //	                                            # forensics (cmd/dsmtrace)
@@ -58,6 +59,7 @@ func run(args []string, ready func(addr string)) error {
 	jitter := fs.Duration("jitter", 0, "max artificial inter-replica message delay")
 	fifo := fs.Bool("fifo", true, "preserve per-link FIFO order in the replica transport")
 	seed := fs.Int64("seed", 1, "transport delay seed")
+	metaCodec := fs.String("meta-codec", "off", "causality-metadata codec on inter-replica links: off, delta, stab, auto")
 	walDir := fs.String("wal-dir", "", "crash recovery: write-ahead log directory (one subdir per process)")
 	walSync := fs.Bool("wal-sync", false, "crash recovery: fsync the journal after every record")
 	waitTimeout := fs.Duration("wait-timeout", 5*time.Second, "bound on a request's frontier wait before Unavailable")
@@ -97,6 +99,10 @@ func run(args []string, ready func(addr string)) error {
 	if *jitter < 0 || *waitTimeout < 0 || *batchWindow < 0 || *drainTimeout < 0 {
 		return fmt.Errorf("durations must not be negative")
 	}
+	meta, err := protocol.ParseMetaMode(*metaCodec)
+	if err != nil {
+		return fmt.Errorf("-meta-codec: %w", err)
+	}
 	chaos := netchaos.Config{
 		Seed:       *chaosSeed,
 		KillProb:   *chaosKill,
@@ -121,11 +127,17 @@ func run(args []string, ready func(addr string)) error {
 		Processes: *procs, Variables: *vars, Protocol: kind,
 		MaxDelay: *jitter, FIFO: *fifo, Seed: *seed,
 		WALDir: *walDir, WALSync: *walSync,
+		Meta: meta,
 	})
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
+	// The cluster registers codec counters only when it owns an observer;
+	// dsmd's registry exists independently, so wire them up here.
+	if codec := cluster.MetaCodec(); codec != nil && reg != nil {
+		codec.RegisterMetrics(reg, obs.L("protocol", kind.String()))
+	}
 
 	scfg := service.Config{
 		Cluster:        cluster,

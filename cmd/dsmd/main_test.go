@@ -160,12 +160,68 @@ func TestDaemonDebugMuxServesBuildInfo(t *testing.T) {
 	}
 }
 
+// With -meta-codec the daemon compresses inter-replica clocks and its
+// debug registry exposes the byte split, so operators can see the
+// metadata share of replica traffic shrink.
+func TestDaemonMetaCodecMetrics(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe listen: %v", err)
+	}
+	debugAddr := probe.Addr().String()
+	probe.Close()
+
+	addr, done := startDaemon(t, "-procs", "3", "-vars", "4",
+		"-meta-codec", "auto", "-debug-addr", debugAddr)
+	defer func() {
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		<-done
+	}()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	s := c.Session()
+	for i := int64(1); i <= 10; i++ {
+		if err := s.Write(ctx, int(i%4), i); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if v, err := s.Read(ctx, 1); err != nil || v == 0 {
+		t.Fatalf("Read = %d, %v", v, err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + debugAddr + "/metrics")
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				text := string(body)
+				if strings.Contains(text, `dsm_net_meta_bytes_total{codec="auto",protocol="OptP"}`) &&
+					strings.Contains(text, "dsm_net_payload_bytes_total") {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scrape never exposed the codec byte counters")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 func TestDaemonRejectsBadConfig(t *testing.T) {
 	cases := [][]string{
 		{"-protocol", "nonsense"},
 		{"-protocol", "WS-send"}, // not servable: frontiers never converge
 		{"-procs", "1"},
 		{"-vars", "0"},
+		{"-meta-codec", "nonsense"},
 		{"extra-arg"},
 	}
 	for _, args := range cases {

@@ -12,6 +12,7 @@
 //	dsmrun -partition 5ms-25ms:0,1/2,3             # timed split-brain
 //	dsmrun -wal-dir /tmp/dsm -crash 1@5ms -restart-after 20ms
 //	dsmrun -heartbeat 1ms -suspect-after 5ms       # failure detector
+//	dsmrun -meta-codec delta                       # compress clock metadata
 //	dsmrun -debug-addr :6060                       # live /metrics + pprof
 //	dsmrun -report 5s                              # periodic stats line
 //	dsmrun -stream run.jsonl -spans spans.jsonl    # live event tee + spans
@@ -48,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload and transport seed")
 	traceOut := flag.String("trace", "", "dump the event trace: csv, json, or diagram")
 	useTCP := flag.Bool("tcp", false, "run over real loopback TCP sockets instead of channels")
+	metaCodec := flag.String("meta-codec", "off", "causality-metadata codec on inter-replica links: off, delta, stab, auto")
 	loss := flag.Float64("loss", 0, "chaos: message loss probability [0,1)")
 	dup := flag.Float64("dup", 0, "chaos: message duplication probability [0,1]")
 	reorder := flag.Float64("reorder", 0, "chaos: reorder-burst probability [0,1]")
@@ -114,6 +116,10 @@ func main() {
 	if *report < 0 {
 		usage("-report must not be negative, got %v", *report)
 	}
+	meta, err := protocol.ParseMetaMode(*metaCodec)
+	if err != nil {
+		usage("-meta-codec: %v", err)
+	}
 
 	chaos := transport.ChaosConfig{
 		LossRate: *loss, DupRate: *dup,
@@ -149,6 +155,7 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		SuspectAfter:      *suspectAfter,
 		Crashes:           crashes,
+		Meta:              meta,
 	}
 
 	// Observability wiring. The observer is built only when a flag asks
@@ -197,11 +204,14 @@ func main() {
 		if *walDir != "" || *heartbeat > 0 || len(crashes) > 0 {
 			usage("crash-recovery flags apply to the built-in channel transport, not -tcp")
 		}
-		tn, err := transport.NewTCP(*procs)
+		// The TCP transport codes the wire per connection (with resync on
+		// reconnect), so the codec lives inside it rather than in core.
+		tn, err := transport.NewTCPMeta(*procs, meta)
 		if err != nil {
 			fatal(err)
 		}
 		cfg.Transport = tn
+		cfg.Meta = protocol.MetaOff
 		cfg.MaxDelay = 0 // real sockets provide their own timing
 	}
 	c, err := core.NewCluster(cfg)
@@ -209,6 +219,14 @@ func main() {
 		fatal(err)
 	}
 	defer c.Close()
+	codecStats := func() (transport.CodecStats, bool) { return transport.CodecStats{}, false }
+	if meta.Enabled() {
+		if tn, ok := cfg.Transport.(*transport.TCPNet); ok {
+			codecStats = func() (transport.CodecStats, bool) { return tn.Stats(), true }
+		} else if codec := c.MetaCodec(); codec != nil {
+			codecStats = func() (transport.CodecStats, bool) { return codec.Stats(), true }
+		}
+	}
 
 	var wg sync.WaitGroup
 	for p := 0; p < *procs; p++ {
@@ -318,6 +336,10 @@ func main() {
 
 	fmt.Println(log.Stats(kind.String()))
 	fmt.Printf("quiesced in %v\n", quiesceDur.Round(time.Microsecond))
+	if st, ok := codecStats(); ok {
+		fmt.Printf("codec %v: %d frames, %d clock bytes, %d payload bytes\n",
+			meta, st.Frames, st.MetaBytes, st.PayloadBytes)
+	}
 
 	rep, err := checker.Audit(log)
 	if err != nil {

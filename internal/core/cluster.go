@@ -42,6 +42,7 @@ var (
 type Cluster struct {
 	cfg    Config
 	tr     transport.Transport
+	codec  *transport.Codec // non-nil when cfg.Meta is enabled
 	nodes  []*Node
 	det    *transport.Detector
 	start  time.Time
@@ -155,6 +156,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	if cfg.Meta.Enabled() {
+		// The codec wraps the outermost transport layer (above the
+		// reliability sublayer), so each protocol message is recoded
+		// once per link; retransmissions below re-send the already
+		// decoded message and heartbeats/acks pass through untouched.
+		c.codec = transport.WithCodec(tr, cfg.Processes, cfg.Meta)
+		tr = c.codec
+	}
 	c.tr = tr
 	for p := 0; p < cfg.Processes; p++ {
 		r := protocol.New(cfg.Protocol, p, cfg.Processes, cfg.Variables)
@@ -235,6 +244,9 @@ func (c *Cluster) registerObsGauges() {
 	}
 	reg := c.cfg.Obs.Registry()
 	proto := obs.L("protocol", c.cfg.Protocol.String())
+	if c.codec != nil {
+		c.codec.RegisterMetrics(reg, proto)
+	}
 	if rel, ok := c.tr.(*transport.Reliable); ok {
 		reg.GaugeFunc("dsm_unacked_frames",
 			"reliability-sublayer frames awaiting acknowledgment",
@@ -286,6 +298,10 @@ func (c *Cluster) Protocol() protocol.Kind { return c.cfg.Protocol }
 // Detector returns the heartbeat failure detector, or nil when
 // HeartbeatInterval is unset.
 func (c *Cluster) Detector() *transport.Detector { return c.det }
+
+// MetaCodec returns the causality-metadata codec wrapper (for byte
+// accounting and metric registration), or nil when Config.Meta is off.
+func (c *Cluster) MetaCodec() *transport.Codec { return c.codec }
 
 // StartTime returns when the cluster came up; crash-schedule offsets
 // (Config.Crashes) are measured from this instant.

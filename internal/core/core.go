@@ -68,6 +68,18 @@ type Config struct {
 	// takes ownership and closes it.
 	Transport transport.Transport
 
+	// Meta engages the causality-metadata codec on the inter-replica
+	// links: every protocol message's clock is round-tripped through the
+	// per-link encoder/decoder pair (sparse deltas, stabilization
+	// scalars — see protocol.MetaMode) before delivery, exactly as real
+	// wire bytes would be, and the meta-vs-payload byte split becomes
+	// observable (Cluster.MetaCodec, dsm_net_*_bytes_total). The zero
+	// value (MetaOff) ships updates untouched — the hot path pays
+	// nothing. Composes with Chaos, WAL recovery and heartbeats; for
+	// runs over transport.TCPNet, prefer transport.NewTCPMeta so the
+	// codec runs on the real sockets instead.
+	Meta protocol.MetaMode
+
 	// TokenInterval is the wall-clock period of token circulation for
 	// token-based protocols (WS-send); 0 defaults to 1ms.
 	TokenInterval time.Duration
@@ -145,6 +157,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Chaos.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	if !c.Meta.Valid() {
+		return fmt.Errorf("core: Meta = %v", c.Meta)
 	}
 	if c.RetransmitTimeout < 0 || c.BackoffMax < 0 {
 		return fmt.Errorf("core: retransmit timing (%v, %v)", c.RetransmitTimeout, c.BackoffMax)

@@ -350,7 +350,7 @@ func Ablation() (Result, error) {
 func All() ([]Result, error) {
 	var out []Result
 	for _, fn := range []func() (Result, error){
-		Jitter, ProcCount, Mix, FalseCausalityRate, BufferOccupancy, WritingSemantics, Ablation, MetadataOverhead, TwoSiteTopology, VisibilityLatency,
+		Jitter, ProcCount, Mix, FalseCausalityRate, BufferOccupancy, WritingSemantics, Ablation, MetadataCompression, TwoSiteTopology, VisibilityLatency,
 	} {
 		r, err := fn()
 		if err != nil {

@@ -202,43 +202,6 @@ func TestAllRuns(t *testing.T) {
 	}
 }
 
-func TestMetadataOverheadShape(t *testing.T) {
-	r, err := MetadataOverhead()
-	if err != nil {
-		t.Fatal(err)
-	}
-	idx := byProtocol(r)
-	for _, n := range []string{"4", "8", "16", "32"} {
-		for _, k := range []string{"OptP", "ANBKH"} {
-			row := idx[[2]string{n, k}]
-			if row == nil {
-				t.Fatalf("missing row %s/%s:\n%s", n, k, r)
-			}
-			full, delta := cell(t, row[2]), cell(t, row[3])
-			if full <= 0 || delta <= 0 {
-				t.Fatalf("non-positive bytes: %v", row)
-			}
-			// Delta encoding pays 2 bytes per changed component against
-			// 1 byte per component of the dense encoding, so it only
-			// wins once vectors are wide; require it from n=16 up.
-			if (n == "16" || n == "32") && delta > full {
-				t.Fatalf("delta %v > full %v for %s/%s", delta, full, n, k)
-			}
-		}
-	}
-	// Full encoding grows with n.
-	if cell(t, idx[[2]string{"32", "OptP"}][2]) <= cell(t, idx[[2]string{"4", "OptP"}][2]) {
-		t.Fatalf("full encoding did not grow with n:\n%s", r)
-	}
-	// OptP's deltas are no larger than ANBKH's on average (sparser
-	// clock growth).
-	for _, n := range []string{"8", "16", "32"} {
-		if cell(t, idx[[2]string{n, "OptP"}][3]) > cell(t, idx[[2]string{n, "ANBKH"}][3]) {
-			t.Fatalf("n=%s: OptP delta larger than ANBKH:\n%s", n, r)
-		}
-	}
-}
-
 func TestTwoSiteTopologyShape(t *testing.T) {
 	r, err := TwoSiteTopology()
 	if err != nil {

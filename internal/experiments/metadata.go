@@ -2,93 +2,271 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/history"
 	"repro/internal/protocol"
 	"repro/internal/sim"
-	"repro/internal/vclock"
 	"repro/internal/workload"
 )
 
-// MetadataOverhead is E9: the wire cost of the piggybacked clocks as
-// the system grows. Both OptP and ANBKH ship an n-component vector per
-// update; because Write_co is non-decreasing at each sender
-// (Observation 1), consecutive updates from one sender can be
-// delta-encoded on FIFO links, which is where OptP's sparser growth
-// (only own writes and read dependencies) pays off in bytes.
-func MetadataOverhead() (Result, error) {
+// MetadataName identifies the metadata-codec scorecard experiment in
+// dsmbench/v1 documents; CheckMetadataRegression matches baseline and
+// current results by it.
+const MetadataName = "E-metadata"
+
+// metaModes is the mode sweep of the metadata experiment.
+var metaModes = []protocol.MetaMode{protocol.MetaOff, protocol.MetaDelta, protocol.MetaStab, protocol.MetaAuto}
+
+// MetadataCompression is the causality-metadata codec experiment: for
+// each system size it generates OptP steady-state update streams in the
+// simulator, then replays every sender's per-link stream through one
+// encoder/decoder pair per codec mode, reporting clock bytes, wire
+// bytes and codec time per update. One pair per sender is exact, not a
+// sample: a broadcast protocol ships the identical update sequence on
+// every outgoing link of a sender, so all of a sender's links carry the
+// same bytes. P = 256 exceeds the TCP transport's one-byte sender-id
+// cap on live runs, which is why the codec is measured offline here.
+func MetadataCompression() (Result, error) {
+	return metadataSweep([]int{8, 64, 256}, []uint64{11, 23})
+}
+
+// metadataSweep is the parameterized body of MetadataCompression, kept
+// separate so tests can run a tiny sweep fast.
+func metadataSweep(ps []int, seeds []uint64) (Result, error) {
 	r := Result{
-		Name:   "E9-metadata",
-		Desc:   "mean clock bytes per update: full encoding vs per-sender delta (FIFO links)",
-		Header: []string{"procs", "protocol", "full-B/upd", "delta-B/upd"},
+		Name:   MetadataName,
+		Desc:   "causality-metadata codec on OptP steady-state streams (FIFO links): bytes and time per update",
+		Header: []string{"procs", "mode", "clock-B/op", "wire-B/op", "reduction", "codec-ns/op"},
 	}
-	for _, n := range []int{4, 8, 16, 32} {
-		n := n
-		for _, kind := range []protocol.Kind{protocol.OptP, protocol.ANBKH} {
-			var full, delta, count float64
-			for _, seed := range seeds {
-				scripts, err := workload.Scripts(workload.Config{
-					Procs: n, Vars: n, OpsPerProc: 20, WriteRatio: 0.6,
-					ThinkMin: 5, ThinkMax: 60, Hot: 0.2, Seed: seed,
-				})
-				if err != nil {
-					return r, err
-				}
-				res, err := sim.Run(sim.Config{
-					Procs: n, Vars: n, Protocol: kind,
-					Latency: sim.NewUniformLatency(1, 150, seed*13+7),
-					FIFO:    true,
-				}, scripts)
-				if err != nil {
-					return r, fmt.Errorf("experiments: E9 %v n=%d: %w", kind, n, err)
-				}
-				f, d, c := clockBytes(res.Updates, n)
-				full += f
-				delta += d
-				count += c
+	for _, n := range ps {
+		var streams [][]protocol.Update
+		for _, seed := range seeds {
+			ops := 2048 / n
+			if ops < 8 {
+				ops = 8
 			}
-			if count == 0 {
-				continue
+			vars := n
+			if vars > 32 {
+				vars = 32
+			}
+			scripts, err := workload.Scripts(workload.Config{
+				Procs: n, Vars: vars, OpsPerProc: ops, WriteRatio: 0.6,
+				ThinkMin: 5, ThinkMax: 60, Hot: 0.2, Seed: seed,
+			})
+			if err != nil {
+				return r, err
+			}
+			res, err := sim.Run(sim.Config{
+				Procs: n, Vars: vars, Protocol: protocol.OptP,
+				Latency: sim.NewUniformLatency(1, 150, seed*13+7),
+				FIFO:    true,
+			}, scripts)
+			if err != nil {
+				return r, fmt.Errorf("experiments: %s n=%d seed %d: %w", MetadataName, n, seed, err)
+			}
+			streams = append(streams, senderStreams(res.Updates, n)...)
+		}
+		var offClock float64
+		for _, mode := range metaModes {
+			clockB, wireB, nsOp, err := codecCost(streams, mode)
+			if err != nil {
+				return r, fmt.Errorf("experiments: %s n=%d mode %v: %w", MetadataName, n, mode, err)
+			}
+			reduction := "-"
+			if mode == protocol.MetaOff {
+				offClock = clockB
+			} else if offClock > 0 {
+				reduction = fmt.Sprintf("%.1f%%", 100*(1-clockB/offClock))
 			}
 			r.Rows = append(r.Rows, []string{
-				fmt.Sprint(n), kind.String(),
-				fmt.Sprintf("%.1f", full/count),
-				fmt.Sprintf("%.1f", delta/count),
+				fmt.Sprint(n), mode.String(),
+				fmt.Sprintf("%.1f", clockB),
+				fmt.Sprintf("%.1f", wireB),
+				reduction,
+				fmt.Sprintf("%.0f", nsOp),
 			})
 		}
 	}
 	return r, nil
 }
 
-// clockBytes sums, over every sender's update sequence, the full wire
-// size of each clock and the delta size against the sender's previous
-// update (the first update of a sender deltas against the zero clock).
-func clockBytes(updates map[history.WriteID]protocol.Update, n int) (full, delta, count float64) {
-	// Group by sender, in sequence order.
-	bySender := make(map[int][]protocol.Update)
-	maxSeq := make(map[int]int)
-	for id, u := range updates {
-		bySender[id.Proc] = append(bySender[id.Proc], u)
+// senderStreams groups updates by sender in sequence order — the exact
+// byte stream each of the sender's outgoing links carries.
+func senderStreams(updates map[history.WriteID]protocol.Update, n int) [][]protocol.Update {
+	maxSeq := make([]int, n)
+	for id := range updates {
 		if id.Seq > maxSeq[id.Proc] {
 			maxSeq[id.Proc] = id.Seq
 		}
 	}
-	for p, us := range bySender {
-		ordered := make([]protocol.Update, maxSeq[p]+1)
-		for _, u := range us {
-			ordered[u.ID.Seq] = u
+	var out [][]protocol.Update
+	for p := 0; p < n; p++ {
+		if maxSeq[p] == 0 {
+			continue
 		}
-		prev := vclock.New(n)
+		ordered := make([]protocol.Update, 0, maxSeq[p])
 		for seq := 1; seq <= maxSeq[p]; seq++ {
-			u := ordered[seq]
-			if u.ID.Seq == 0 {
-				continue // gap (suppressed write); keep prev
+			if u, ok := updates[history.WriteID{Proc: p, Seq: seq}]; ok {
+				ordered = append(ordered, u)
 			}
-			full += float64(u.Clock.EncodedSize())
-			delta += float64(len(u.Clock.AppendDelta(nil, prev)))
-			prev = u.Clock
+		}
+		out = append(out, ordered)
+	}
+	return out
+}
+
+// codecCost replays every stream through a fresh per-stream
+// encoder/decoder pair under mode, verifying the round trip once and
+// then timing three repetitions (best-of). Returns mean clock bytes,
+// mean wire bytes, and mean codec (encode+decode) nanoseconds per
+// update.
+func codecCost(streams [][]protocol.Update, mode protocol.MetaMode) (clockB, wireB, nsOp float64, err error) {
+	var meta, wire, count int64
+	buf := make([]byte, 0, 4096)
+	// Untimed verification pass: the benchmark must never report the
+	// speed of a codec that corrupts clocks.
+	for _, st := range streams {
+		enc := protocol.NewUpdateEncoder(mode)
+		dec := protocol.NewUpdateDecoder(mode)
+		for _, u := range st {
+			var m int
+			buf, m = enc.Append(buf[:0], u)
+			out, k, dm, derr := dec.Decode(buf)
+			if derr != nil {
+				return 0, 0, 0, derr
+			}
+			if k != len(buf) || dm != m {
+				return 0, 0, 0, fmt.Errorf("codec consumed %d of %d bytes (meta %d vs %d)", k, len(buf), dm, m)
+			}
+			if out.Clock.Len() != u.Clock.Len() || (u.Clock.Len() > 0 && !out.Clock.Equal(u.Clock)) {
+				return 0, 0, 0, fmt.Errorf("codec corrupted clock of %v", u.ID)
+			}
+			meta += int64(m)
+			wire += int64(len(buf))
 			count++
 		}
 	}
-	return full, delta, count
+	if count == 0 {
+		return 0, 0, 0, fmt.Errorf("no updates to measure")
+	}
+	best := int64(-1)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for _, st := range streams {
+			enc := protocol.NewUpdateEncoder(mode)
+			dec := protocol.NewUpdateDecoder(mode)
+			for _, u := range st {
+				buf, _ = enc.Append(buf[:0], u)
+				if _, _, _, derr := dec.Decode(buf); derr != nil {
+					return 0, 0, 0, derr
+				}
+			}
+		}
+		if elapsed := time.Since(start).Nanoseconds(); best < 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	n := float64(count)
+	return float64(meta) / n, float64(wire) / n, float64(best) / n, nil
+}
+
+// CheckMetadataRegression gates the metadata scorecard against the
+// committed baseline: matching (procs, mode) rows may not regress by
+// more than tolerance (0.2 = 20%) on clock-B/op or codec-ns/op, and the
+// headline compression claim must hold in the CURRENT results — at 64
+// processes, delta and auto must ship at most half of MetaOff's clock
+// bytes per update. Rows present in only one document are ignored, so
+// extending the sweep doesn't break the gate. Improvements never fail.
+func CheckMetadataRegression(current []Result, baseline Scorecard, tolerance float64) error {
+	base, err := metadataCells(baseline.Experiments)
+	if err != nil {
+		return fmt.Errorf("experiments: baseline scorecard: %w", err)
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("experiments: baseline scorecard has no %s rows", MetadataName)
+	}
+	cur, err := metadataCells(current)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("experiments: current results have no %s rows", MetadataName)
+	}
+	for key, want := range base {
+		got, ok := cur[key]
+		if !ok {
+			continue
+		}
+		if ceiling := want.clockB * (1 + tolerance); got.clockB > ceiling {
+			return fmt.Errorf("experiments: metadata regression at %s: %.1f clock-B/op > %.1f (baseline %.1f + %.0f%% tolerance)",
+				key, got.clockB, ceiling, want.clockB, tolerance*100)
+		}
+		if ceiling := want.nsOp * (1 + tolerance); got.nsOp > ceiling {
+			return fmt.Errorf("experiments: metadata regression at %s: %.0f ns/op > %.0f (baseline %.0f + %.0f%% tolerance)",
+				key, got.nsOp, ceiling, want.nsOp, tolerance*100)
+		}
+	}
+	off, ok := cur["64/off"]
+	if !ok {
+		return nil // sweep without the headline size; nothing more to assert
+	}
+	for _, mode := range []string{"delta", "auto"} {
+		got, ok := cur["64/"+mode]
+		if !ok {
+			return fmt.Errorf("experiments: current results have a 64/off row but no 64/%s", mode)
+		}
+		if got.clockB > 0.5*off.clockB {
+			return fmt.Errorf("experiments: %s at 64 procs ships %.1f clock-B/op, more than half of off's %.1f — the compression claim fails",
+				mode, got.clockB, off.clockB)
+		}
+	}
+	return nil
+}
+
+// metadataCell is one parsed (procs, mode) row of the metadata table.
+type metadataCell struct {
+	clockB, nsOp float64
+}
+
+// metadataCells extracts "procs/mode" → cell from a metadata result.
+func metadataCells(results []Result) (map[string]metadataCell, error) {
+	out := map[string]metadataCell{}
+	for _, r := range results {
+		if r.Name != MetadataName {
+			continue
+		}
+		procsCol, modeCol, clockCol, nsCol := -1, -1, -1, -1
+		for i, h := range r.Header {
+			switch h {
+			case "procs":
+				procsCol = i
+			case "mode":
+				modeCol = i
+			case "clock-B/op":
+				clockCol = i
+			case "codec-ns/op":
+				nsCol = i
+			}
+		}
+		if procsCol < 0 || modeCol < 0 || clockCol < 0 || nsCol < 0 {
+			return nil, fmt.Errorf("experiments: %s table lacks procs/mode/clock-B/op/codec-ns/op columns (header %v)", r.Name, r.Header)
+		}
+		for _, row := range r.Rows {
+			if len(row) <= procsCol || len(row) <= modeCol || len(row) <= clockCol || len(row) <= nsCol {
+				continue
+			}
+			clockB, err := strconv.ParseFloat(row[clockCol], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s clock-B/op cell %q: %w", r.Name, row[clockCol], err)
+			}
+			nsOp, err := strconv.ParseFloat(row[nsCol], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s codec-ns/op cell %q: %w", r.Name, row[nsCol], err)
+			}
+			out[row[procsCol]+"/"+row[modeCol]] = metadataCell{clockB: clockB, nsOp: nsOp}
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestMetadataSweepShape(t *testing.T) {
+	r, err := metadataSweep([]int{4, 8}, []uint64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != MetadataName {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if len(r.Rows) != 2*len(metaModes) {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), 2*len(metaModes))
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row %v has %d cells, header %d", row, len(row), len(r.Header))
+		}
+		clockB, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || clockB <= 0 {
+			t.Fatalf("row %v: clock-B/op %q", row, row[2])
+		}
+		wireB, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || wireB < clockB {
+			t.Fatalf("row %v: wire-B/op %q below clock bytes", row, row[3])
+		}
+		if row[1] == "off" {
+			if row[4] != "-" {
+				t.Fatalf("off row carries a reduction: %v", row)
+			}
+		} else if !strings.HasSuffix(row[4], "%") {
+			t.Fatalf("row %v: reduction %q", row, row[4])
+		}
+	}
+}
+
+func metadataResults(cells map[string][2]string) []Result {
+	r := Result{
+		Name:   MetadataName,
+		Header: []string{"procs", "mode", "clock-B/op", "wire-B/op", "reduction", "codec-ns/op"},
+	}
+	for key, v := range cells {
+		procs, mode, _ := strings.Cut(key, "/")
+		r.Rows = append(r.Rows, []string{procs, mode, v[0], "99.0", "-", v[1]})
+	}
+	return []Result{r}
+}
+
+func TestCheckMetadataRegression(t *testing.T) {
+	mk := func(deltaClock, deltaNS string) []Result {
+		return metadataResults(map[string][2]string{
+			"64/off":   {"65.0", "500"},
+			"64/delta": {deltaClock, deltaNS},
+			"64/auto":  {"13.0", "1500"},
+		})
+	}
+	baseline := Scorecard{Schema: ScorecardSchema, Experiments: mk("16.0", "1000")}
+
+	if err := CheckMetadataRegression(mk("17.0", "1100"), baseline, 0.2); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+	if err := CheckMetadataRegression(mk("10.0", "700"), baseline, 0.2); err != nil {
+		t.Fatalf("improvement must pass: %v", err)
+	}
+	if err := CheckMetadataRegression(mk("25.0", "1000"), baseline, 0.2); err == nil {
+		t.Fatal("clock-byte regression must fail")
+	}
+	if err := CheckMetadataRegression(mk("16.0", "2000"), baseline, 0.2); err == nil {
+		t.Fatal("ns/op regression must fail")
+	}
+	// The headline invariant: delta must stay at ≤ half of off's clock
+	// bytes at 64 procs even when the baseline also recorded the bloat.
+	bloated := Scorecard{Schema: ScorecardSchema, Experiments: mk("60.0", "1000")}
+	if err := CheckMetadataRegression(mk("60.0", "1000"), bloated, 0.2); err == nil {
+		t.Fatal("compression-claim failure must fail the gate")
+	}
+	// Disjoint rows are ignored; empty documents are errors.
+	other := metadataResults(map[string][2]string{"8/off": {"9.9", "200"}})
+	if err := CheckMetadataRegression(other, baseline, 0.2); err != nil {
+		t.Fatalf("disjoint rows must pass: %v", err)
+	}
+	if err := CheckMetadataRegression(nil, baseline, 0.2); err == nil {
+		t.Fatal("empty current must fail")
+	}
+	if err := CheckMetadataRegression(mk("16.0", "1000"), Scorecard{Schema: ScorecardSchema}, 0.2); err == nil {
+		t.Fatal("empty baseline must fail")
+	}
+}

@@ -258,6 +258,18 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label
 	m.fn = fn
 }
 
+// CounterFunc registers a callback counter evaluated at scrape time —
+// the counter-typed sibling of GaugeFunc, for monotone totals some
+// other subsystem already accumulates in its own atomics (bytes on the
+// wire in the transport codec). The callback must be monotone and safe
+// to invoke from scrape goroutines.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, _ := r.fam(name, help, "counter").get(labels)
+	m.fn = func() int64 { return int64(fn()) }
+}
+
 // Histogram returns the histogram for name+labels, creating it with
 // the given bounds (nil = DefaultLatencyBuckets) on first use.
 func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) *Histogram {

@@ -26,11 +26,19 @@ var ErrUpdateTruncated = errors.New("protocol: truncated update encoding")
 
 // AppendBinary appends the wire encoding of u to dst.
 func (u Update) AppendBinary(dst []byte) []byte {
+	return u.appendWith(dst, vclock.VC.AppendBinary)
+}
+
+// appendWith appends u with the clock field produced by encClock — the
+// seam the metadata codec plugs into. Every other field keeps the
+// layout above, so the plain path (WAL, snapshots, codec-off wire)
+// stays byte-identical.
+func (u Update) appendWith(dst []byte, encClock func(vclock.VC, []byte) []byte) []byte {
 	dst = binary.AppendVarint(dst, int64(u.ID.Proc))
 	dst = binary.AppendVarint(dst, int64(u.ID.Seq))
 	dst = binary.AppendVarint(dst, int64(u.Var))
 	dst = binary.AppendVarint(dst, u.Val)
-	dst = u.Clock.AppendBinary(dst)
+	dst = encClock(u.Clock, dst)
 	dst = binary.AppendVarint(dst, int64(u.Prev.Proc))
 	dst = binary.AppendVarint(dst, int64(u.Prev.Seq))
 	dst = binary.AppendVarint(dst, int64(u.Round))
@@ -52,6 +60,12 @@ func (u Update) MarshalBinary() ([]byte, error) {
 // DecodeUpdate decodes one update from the front of buf, returning it
 // and the number of bytes consumed.
 func DecodeUpdate(buf []byte) (Update, int, error) {
+	return decodeUpdateWith(buf, vclock.DecodeVC)
+}
+
+// decodeUpdateWith decodes one update with the clock field read by
+// decClock, the decoding seam matching appendWith.
+func decodeUpdateWith(buf []byte, decClock func([]byte) (vclock.VC, int, error)) (Update, int, error) {
 	var u Update
 	off := 0
 	readV := func() (int64, error) {
@@ -74,7 +88,7 @@ func DecodeUpdate(buf []byte) (Update, int, error) {
 	u.Var = int(vr)
 	u.Val = val
 
-	clock, k, err := vclock.DecodeVC(buf[off:])
+	clock, k, err := decClock(buf[off:])
 	if err != nil {
 		return u, 0, fmt.Errorf("protocol: update clock: %w", err)
 	}

@@ -27,6 +27,13 @@ type Config struct {
 	// earlier one (TCP-like channels). Cross-link reordering — the
 	// source of false causality — is unaffected.
 	FIFO bool
+	// Meta engages the causality-metadata codec: every broadcast copy is
+	// encoded through its link's UpdateEncoder and decoded back before
+	// delivery, exactly like wire bytes, and Result.MetaBytes/WireBytes
+	// account the traffic. Encode and decode happen back-to-back at send
+	// time, so the codec is order-safe even without FIFO. MetaOff (zero
+	// value) bypasses the codec entirely.
+	Meta protocol.MetaMode
 	// MaxEvents caps the run as a runaway guard; 0 defaults to 10M.
 	MaxEvents int
 }
@@ -42,6 +49,10 @@ type Result struct {
 	Replicas []protocol.Replica
 	// End is the virtual time of the last processed event.
 	End int64
+	// MetaBytes and WireBytes account the per-copy encoded traffic when
+	// Config.Meta is enabled: MetaBytes is the clock-field share,
+	// WireBytes the full encoded update size (both zero with MetaOff).
+	MetaBytes, WireBytes uint64
 }
 
 // Errors returned by Run.
@@ -145,6 +156,14 @@ type engine struct {
 	lat      Latency
 	// lastArrival[from*n+to] enforces per-link FIFO when cfg.FIFO.
 	lastArrival []int64
+	// encs/decs[from*n+to] are the per-link codec state when cfg.Meta is
+	// enabled; codecBuf is the shared encode scratch (the engine is
+	// single-threaded).
+	encs      []*protocol.UpdateEncoder
+	decs      []*protocol.UpdateDecoder
+	codecBuf  []byte
+	metaBytes uint64
+	wireBytes uint64
 }
 
 // Run executes scripts (one per process) under cfg and returns the
@@ -163,12 +182,24 @@ func Run(cfg Config, scripts []Script) (*Result, error) {
 		cfg.MaxEvents = 10_000_000
 	}
 
+	if !cfg.Meta.Valid() {
+		return nil, fmt.Errorf("sim: invalid meta codec mode %v", cfg.Meta)
+	}
+
 	e := &engine{
 		cfg:         cfg,
 		log:         trace.NewLog(cfg.Procs, cfg.Vars),
 		updates:     make(map[history.WriteID]protocol.Update),
 		lat:         cfg.Latency,
 		lastArrival: make([]int64, cfg.Procs*cfg.Procs),
+	}
+	if cfg.Meta.Enabled() {
+		e.encs = make([]*protocol.UpdateEncoder, cfg.Procs*cfg.Procs)
+		e.decs = make([]*protocol.UpdateDecoder, cfg.Procs*cfg.Procs)
+		for i := range e.encs {
+			e.encs[i] = protocol.NewUpdateEncoder(cfg.Meta)
+			e.decs[i] = protocol.NewUpdateDecoder(cfg.Meta)
+		}
 	}
 	newReplica := cfg.NewReplica
 	if newReplica == nil {
@@ -214,10 +245,14 @@ func Run(cfg Config, scripts []Script) (*Result, error) {
 		}
 	}
 
-	if err := e.checkQuiescent(); err != nil {
-		return &Result{Log: e.log, Updates: e.updates, Replicas: e.replicas(), End: e.now}, err
+	res := &Result{
+		Log: e.log, Updates: e.updates, Replicas: e.replicas(), End: e.now,
+		MetaBytes: e.metaBytes, WireBytes: e.wireBytes,
 	}
-	return &Result{Log: e.log, Updates: e.updates, Replicas: e.replicas(), End: e.now}, nil
+	if err := e.checkQuiescent(); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 func (e *engine) replicas() []protocol.Replica {
@@ -331,9 +366,34 @@ func (e *engine) broadcast(p int, u protocol.Update) {
 			}
 			e.lastArrival[link] = at
 		}
+		deliver := u
+		if e.encs != nil {
+			deliver = e.recode(p, q, u)
+		}
 		e.inflight++
-		e.schedule(event{time: at, kind: evArrival, proc: q, u: u})
+		e.schedule(event{time: at, kind: evArrival, proc: q, u: deliver})
 	}
+}
+
+// recode runs u through the p→q link's codec pair and returns the
+// decoded update — what the receiver would have reconstructed from wire
+// bytes. The deterministic encode order (destination loop in broadcast)
+// keeps traces bit-reproducible across runs and codec modes.
+func (e *engine) recode(p, q int, u protocol.Update) protocol.Update {
+	link := p*e.cfg.Procs + q
+	buf, meta := e.encs[link].Append(e.codecBuf[:0], u)
+	e.codecBuf = buf
+	out, n, decMeta, err := e.decs[link].Decode(buf)
+	if err != nil {
+		panic(fmt.Sprintf("sim: codec %d->%d: %v", p, q, err))
+	}
+	if n != len(buf) || meta != decMeta {
+		panic(fmt.Sprintf("sim: codec %d->%d: consumed %d of %d bytes (meta %d vs %d)",
+			p, q, n, len(buf), meta, decMeta))
+	}
+	e.metaBytes += uint64(meta)
+	e.wireBytes += uint64(len(buf))
+	return out
 }
 
 // handleArrival processes the receipt of u at process p.

@@ -1,0 +1,81 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The codec's correctness contract: because every encoding is lossless
+// and recode happens deterministically at send time, a codec-on run
+// must be EVENT-IDENTICAL to the codec-off run — same trace, same
+// buffering decisions, same audit verdicts — for every protocol, mode
+// and seed. The simulator's bit-reproducible scheduler turns that into
+// an exact equality check rather than a statistical one.
+func TestMetaCodecEventIdentical(t *testing.T) {
+	seeds := []uint64{11, 23, 37}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, kind := range protocol.Kinds() {
+		for _, seed := range seeds {
+			scripts, err := workload.Scripts(workload.Config{
+				Procs: 5, Vars: 4, OpsPerProc: 40, WriteRatio: 0.5,
+				ThinkMin: 0, ThinkMax: 30, Hot: 0.2, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(mode protocol.MetaMode) *sim.Result {
+				t.Helper()
+				res, err := sim.Run(sim.Config{
+					Procs: 5, Vars: 4, Protocol: kind, Meta: mode,
+					Latency: sim.NewUniformLatency(5, 150, seed),
+				}, scripts)
+				if err != nil {
+					t.Fatalf("%v/%v seed %d: %v", kind, mode, seed, err)
+				}
+				return res
+			}
+			base := run(protocol.MetaOff)
+			baseRep, err := checker.Audit(base.Log)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []protocol.MetaMode{protocol.MetaDelta, protocol.MetaStab, protocol.MetaAuto} {
+				res := run(mode)
+				if !reflect.DeepEqual(res.Log.PerProc(), base.Log.PerProc()) {
+					t.Fatalf("%v/%v seed %d: trace differs from codec-off run", kind, mode, seed)
+				}
+				rep, err := checker.Audit(res.Log)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.String() != baseRep.String() {
+					t.Fatalf("%v/%v seed %d: audit differs:\n  on:  %v\n  off: %v",
+						kind, mode, seed, rep, baseRep)
+				}
+				if !rep.Safe() || !rep.CausallyConsistent() {
+					t.Fatalf("%v/%v seed %d: audit not clean: %v", kind, mode, seed, rep)
+				}
+				if res.WireBytes == 0 || res.MetaBytes == 0 || res.MetaBytes > res.WireBytes {
+					t.Fatalf("%v/%v seed %d: byte accounting %d/%d", kind, mode, seed, res.MetaBytes, res.WireBytes)
+				}
+			}
+			if base.MetaBytes != 0 || base.WireBytes != 0 {
+				t.Fatalf("codec-off run accounted bytes: %d/%d", base.MetaBytes, base.WireBytes)
+			}
+		}
+	}
+}
+
+func TestMetaCodecInvalidMode(t *testing.T) {
+	_, err := sim.Run(sim.Config{Procs: 2, Vars: 1, Meta: protocol.MetaMode(9)}, []sim.Script{{}, {}})
+	if err == nil {
+		t.Fatal("accepted invalid meta mode")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -21,31 +22,52 @@ import (
 // write delays) still happens freely.
 type TCPNet struct {
 	procs    int
+	mode     protocol.MetaMode
 	handlers []atomic.Pointer[Handler]
 
 	listeners []net.Listener
 	addrs     []string
 
 	mu    sync.Mutex
-	conns [][]net.Conn // conns[from][to], lazily dialed
+	conns [][]net.Conn                // conns[from][to], lazily dialed
+	encs  [][]*protocol.UpdateEncoder // encs[from][to], created with the conn
+
+	frames       atomic.Uint64
+	metaBytes    atomic.Uint64
+	payloadBytes atomic.Uint64
 
 	inflight sync.WaitGroup
 	accept   sync.WaitGroup
 	closed   atomic.Bool
 }
 
-// NewTCP starts a TCP mesh for n processes on loopback.
-func NewTCP(n int) (*TCPNet, error) {
+// NewTCP starts a TCP mesh for n processes on loopback, shipping the
+// legacy (uncompressed) frame format.
+func NewTCP(n int) (*TCPNet, error) { return NewTCPMeta(n, protocol.MetaOff) }
+
+// NewTCPMeta starts a TCP mesh with the causality-metadata codec in the
+// given mode. Codec state is per connection: each outbound link holds
+// one UpdateEncoder created alongside its conn, and each inbound
+// readLoop holds the matching UpdateDecoder — both born at zero with
+// the connection, so a future reconnect is a deterministic resync by
+// construction (fresh socket ⇒ fresh base on both ends).
+func NewTCPMeta(n int, mode protocol.MetaMode) (*TCPNet, error) {
 	if n < 1 || n > 255 {
 		return nil, fmt.Errorf("transport: tcp procs = %d (want 1..255, sender id is one frame byte)", n)
 	}
+	if !mode.Valid() {
+		return nil, fmt.Errorf("transport: invalid meta codec mode %v", mode)
+	}
 	t := &TCPNet{
 		procs:    n,
+		mode:     mode,
 		handlers: make([]atomic.Pointer[Handler], n),
 		conns:    make([][]net.Conn, n),
+		encs:     make([][]*protocol.UpdateEncoder, n),
 	}
 	for i := range t.conns {
 		t.conns[i] = make([]net.Conn, n)
+		t.encs[i] = make([]*protocol.UpdateEncoder, n)
 	}
 	for p := 0; p < n; p++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -95,15 +117,48 @@ func (t *TCPNet) Send(m Message) {
 		}
 		panic(fmt.Sprintf("transport: dial %d->%d: %v", m.From, m.To, err))
 	}
-	payload := m.Update.AppendBinary([]byte{byte(m.From)})
+	// Encoding happens under the same lock as the write: the per-link
+	// encoder is stateful (delta bases), so encode order must equal
+	// socket order exactly.
+	t.mu.Lock()
+	enc := t.encs[m.From][m.To]
+	payload, meta := enc.Append([]byte{byte(m.From)}, m.Update)
 	frame := binary.AppendUvarint(nil, uint64(len(payload)))
 	frame = append(frame, payload...)
-	t.mu.Lock()
 	_, err = conn.Write(frame)
 	t.mu.Unlock()
+	t.frames.Add(1)
+	t.metaBytes.Add(uint64(meta))
+	t.payloadBytes.Add(uint64(len(frame) - meta))
 	if err != nil && !t.closed.Load() {
 		panic(fmt.Sprintf("transport: write %d->%d: %v", m.From, m.To, err))
 	}
+}
+
+// Stats snapshots the frame/byte accounting of frames sent so far.
+func (t *TCPNet) Stats() CodecStats {
+	return CodecStats{
+		Frames:       t.frames.Load(),
+		MetaBytes:    t.metaBytes.Load(),
+		PayloadBytes: t.payloadBytes.Load(),
+	}
+}
+
+// RegisterMetrics publishes the byte split on reg as scrape-time
+// counters (dsm_net_meta_bytes_total, dsm_net_payload_bytes_total,
+// dsm_net_frames_total), mirroring Codec.RegisterMetrics for runs over
+// real sockets.
+func (t *TCPNet) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	labels = append(labels, obs.L("codec", t.mode.String()))
+	reg.CounterFunc("dsm_net_meta_bytes_total",
+		"bytes of causality metadata (encoded clock fields) shipped on inter-replica links",
+		func() uint64 { return t.metaBytes.Load() }, labels...)
+	reg.CounterFunc("dsm_net_payload_bytes_total",
+		"bytes of non-clock update payload shipped on inter-replica links",
+		func() uint64 { return t.payloadBytes.Load() }, labels...)
+	reg.CounterFunc("dsm_net_frames_total",
+		"protocol frames written to inter-replica sockets",
+		func() uint64 { return t.frames.Load() }, labels...)
 }
 
 // conn returns (dialing if needed) the from→to connection.
@@ -118,6 +173,10 @@ func (t *TCPNet) conn(from, to int) (net.Conn, error) {
 		return nil, err
 	}
 	t.conns[from][to] = c
+	// The link's encoder is born with its connection: fresh conn, fresh
+	// (zero) delta base, matching the decoder the receiving acceptLoop
+	// creates for the same socket.
+	t.encs[from][to] = protocol.NewUpdateEncoder(t.mode)
 	return c, nil
 }
 
@@ -142,6 +201,11 @@ func (t *TCPNet) acceptLoop(p int, ln net.Listener) {
 func (t *TCPNet) readLoop(p int, conn net.Conn) {
 	defer conn.Close()
 	r := newByteReader(conn)
+	// One decoder per inbound connection: a connection carries exactly
+	// one (sender, receiver) link, and its frames arrive in socket
+	// order, so the decoder's delta base tracks the sender's encoder in
+	// lockstep for the life of the socket.
+	dec := protocol.NewUpdateDecoder(t.mode)
 	for {
 		n, err := binary.ReadUvarint(r)
 		if err != nil {
@@ -155,7 +219,7 @@ func (t *TCPNet) readLoop(p int, conn net.Conn) {
 			return
 		}
 		from := int(buf[0])
-		u, _, err := protocol.DecodeUpdate(buf[1:])
+		u, _, _, err := dec.Decode(buf[1:])
 		if err != nil {
 			if !t.closed.Load() {
 				panic(fmt.Sprintf("transport: decode frame for p%d: %v", p+1, err))

@@ -21,6 +21,15 @@ var (
 	ErrDimension = errors.New("vclock: dimension mismatch")
 )
 
+// MaxDecodeDim is the hard ceiling on the dimension any clock decoder
+// accepts. The per-component buffer-length heuristic below bounds the
+// allocation a *truncated* frame can force, but a hostile frame can be
+// long: a few KB of input could otherwise declare a multi-thousand-
+// component clock and make every decode allocate it. No configuration
+// in this system approaches 64Ki processes, so the cap costs nothing
+// legitimate.
+const MaxDecodeDim = 1 << 16
+
 // AppendBinary appends the wire encoding of v to dst and returns the
 // extended slice.
 func (v VC) AppendBinary(dst []byte) []byte {
@@ -31,9 +40,13 @@ func (v VC) AppendBinary(dst []byte) []byte {
 	return dst
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. The destination
+// is sized from the actual uvarint widths (EncodedSize), so the append
+// never regrows — exactly one allocation regardless of component
+// magnitude. (The old 1+2*len(v) hint under-allocated as soon as
+// components crossed two varint bytes.)
 func (v VC) MarshalBinary() ([]byte, error) {
-	return v.AppendBinary(make([]byte, 0, 1+2*len(v))), nil
+	return v.AppendBinary(make([]byte, 0, v.EncodedSize())), nil
 }
 
 // DecodeVC decodes one clock from the front of buf, returning the clock
@@ -44,6 +57,9 @@ func DecodeVC(buf []byte) (VC, int, error) {
 		return nil, 0, ErrTruncated
 	}
 	off := k
+	if n > MaxDecodeDim {
+		return nil, 0, fmt.Errorf("%w: dimension %d exceeds cap %d", ErrDimension, n, MaxDecodeDim)
+	}
 	if n > uint64(len(buf)) { // cheap sanity bound: ≥1 byte per component
 		return nil, 0, fmt.Errorf("%w: dimension %d exceeds buffer", ErrTruncated, n)
 	}
@@ -124,6 +140,117 @@ func DecodeDelta(buf []byte, base VC) (VC, int, error) {
 			return nil, 0, fmt.Errorf("%w: delta index %d ≥ dimension %d", ErrDimension, idx, len(v))
 		}
 		v[idx] += d
+	}
+	return v, off, nil
+}
+
+// AppendStab appends the stabilization encoding of v: uvarint
+// dimension, a scalar floor (the minimum component — the clock's own
+// stable frontier, in the sense of Okapi's stabilization scalar), then
+// only the components strictly above the floor as (uvarint index,
+// uvarint value−floor) residual pairs. The encoding is stateless and
+// lossless — the floor stands in for every fully-stable component, and
+// the residuals reconstruct the rest exactly — so unlike a true
+// pruned-prefix scheme it needs no cluster-wide stability agreement to
+// be safe. It wins when most components sit at a common frontier with
+// a few leaders, the steady-state shape of a Write_co vector under
+// all-to-all traffic.
+func AppendStab(dst []byte, v VC) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	if len(v) == 0 {
+		return dst
+	}
+	floor := v[0]
+	for _, x := range v[1:] {
+		if x < floor {
+			floor = x
+		}
+	}
+	nz := 0
+	for _, x := range v {
+		if x > floor {
+			nz++
+		}
+	}
+	dst = binary.AppendUvarint(dst, floor)
+	dst = binary.AppendUvarint(dst, uint64(nz))
+	for i, x := range v {
+		if x > floor {
+			dst = binary.AppendUvarint(dst, uint64(i))
+			dst = binary.AppendUvarint(dst, x-floor)
+		}
+	}
+	return dst
+}
+
+// StabSize returns the exact byte size AppendStab would emit for v.
+func StabSize(v VC) int {
+	n := uvarintLen(uint64(len(v)))
+	if len(v) == 0 {
+		return n
+	}
+	floor := v[0]
+	for _, x := range v[1:] {
+		if x < floor {
+			floor = x
+		}
+	}
+	nz := 0
+	for i, x := range v {
+		if x > floor {
+			nz++
+			n += uvarintLen(uint64(i)) + uvarintLen(x-floor)
+		}
+	}
+	return n + uvarintLen(floor) + uvarintLen(uint64(nz))
+}
+
+// DecodeStab decodes one stabilization-encoded clock from the front of
+// buf, returning the clock and bytes consumed.
+func DecodeStab(buf []byte) (VC, int, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	off := k
+	if n > MaxDecodeDim {
+		return nil, 0, fmt.Errorf("%w: dimension %d exceeds cap %d", ErrDimension, n, MaxDecodeDim)
+	}
+	if n == 0 {
+		return VC{}, off, nil
+	}
+	floor, k := binary.Uvarint(buf[off:])
+	if k <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	off += k
+	nz, k := binary.Uvarint(buf[off:])
+	if k <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	off += k
+	if nz > n {
+		return nil, 0, fmt.Errorf("%w: %d residuals for dimension %d", ErrDimension, nz, n)
+	}
+	v := make(VC, n)
+	for i := range v {
+		v[i] = floor
+	}
+	for j := uint64(0); j < nz; j++ {
+		idx, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		off += k
+		r, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		off += k
+		if idx >= n {
+			return nil, 0, fmt.Errorf("%w: residual index %d ≥ dimension %d", ErrDimension, idx, n)
+		}
+		v[idx] = floor + r
 	}
 	return v, off, nil
 }

@@ -2,6 +2,8 @@ package vclock
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -72,6 +74,101 @@ func TestDecodeAbsurdDimension(t *testing.T) {
 	buf := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x40}
 	if _, _, err := DecodeVC(buf); err == nil {
 		t.Fatal("expected error on absurd dimension")
+	}
+}
+
+func TestDecodeDimensionCap(t *testing.T) {
+	// A long hostile frame may pass the ≥1-byte-per-component heuristic
+	// while still declaring an enormous clock; the hard cap rejects it.
+	buf := binary.AppendUvarint(nil, MaxDecodeDim+1)
+	buf = append(buf, make([]byte, MaxDecodeDim+1)...)
+	if _, _, err := DecodeVC(buf); !errors.Is(err, ErrDimension) {
+		t.Fatalf("DecodeVC above cap: %v", err)
+	}
+	if _, _, err := DecodeStab(buf); !errors.Is(err, ErrDimension) {
+		t.Fatalf("DecodeStab above cap: %v", err)
+	}
+	// Exactly at the cap is legal.
+	at := New(MaxDecodeDim).AppendBinary(nil)
+	if _, _, err := DecodeVC(at); err != nil {
+		t.Fatalf("DecodeVC at cap: %v", err)
+	}
+}
+
+func TestMarshalOneAllocation(t *testing.T) {
+	// Components past two varint bytes used to overflow the old 1+2*len
+	// capacity hint and force a regrow; sizing from EncodedSize makes
+	// MarshalBinary exactly one allocation for any magnitude.
+	v := VC{1 << 40, 1 << 60, 127, 128, 1 << 20, 0, 3}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := v.MarshalBinary(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 1 {
+		t.Fatalf("MarshalBinary allocs = %v, want 1", allocs)
+	}
+}
+
+func TestStabRoundTrip(t *testing.T) {
+	cases := []VC{
+		{},
+		{0},
+		{5, 5, 5, 5},       // fully stable: floor only, no residuals
+		{9, 9, 9, 12},      // one leader
+		{0, 3, 0, 7},       // floor zero
+		{1 << 40, 1, 1, 1}, // wide leader
+	}
+	for _, v := range cases {
+		buf := AppendStab(nil, v)
+		if len(buf) != StabSize(v) {
+			t.Fatalf("StabSize(%v) = %d, emitted %d", v, StabSize(v), len(buf))
+		}
+		got, n, err := DecodeStab(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("decode %v: n=%d err=%v", v, n, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("stab round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestQuickStabRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(32)
+		v := New(n)
+		floor := uint64(rng.Intn(1 << 20))
+		for i := range v {
+			v[i] = floor
+			if rng.Intn(4) == 0 {
+				v[i] += uint64(rng.Intn(1000))
+			}
+		}
+		buf := AppendStab(nil, v)
+		got, k, err := DecodeStab(buf)
+		return err == nil && k == len(buf) && got.Equal(v) && len(buf) == StabSize(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStabDecodeErrors(t *testing.T) {
+	full := AppendStab(nil, VC{3, 3, 9, 3})
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeStab(full[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", i)
+		}
+	}
+	// dim=2, floor=1, nz=3 > dim.
+	if _, _, err := DecodeStab([]byte{2, 1, 3, 0, 1, 1, 1}); err == nil {
+		t.Fatal("expected residual-count error")
+	}
+	// dim=2, floor=0, nz=1, residual index 5 out of range.
+	if _, _, err := DecodeStab([]byte{2, 0, 1, 5, 1}); err == nil {
+		t.Fatal("expected residual-index error")
 	}
 }
 

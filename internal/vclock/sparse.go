@@ -1,0 +1,208 @@
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sparse is a compressed clock: the nonzero components of a
+// fixed-dimension vector, stored as parallel sorted slices of indices
+// and values. It mirrors CausalMesh's compressed representation — a
+// clock whose population is far below its dimension costs O(nnz)
+// memory instead of O(dim) — and supports the same comparison lattice
+// as VC against dense operands.
+//
+// Sparse is a building block; most callers want Adaptive, which flips
+// between Sparse and dense VC on density thresholds.
+type Sparse struct {
+	dim int
+	ix  []int32
+	vx  []uint64
+}
+
+// NewSparse returns an empty (all-zero) sparse clock of dimension n.
+func NewSparse(n int) *Sparse {
+	return &Sparse{dim: n}
+}
+
+// SparseFrom builds a sparse clock holding v's nonzero components.
+func SparseFrom(v VC) *Sparse {
+	s := NewSparse(len(v))
+	s.CopyFrom(v)
+	return s
+}
+
+// Dim returns the clock's dimension.
+func (s *Sparse) Dim() int { return s.dim }
+
+// NNZ returns the number of stored (nonzero) components.
+func (s *Sparse) NNZ() int { return len(s.ix) }
+
+// CopyFrom overwrites s with v's contents, reusing the backing slices.
+// Unlike VC.CopyFrom it accepts any dimension: the sparse form exists
+// precisely so link state can follow whatever clock the wire carries.
+func (s *Sparse) CopyFrom(v VC) {
+	s.dim = len(v)
+	s.ix = s.ix[:0]
+	s.vx = s.vx[:0]
+	for i, x := range v {
+		if x != 0 {
+			s.ix = append(s.ix, int32(i))
+			s.vx = append(s.vx, x)
+		}
+	}
+}
+
+// find returns the position of index i in s.ix and whether it is present.
+func (s *Sparse) find(i int) (int, bool) {
+	j := sort.Search(len(s.ix), func(k int) bool { return int(s.ix[k]) >= i })
+	return j, j < len(s.ix) && int(s.ix[j]) == i
+}
+
+// Get returns component i, treating absent components as zero.
+func (s *Sparse) Get(i int) uint64 {
+	if j, ok := s.find(i); ok {
+		return s.vx[j]
+	}
+	return 0
+}
+
+// Set assigns component i, inserting or removing the stored pair as
+// needed. It panics if i is out of range, matching VC.Set.
+func (s *Sparse) Set(i int, x uint64) {
+	if i < 0 || i >= s.dim {
+		panic(fmt.Sprintf("vclock: sparse Set(%d) out of range [0,%d)", i, s.dim))
+	}
+	j, ok := s.find(i)
+	switch {
+	case ok && x != 0:
+		s.vx[j] = x
+	case ok: // x == 0: remove
+		s.ix = append(s.ix[:j], s.ix[j+1:]...)
+		s.vx = append(s.vx[:j], s.vx[j+1:]...)
+	case x != 0: // insert at j
+		s.ix = append(s.ix, 0)
+		copy(s.ix[j+1:], s.ix[j:])
+		s.ix[j] = int32(i)
+		s.vx = append(s.vx, 0)
+		copy(s.vx[j+1:], s.vx[j:])
+		s.vx[j] = x
+	}
+}
+
+// Merge sets s to the component-wise maximum of s and the dense o, the
+// sparse counterpart of VC.Merge. Dimensions must agree.
+func (s *Sparse) Merge(o VC) {
+	if len(o) != s.dim {
+		panic(fmt.Sprintf("vclock: merge dimension mismatch %d != %d", s.dim, len(o)))
+	}
+	// Walk o once with a cursor into the sorted pairs; build the merged
+	// pair set in place when nothing new appears, or into fresh slices
+	// when o introduces components s lacks.
+	var ix []int32
+	var vx []uint64
+	j := 0
+	for i, x := range o {
+		for j < len(s.ix) && int(s.ix[j]) < i {
+			ix = append(ix, s.ix[j])
+			vx = append(vx, s.vx[j])
+			j++
+		}
+		cur := uint64(0)
+		present := j < len(s.ix) && int(s.ix[j]) == i
+		if present {
+			cur = s.vx[j]
+			j++
+		}
+		if x > cur {
+			cur = x
+		}
+		if cur != 0 {
+			ix = append(ix, int32(i))
+			vx = append(vx, cur)
+		}
+	}
+	s.ix, s.vx = ix, vx
+}
+
+// Dominates reports o ≤ s component-wise — the sparse counterpart of
+// VC.Dominates. Dimensions must agree.
+func (s *Sparse) Dominates(o VC) bool {
+	if len(o) != s.dim {
+		panic(fmt.Sprintf("vclock: compare dimension mismatch %d != %d", s.dim, len(o)))
+	}
+	j := 0
+	for i, x := range o {
+		for j < len(s.ix) && int(s.ix[j]) < i {
+			j++
+		}
+		cur := uint64(0)
+		if j < len(s.ix) && int(s.ix[j]) == i {
+			cur = s.vx[j]
+		}
+		if cur < x {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and the dense o agree on every component.
+func (s *Sparse) Equal(o VC) bool {
+	if len(o) != s.dim {
+		return false
+	}
+	j := 0
+	for i, x := range o {
+		cur := uint64(0)
+		if j < len(s.ix) && int(s.ix[j]) == i {
+			cur = s.vx[j]
+			j++
+		}
+		if cur != x {
+			return false
+		}
+	}
+	return j == len(s.ix)
+}
+
+// DenseInto writes s's components into dst (which must have dimension
+// Dim) and returns dst — the allocation-free materialization.
+func (s *Sparse) DenseInto(dst VC) VC {
+	if len(dst) != s.dim {
+		panic(fmt.Sprintf("vclock: dense dimension mismatch %d != %d", len(dst), s.dim))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, i := range s.ix {
+		dst[i] = s.vx[j]
+	}
+	return dst
+}
+
+// Dense returns a fresh dense copy of s.
+func (s *Sparse) Dense() VC {
+	return s.DenseInto(New(s.dim))
+}
+
+// Sum returns the sum of all components (matching VC.Sum).
+func (s *Sparse) Sum() uint64 {
+	var t uint64
+	for _, x := range s.vx {
+		t += x
+	}
+	return t
+}
+
+// String renders the clock as "{dim i:v ...}".
+func (s *Sparse) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{%d", s.dim)
+	for j, i := range s.ix {
+		fmt.Fprintf(&b, " %d:%d", i, s.vx[j])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomClock builds a dense clock of dimension n whose population
+// density is controlled by fill (probability a component is nonzero).
+func randomClock(rng *rand.Rand, n int, fill float64) VC {
+	v := New(n)
+	for i := range v {
+		if rng.Float64() < fill {
+			v[i] = uint64(1 + rng.Intn(1<<20))
+		}
+	}
+	return v
+}
+
+func TestSparseMatchesDense(t *testing.T) {
+	// Every Sparse operation must agree with the dense VC reference,
+	// whatever the density.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(24)
+		fill := rng.Float64()
+		ref := randomClock(rng, n, fill)
+		s := SparseFrom(ref)
+
+		if s.Dim() != n || !s.Equal(ref) || s.Sum() != ref.Sum() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Get(i) != ref[i] {
+				return false
+			}
+		}
+		// A handful of random Sets, including zeroing.
+		for k := 0; k < 8; k++ {
+			i := rng.Intn(n)
+			x := uint64(rng.Intn(4)) // 0 exercises removal
+			s.Set(i, x)
+			ref.Set(i, x)
+			if !s.Equal(ref) {
+				return false
+			}
+		}
+		// Merge and Dominates against an independent operand.
+		o := randomClock(rng, n, fill)
+		if s.Dominates(o) != ref.Dominates(o) {
+			return false
+		}
+		s.Merge(o)
+		ref.Merge(o)
+		if !s.Equal(ref) {
+			return false
+		}
+		// Materializations agree.
+		if !s.Dense().Equal(ref) || !s.DenseInto(New(n)).Equal(ref) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseNNZ(t *testing.T) {
+	s := NewSparse(5)
+	if s.NNZ() != 0 {
+		t.Fatalf("empty NNZ = %d", s.NNZ())
+	}
+	s.Set(3, 7)
+	s.Set(1, 2)
+	if s.NNZ() != 2 || s.Get(1) != 2 || s.Get(3) != 7 {
+		t.Fatalf("after sets: %v", s)
+	}
+	s.Set(3, 0)
+	if s.NNZ() != 1 || s.Get(3) != 0 {
+		t.Fatalf("after removal: %v", s)
+	}
+	if got := s.String(); got != "{5 1:2}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestSparseSetOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSparse(3).Set(3, 1)
+}
+
+func TestAdaptiveMatchesDense(t *testing.T) {
+	// Same property for Adaptive, which additionally flips representation
+	// mid-sequence; drive it through long random op sequences at mixed
+	// densities so both flips happen.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(24)
+		a := NewAdaptive(n)
+		ref := New(n)
+		for k := 0; k < 40; k++ {
+			switch rng.Intn(3) {
+			case 0:
+				i := rng.Intn(n)
+				x := uint64(rng.Intn(1 << 16))
+				a.Set(i, x)
+				ref.Set(i, x)
+			case 1:
+				o := randomClock(rng, n, rng.Float64())
+				a.Merge(o)
+				ref.Merge(o)
+			case 2:
+				o := randomClock(rng, n, rng.Float64())
+				if a.Dominates(o) != ref.Dominates(o) {
+					return false
+				}
+			}
+			if !a.Equal(ref) || a.Sum() != ref.Sum() || a.Dim() != n {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				if a.Get(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		return a.Dense().Equal(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveHysteresis(t *testing.T) {
+	n := 16
+	a := NewAdaptive(n)
+	if !a.IsSparse() {
+		t.Fatal("zero clock should start sparse")
+	}
+	// Fill past the dense threshold (> 50%): 9 of 16.
+	for i := 0; i < 9; i++ {
+		a.Set(i, 1)
+	}
+	if a.IsSparse() {
+		t.Fatal("9/16 nonzero should be dense")
+	}
+	// Dropping just below 50% must NOT flip back (hysteresis band).
+	a.Set(8, 0)
+	if a.IsSparse() {
+		t.Fatal("8/16 should stay dense inside the hysteresis band")
+	}
+	// Dropping below 25% flips back to sparse: 3 of 16.
+	for i := 3; i < 8; i++ {
+		a.Set(i, 0)
+	}
+	if !a.IsSparse() {
+		t.Fatal("3/16 nonzero should be sparse")
+	}
+	want := VC{1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	if !a.Equal(want) {
+		t.Fatalf("after flips: %v, want %v", a.Dense(), want)
+	}
+}
+
+func TestAdaptiveCopyFromPicksRepresentation(t *testing.T) {
+	a := NewAdaptive(0)
+	dense := VC{1, 2, 3, 4, 5, 6, 7, 0}
+	a.CopyFrom(dense)
+	if a.IsSparse() || a.Dim() != 8 || !a.Equal(dense) {
+		t.Fatalf("dense copy: sparse=%v dim=%d", a.IsSparse(), a.Dim())
+	}
+	sparse := VC{0, 0, 0, 0, 0, 9, 0, 0, 0, 0}
+	a.CopyFrom(sparse)
+	if !a.IsSparse() || a.Dim() != 10 || !a.Equal(sparse) {
+		t.Fatalf("sparse copy: sparse=%v dim=%d", a.IsSparse(), a.Dim())
+	}
+	a.Reset()
+	if a.Dim() != 0 || !a.IsSparse() {
+		t.Fatalf("after Reset: dim=%d sparse=%v", a.Dim(), a.IsSparse())
+	}
+}
+
+func TestAdaptiveDeltaSignedRoundTrip(t *testing.T) {
+	// Signed deltas must round-trip against both representations of the
+	// base, including regressions (v < base component-wise) — the case
+	// the unsigned AppendDelta rejects by panic.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(24)
+		base := randomClock(rng, n, rng.Float64())
+		a := NewAdaptive(n)
+		a.CopyFrom(base)
+		v := New(n)
+		for i := range v {
+			// Around the base: below, equal, or above.
+			switch rng.Intn(3) {
+			case 0:
+				v[i] = base[i] / 2
+			case 1:
+				v[i] = base[i]
+			case 2:
+				v[i] = base[i] + uint64(rng.Intn(1000))
+			}
+		}
+		buf := a.AppendDeltaSigned(nil, v)
+		if len(buf) != a.DeltaSignedSize(v) {
+			return false
+		}
+		got, k, err := a.DecodeDeltaSigned(buf)
+		if err != nil || k != len(buf) || !got.Equal(v) {
+			return false
+		}
+		// The base must not have advanced (commit is the caller's job).
+		if !a.Equal(base) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveDeltaSignedErrors(t *testing.T) {
+	a := NewAdaptive(2)
+	a.CopyFrom(VC{1, 0})
+	// count=1, index=7 against dimension 2.
+	if _, _, err := a.DecodeDeltaSigned([]byte{1, 7, 2}); err == nil {
+		t.Fatal("expected dimension error on out-of-range index")
+	}
+	// Delta that drives component 0 negative: zigzag(-5) = 9.
+	if _, _, err := a.DecodeDeltaSigned([]byte{1, 0, 9}); err == nil {
+		t.Fatal("expected underflow error")
+	}
+	// Truncations.
+	full := a.AppendDeltaSigned(nil, VC{4, 3})
+	for i := 0; i < len(full); i++ {
+		if _, _, err := a.DecodeDeltaSigned(full[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", i)
+		}
+	}
+	// Absurd count with a short buffer.
+	if _, _, err := a.DecodeDeltaSigned([]byte{0xFF, 0xFF, 0x40}); err == nil {
+		t.Fatal("expected count-exceeds-buffer error")
+	}
+}
+
+func TestAdaptiveDeltaDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdaptive(3).AppendDeltaSigned(nil, VC{1, 2})
+}
+
+func BenchmarkSparseMerge(b *testing.B) {
+	o := randomClock(rand.New(rand.NewSource(1)), 64, 0.1)
+	s := SparseFrom(randomClock(rand.New(rand.NewSource(2)), 64, 0.1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Merge(o)
+	}
+}
+
+func BenchmarkAdaptiveDeltaSigned(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	base := randomClock(rng, 64, 0.3)
+	v := base.Clone()
+	v[17] += 3
+	v[41] += 1
+	a := NewAdaptive(64)
+	a.CopyFrom(base)
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = a.AppendDeltaSigned(buf[:0], v)
+	}
+}
