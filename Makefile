@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build test vet race bench smoke throughput audit-bench metadata-bench service-bench chaos-bench trace-bench conformance chaos-conformance fuzz fuzz-smoke vuln clean
+.PHONY: check ci build test vet race bench smoke throughput audit-bench metadata-bench replication-bench service-bench chaos-bench trace-bench conformance chaos-conformance fuzz fuzz-smoke vuln clean
 
 ## check: the full gate — vet, build, tests, a short race pass, a
 ## fuzz burst over the wire codec, and the chaos conformance suite
@@ -10,12 +10,13 @@ check: vet build test race fuzz-smoke chaos-conformance
 ## ci: what .github/workflows/ci.yml runs — the full gate plus the
 ## conformance suite under the race detector, the dsmbench smoke sweep,
 ## the hot-path throughput gate, the offline audit gate, the
-## metadata-codec gate, the serving-tier gates, plain and chaos, and
+## metadata-codec gate, the partial-replication gate, the serving-tier
+## gates, plain and chaos, and
 ## the request-tracing
 ## overhead gate (their dsmbench/v1 scorecards and the dsmtrace sample
 ## report are uploaded as CI artifacts) plus a vulnerability scan when
 ## govulncheck is on PATH.
-ci: check conformance smoke throughput audit-bench metadata-bench service-bench chaos-bench trace-bench vuln
+ci: check conformance smoke throughput audit-bench metadata-bench replication-bench service-bench chaos-bench trace-bench vuln
 
 ## smoke: the fast dsmbench subset (visibility, ws, obsoverhead) with
 ## the machine-readable scorecard written to smoke-scorecard.json.
@@ -50,6 +51,18 @@ audit-bench:
 metadata-bench:
 	$(GO) run ./cmd/dsmbench -exp metadata \
 		-baseline BENCH_metadata.json -json metadata-scorecard.json
+
+## replication-bench: the partial-replication gate — the E-partial
+## sweep (update copies per write, stored variables per process,
+## metadata bytes and read-forwarding counts across replication
+## factors r at P ∈ {8, 16}), gated against the committed
+## BENCH_replication.json baseline — fails when fan-out or metadata
+## bytes regress >20% at any (procs, r) cell, or when the headline
+## claim breaks: at 16 processes with r = 4, ≤4 msgs/write and a
+## ≥3.5× per-process storage reduction vs full replication.
+replication-bench:
+	$(GO) run ./cmd/dsmbench -exp partial \
+		-baseline BENCH_replication.json -json replication-scorecard.json
 
 ## service-bench: the serving-tier scorecard — closed-loop multi-
 ## connection load against a live dsmd server over TCP loopback, gated
@@ -137,4 +150,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json metadata-scorecard.json service-scorecard.json chaos-scorecard.json trace-scorecard.json trace-records.jsonl trace-report.txt
+	rm -f smoke-scorecard.json throughput-scorecard.json audit-scorecard.json metadata-scorecard.json replication-scorecard.json service-scorecard.json chaos-scorecard.json trace-scorecard.json trace-records.jsonl trace-report.txt

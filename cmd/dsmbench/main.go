@@ -6,8 +6,9 @@
 //	dsmbench                    # run every experiment
 //	dsmbench -exp jitter        # one of: jitter, nprocs, mix,
 //	                            # falsecausality, buffer, throughput,
-//	                            # ws, ablation, metadata, twosite,
-//	                            # visibility, chaos, crash, obsoverhead
+//	                            # ws, ablation, metadata, partial,
+//	                            # twosite, visibility, chaos, crash,
+//	                            # obsoverhead
 //	dsmbench -exp smoke         # fast CI subset (visibility, ws,
 //	                            # obsoverhead)
 //	dsmbench -procs 4 -ops 500  # sizing for -exp throughput
@@ -26,6 +27,14 @@
 //	                            # nonzero if bytes or time regress >20%
 //	                            # or delta/auto stop halving the clock
 //	                            # bytes at P=64
+//	dsmbench -exp partial -baseline BENCH_replication.json
+//	                            # partial-replication scorecard: fan-out
+//	                            # (msgs/write), per-process storage and
+//	                            # metadata bytes across replication
+//	                            # factors r at P ∈ {8, 16}; exits
+//	                            # nonzero if fan-out or metadata regress
+//	                            # >20% or the 16/4 headline (≤4
+//	                            # msgs/write, ≥3.5x storage cut) fails
 //	dsmbench -exp service -baseline BENCH_service.json
 //	                            # serving-tier scorecard: closed-loop
 //	                            # multi-connection load against a live
@@ -83,6 +92,7 @@ func main() {
 		"ws":             experiments.WritingSemantics,
 		"ablation":       experiments.Ablation,
 		"metadata":       experiments.MetadataCompression,
+		"partial":        experiments.PartialReplication,
 		"twosite":        experiments.TwoSiteTopology,
 		"visibility":     experiments.VisibilityLatency,
 		"chaos":          experiments.Chaos,
@@ -231,6 +241,7 @@ func main() {
 			{experiments.ServiceName, experiments.CheckServiceRegression},
 			{experiments.ServiceChaosName, experiments.CheckServiceChaosRegression},
 			{experiments.MetadataName, experiments.CheckMetadataRegression},
+			{experiments.PartialName, experiments.CheckPartialRegression},
 		} {
 			if !hasExperiment(baseline, gate.name) || !hasResult(results, gate.name) {
 				continue

@@ -59,6 +59,7 @@ func run(args []string, ready func(addr string)) error {
 	jitter := fs.Duration("jitter", 0, "max artificial inter-replica message delay")
 	fifo := fs.Bool("fifo", true, "preserve per-link FIFO order in the replica transport")
 	seed := fs.Int64("seed", 1, "transport delay seed")
+	replFactor := fs.Int("replication-factor", 0, "replicas per variable; the serving tier requires full replication, so only 0 or -procs is accepted (partial replication runs offline via dsmrun)")
 	metaCodec := fs.String("meta-codec", "off", "causality-metadata codec on inter-replica links: off, delta, stab, auto")
 	walDir := fs.String("wal-dir", "", "crash recovery: write-ahead log directory (one subdir per process)")
 	walSync := fs.Bool("wal-sync", false, "crash recovery: fsync the journal after every record")
@@ -95,6 +96,9 @@ func run(args []string, ready func(addr string)) error {
 	}
 	if *vars < 1 {
 		return fmt.Errorf("-vars must be at least 1, got %d", *vars)
+	}
+	if *replFactor != 0 && *replFactor != *procs {
+		return fmt.Errorf("-replication-factor %d: a session may read any variable at any replica, so the serving tier requires full replication — use 0 or %d, or run partial replication offline via dsmrun", *replFactor, *procs)
 	}
 	if *jitter < 0 || *waitTimeout < 0 || *batchWindow < 0 || *drainTimeout < 0 {
 		return fmt.Errorf("durations must not be negative")

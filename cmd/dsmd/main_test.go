@@ -222,6 +222,8 @@ func TestDaemonRejectsBadConfig(t *testing.T) {
 		{"-procs", "1"},
 		{"-vars", "0"},
 		{"-meta-codec", "nonsense"},
+		{"-replication-factor", "2"}, // partial: every replica must serve every variable
+		{"-replication-factor", "-1"},
 		{"extra-arg"},
 	}
 	for _, args := range cases {

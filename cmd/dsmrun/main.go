@@ -8,6 +8,8 @@
 //
 //	dsmrun -protocol OptP -procs 4 -vars 4 -ops 100 -jitter 2ms
 //	dsmrun -protocol ANBKH -trace csv > run.csv
+//	dsmrun -protocol PartialRep -replication-factor 2  # partial replication
+//	dsmrun -protocol PartialRep -share-sets 0,1/1,2/2,3/3,0
 //	dsmrun -loss 0.2 -dup 0.1                      # chaos stack
 //	dsmrun -partition 5ms-25ms:0,1/2,3             # timed split-brain
 //	dsmrun -wal-dir /tmp/dsm -crash 1@5ms -restart-after 20ms
@@ -39,7 +41,7 @@ import (
 )
 
 func main() {
-	proto := flag.String("protocol", "OptP", "protocol: OptP, ANBKH, WS-recv, WS-send, OptP-noreadmerge")
+	proto := flag.String("protocol", "OptP", "protocol: OptP, ANBKH, WS-recv, WS-send, OptP-noreadmerge, PartialRep")
 	procs := flag.Int("procs", 4, "number of processes")
 	vars := flag.Int("vars", 4, "number of shared variables")
 	ops := flag.Int("ops", 100, "operations per process")
@@ -47,6 +49,8 @@ func main() {
 	jitter := flag.Duration("jitter", time.Millisecond, "max artificial message delay")
 	fifo := flag.Bool("fifo", false, "preserve per-link FIFO order")
 	seed := flag.Int64("seed", 1, "workload and transport seed")
+	replFactor := flag.Int("replication-factor", 0, "partial replication: store each variable at this many processes (Modulo assignment; needs -protocol PartialRep; 0: full replication)")
+	shareSets := flag.String("share-sets", "", "partial replication: explicit per-variable process groups, e.g. 0,1/1,2/2,0 (needs -protocol PartialRep)")
 	traceOut := flag.String("trace", "", "dump the event trace: csv, json, or diagram")
 	useTCP := flag.Bool("tcp", false, "run over real loopback TCP sockets instead of channels")
 	metaCodec := flag.String("meta-codec", "off", "causality-metadata codec on inter-replica links: off, delta, stab, auto")
@@ -88,6 +92,25 @@ func main() {
 	}
 	if *writeRatio < 0 || *writeRatio > 1 {
 		usage("-write-ratio must be in [0,1], got %g", *writeRatio)
+	}
+	if *replFactor < 0 || *replFactor > *procs {
+		usage("-replication-factor must be in [1,%d], got %d", *procs, *replFactor)
+	}
+	if *replFactor > 0 && *shareSets != "" {
+		usage("-replication-factor and -share-sets are mutually exclusive")
+	}
+	var sets [][]int
+	if *replFactor > 0 {
+		sets = protocol.Modulo(*vars, *procs, *replFactor).Raw()
+	}
+	if *shareSets != "" {
+		var err error
+		if sets, err = parseShareSets(*shareSets, *procs, *vars); err != nil {
+			usage("-share-sets: %v", err)
+		}
+	}
+	if sets != nil && kind != protocol.PartialRep {
+		usage("-replication-factor and -share-sets need -protocol PartialRep, got %v", kind)
 	}
 	if *jitter < 0 {
 		usage("-jitter must not be negative, got %v", *jitter)
@@ -145,7 +168,8 @@ func main() {
 	}
 	cfg := core.Config{
 		Processes: *procs, Variables: *vars, Protocol: kind,
-		MaxDelay: *jitter, FIFO: *fifo, Seed: *seed,
+		ShareSets: sets,
+		MaxDelay:  *jitter, FIFO: *fifo, Seed: *seed,
 		Chaos:             chaos,
 		RetransmitTimeout: *rto,
 		BackoffMax:        *backoffMax,
@@ -203,6 +227,9 @@ func main() {
 		}
 		if *walDir != "" || *heartbeat > 0 || len(crashes) > 0 {
 			usage("crash-recovery flags apply to the built-in channel transport, not -tcp")
+		}
+		if sets != nil {
+			usage("partial-replication flags apply to the built-in channel transport, not -tcp")
 		}
 		// The TCP transport codes the wire per connection (with resync on
 		// reconnect), so the codec lives inside it rather than in core.
@@ -349,6 +376,10 @@ func main() {
 		rep.Safe(), rep.CausallyConsistent(), rep.InP(), rep.ExactlyOnce())
 	fmt.Printf("delays: %d necessary, %d unnecessary (write-delay optimal: %v)\n",
 		rep.NecessaryDelays, rep.UnnecessaryDelays, rep.WriteDelayOptimal())
+	if rep.PartialReplication {
+		fmt.Printf("partial replication: share-respected=%v, %d reads forwarded (%d delayed)\n",
+			rep.ShareRespected(), log.ReadFwdCount(), log.ReadDelayCount())
+	}
 	if rep.Crashes > 0 {
 		fmt.Printf("crashes: %d, recoveries: %d (crash-consistent: %v)\n",
 			rep.Crashes, rep.Recoveries, rep.CrashConsistent())
@@ -370,6 +401,13 @@ func main() {
 	if n := len(rep.DuplicateApplies); n > 0 {
 		fmt.Printf("DUPLICATE APPLIES (%d):\n", n)
 		for _, v := range rep.DuplicateApplies {
+			fmt.Println("  ", v)
+		}
+		os.Exit(2)
+	}
+	if n := len(rep.StrayApplies); n > 0 {
+		fmt.Printf("STRAY APPLIES (%d):\n", n)
+		for _, v := range rep.StrayApplies {
 			fmt.Println("  ", v)
 		}
 		os.Exit(2)
@@ -418,6 +456,28 @@ func parseCrashes(s string, procs int, restartAfter time.Duration) ([]core.Crash
 	return out, nil
 }
 
+// parseShareSets parses "0,1/1,2/2,0" — one comma-separated process
+// group per variable, in variable order — into a share-set assignment
+// validated against the process and variable counts.
+func parseShareSets(s string, procs, vars int) ([][]int, error) {
+	groups := strings.Split(s, "/")
+	if len(groups) != vars {
+		return nil, fmt.Errorf("share-sets %q: %d groups for %d variables", s, len(groups), vars)
+	}
+	out := make([][]int, len(groups))
+	for x, g := range groups {
+		set, err := parseProcs(g, procs)
+		if err != nil {
+			return nil, fmt.Errorf("share-sets variable %d: %w", x, err)
+		}
+		out[x] = set
+	}
+	if _, err := protocol.NewShareSets(out, procs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // parsePartition parses "start-end:a,b/c,d" into a timed link cut
 // between process groups {a,b} and {c,d}.
 func parsePartition(s string, procs int) (transport.Partition, error) {
@@ -455,10 +515,10 @@ func parseProcs(s string, procs int) ([]int, error) {
 	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			return nil, fmt.Errorf("partition group %q: %w", s, err)
+			return nil, fmt.Errorf("process group %q: %w", s, err)
 		}
 		if n < 0 || n >= procs {
-			return nil, fmt.Errorf("partition group %q: process %d out of range [0,%d)", s, n, procs)
+			return nil, fmt.Errorf("process group %q: process %d out of range [0,%d)", s, n, procs)
 		}
 		out = append(out, n)
 	}

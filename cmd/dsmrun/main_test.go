@@ -1,0 +1,38 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseShareSets(t *testing.T) {
+	got, err := parseShareSets("0,1/1,2/2,0", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {1, 2}, {2, 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseShareSets = %v, want %v", got, want)
+	}
+	// A single-process group is the r=1 extreme, still valid.
+	if _, err := parseShareSets("0/1", 2, 2); err != nil {
+		t.Fatalf("singleton groups rejected: %v", err)
+	}
+}
+
+func TestParseShareSetsErrors(t *testing.T) {
+	for name, c := range map[string]struct {
+		s           string
+		procs, vars int
+	}{
+		"group count != vars":  {"0,1/1,2", 3, 3},
+		"process out of range": {"0,1/1,3/2,0", 3, 3},
+		"negative process":     {"0,-1/1,2/2,0", 3, 3},
+		"not a number":         {"0,x/1,2/2,0", 3, 3},
+		"empty group":          {"0,1//2,0", 3, 3},
+	} {
+		if _, err := parseShareSets(c.s, c.procs, c.vars); err == nil {
+			t.Errorf("%s: parseShareSets(%q, %d, %d) accepted", name, c.s, c.procs, c.vars)
+		}
+	}
+}

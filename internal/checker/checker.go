@@ -105,6 +105,13 @@ type Report struct {
 	NotApplied         []MissingApply
 	DuplicateApplies   []DuplicateApply
 
+	// PartialReplication records that the log carried a share-set
+	// assignment, scoping NotApplied to replicating processes;
+	// StrayApplies lists applies observed outside a variable's
+	// share-set (see partial.go).
+	PartialReplication bool
+	StrayApplies       []StrayApply
+
 	Delays            []ClassifiedDelay
 	NecessaryDelays   int
 	UnnecessaryDelays int
@@ -126,7 +133,8 @@ func (r *Report) Safe() bool { return len(r.SafetyViolations) == 0 }
 func (r *Report) CausallyConsistent() bool { return len(r.LegalityViolations) == 0 }
 
 // InP reports strict 𝒫 membership: every write's value installed at
-// every process.
+// every process — every *replicating* process when the run was
+// partially replicated.
 func (r *Report) InP() bool { return len(r.NotApplied) == 0 }
 
 // WriteDelayOptimal reports Definition 5's observable consequence: the
@@ -146,6 +154,10 @@ func (r *Report) String() string {
 		"audit: safe=%v consistent=%v in-P=%v exactly-once=%v delays=%d (necessary=%d unnecessary=%d) discards=%d",
 		r.Safe(), r.CausallyConsistent(), r.InP(), r.ExactlyOnce(),
 		len(r.Delays), r.NecessaryDelays, r.UnnecessaryDelays, r.Discards)
+	if r.PartialReplication {
+		out += fmt.Sprintf(" share-respected=%v stray-applies=%d",
+			r.ShareRespected(), len(r.StrayApplies))
+	}
 	if r.Crashes > 0 || r.Recoveries > 0 {
 		out += fmt.Sprintf(" crashes=%d recoveries=%d crash-consistent=%v",
 			r.Crashes, r.Recoveries, r.CrashConsistent())
@@ -174,6 +186,7 @@ func Audit(log *trace.Log) (*Report, error) {
 	r.LegalityViolations = c.CheckCausallyConsistent()
 	r.auditApplies(log, c)
 	r.classifyDelays(log, c)
+	r.auditShareSets(log)
 	r.auditCrashes(log)
 	return r, nil
 }
@@ -244,10 +257,7 @@ func (r *Report) auditApplies(log *trace.Log, c *history.Causality) {
 	h := r.History
 	nprocs := log.NumProcs
 	writes := h.Writes()
-	ids := make([]history.WriteID, len(writes))
-	for i, gi := range writes {
-		ids[i] = h.Ops()[gi].ID
-	}
+	ids, wvars := historyWriteVars(h)
 	perProc := writesPerProc(h, nprocs)
 
 	discarded := make([]map[history.WriteID]bool, nprocs)
@@ -274,7 +284,7 @@ func (r *Report) auditApplies(log *trace.Log, c *history.Causality) {
 
 	results := make([]procApplyAudit, nprocs)
 	forEachProc(nprocs, func(p int) {
-		results[p] = auditProcApplies(p, ids, perProc, writes, preds, appliedLog[p], discarded[p], c)
+		results[p] = auditProcApplies(p, log, ids, wvars, perProc, writes, preds, appliedLog[p], discarded[p], c)
 	})
 	for p := range results {
 		r.NotApplied = append(r.NotApplied, results[p].notApplied...)
@@ -288,7 +298,9 @@ func (r *Report) auditApplies(log *trace.Log, c *history.Causality) {
 // applied in →co order. A missing apply is a liveness hole, reported
 // via NotApplied, not a safety violation (WS-send legitimately never
 // propagates suppressed writes, yet applies every propagated pair in
-// order).
+// order). Under partial replication a write is only ever expected at
+// its variable's share-set, so missing applies elsewhere are not
+// reported at all.
 //
 // When p applied every write, the apply order is a linear extension of
 // →co iff every *covering* edge of the WriteGraph respects apply
@@ -300,13 +312,16 @@ func (r *Report) auditApplies(log *trace.Log, c *history.Causality) {
 // runs instead: b's apply is consistent iff no write of any writer q
 // with seq ≤ Write_co(b)[q] was applied after b, an O(W·P) prefix-
 // maximum scan.
-func auditProcApplies(p int, ids []history.WriteID, perProc []int, writes []int, preds [][]int32, order []history.WriteID, discarded map[history.WriteID]bool, c *history.Causality) procApplyAudit {
+func auditProcApplies(p int, log *trace.Log, ids []history.WriteID, wvars []int, perProc []int, writes []int, preds [][]int32, order []history.WriteID, discarded map[history.WriteID]bool, c *history.Causality) procApplyAudit {
 	var res procApplyAudit
 	if len(order) == 0 {
-		// Nothing applied: every write is missing and there is no order
-		// to check — skip building the position tables entirely.
-		for _, id := range ids {
-			res.notApplied = append(res.notApplied, MissingApply{Proc: p, Write: id})
+		// Nothing applied: every write addressed to p is missing and
+		// there is no order to check — skip building the position
+		// tables entirely.
+		for i, id := range ids {
+			if log.Replicated(p, wvars[i]) {
+				res.notApplied = append(res.notApplied, MissingApply{Proc: p, Write: id})
+			}
 		}
 		return res
 	}
@@ -331,9 +346,11 @@ func auditProcApplies(p int, ids []history.WriteID, perProc []int, writes []int,
 	// Liveness and duplicates first, so a duplicate's extra position
 	// can't silently mask an order violation reported below.
 	appliedCount := 0
-	for _, id := range ids {
+	for i, id := range ids {
 		if pos(id) == 0 {
-			res.notApplied = append(res.notApplied, MissingApply{Proc: p, Write: id})
+			if log.Replicated(p, wvars[i]) {
+				res.notApplied = append(res.notApplied, MissingApply{Proc: p, Write: id})
+			}
 		} else {
 			appliedCount++
 			if discarded[id] {
@@ -425,6 +442,11 @@ func (r *Report) classifyDelays(log *trace.Log, c *history.Causality) {
 	}
 	nprocs := log.NumProcs
 	perProc := writesPerProc(r.History, nprocs)
+	var wids []history.WriteID
+	var wvars []int
+	if log.ShareSets != nil {
+		wids, wvars = historyWriteVars(r.History)
+	}
 
 	// Per-process event indices; the events themselves stay in the
 	// shared log (read-only below) rather than being copied per worker.
@@ -442,6 +464,21 @@ func (r *Report) classifyDelays(log *trace.Log, c *history.Causality) {
 		}
 		frontier := vclock.New(nprocs)
 		scratch := vclock.New(nprocs)
+		if log.ShareSets != nil {
+			// Writes not addressed to p never apply there, so their
+			// absence can never make a delay necessary: pre-mark them
+			// as seen and advance the frontier over them.
+			for i, id := range wids {
+				if !log.Replicated(p, wvars[i]) {
+					seen[id.Proc][id.Seq-1] = true
+				}
+			}
+			for q := 0; q < nprocs; q++ {
+				for int(frontier[q]) < perProc[q] && seen[q][frontier[q]] {
+					frontier[q]++
+				}
+			}
+		}
 		mark := func(id history.WriteID) {
 			if id.Seq < 1 || id.Proc < 0 || id.Proc >= nprocs || id.Seq > perProc[id.Proc] {
 				return // not a write of the history; never in any causal past

@@ -24,6 +24,8 @@ func requireReportsEqual(t *testing.T, label string, fast, ref *Report) {
 		}
 	}
 	check("SafetyViolations", fast.SafetyViolations, ref.SafetyViolations)
+	check("PartialReplication", fast.PartialReplication, ref.PartialReplication)
+	check("StrayApplies", fast.StrayApplies, ref.StrayApplies)
 	check("LegalityViolations", fast.LegalityViolations, ref.LegalityViolations)
 	check("NotApplied", fast.NotApplied, ref.NotApplied)
 	check("DuplicateApplies", fast.DuplicateApplies, ref.DuplicateApplies)
@@ -49,6 +51,7 @@ func TestPropertyAuditEquivalence(t *testing.T) {
 	kinds := []protocol.Kind{
 		protocol.OptP, protocol.ANBKH, protocol.WSRecv,
 		protocol.WSSend, protocol.OptPNoReadMerge, protocol.OptPWS,
+		protocol.PartialRep, // full share-sets: behaves as broadcast
 	}
 	for _, kind := range kinds {
 		kind := kind

@@ -1,0 +1,84 @@
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/trace"
+)
+
+// Partial replication changes what the audit may demand of a process:
+// under a share-set assignment only the processes replicating a
+// variable ever apply its writes, so liveness (Theorem 5) is scoped to
+// the share-set, and an apply observed anywhere else is its own
+// violation class. Safety and delay necessity are likewise judged
+// against the addressed subset: a write not addressed to p can never
+// constrain p's apply order nor justify buffering there.
+
+// StrayApply reports a write applied (or logically applied) at a
+// process outside its variable's share-set — under partial replication
+// the update should never have been delivered there, let alone applied.
+type StrayApply struct {
+	Proc  int
+	Write history.WriteID
+	Var   int
+}
+
+// String implements fmt.Stringer.
+func (s StrayApply) String() string {
+	return fmt.Sprintf("%v applied at p%d, outside x%d's share-set",
+		s.Write, s.Proc+1, s.Var)
+}
+
+// ShareRespected reports that no write was applied outside its
+// variable's share-set. Trivially true for fully replicated runs.
+func (r *Report) ShareRespected() bool { return len(r.StrayApplies) == 0 }
+
+// historyWriteVars returns the history's writes as parallel ID and
+// variable tables, in flattened history order (aligned with
+// History.Writes).
+func historyWriteVars(h *history.History) ([]history.WriteID, []int) {
+	writes := h.Writes()
+	ids := make([]history.WriteID, len(writes))
+	vars := make([]int, len(writes))
+	for i, gi := range writes {
+		op := h.Ops()[gi]
+		ids[i] = op.ID
+		vars[i] = op.Var
+	}
+	return ids, vars
+}
+
+// auditShareSets scans for stray applies. Shared verbatim by Audit and
+// AuditReference: the check is a single log pass with no causality
+// dependence, so there is nothing to fan out or approximate. Apply
+// events carry their variable; Discards (logical applies) don't, so
+// those resolve through the issuing events.
+func (r *Report) auditShareSets(log *trace.Log) {
+	if log.ShareSets == nil {
+		return
+	}
+	r.PartialReplication = true
+	varOf := make(map[history.WriteID]int)
+	for _, e := range log.Events {
+		if e.Kind == trace.Issue {
+			varOf[e.Write] = e.Var
+		}
+	}
+	for _, e := range log.Events {
+		x := e.Var
+		switch e.Kind {
+		case trace.Apply:
+		case trace.Discard:
+			var ok bool
+			if x, ok = varOf[e.Write]; !ok {
+				continue
+			}
+		default:
+			continue
+		}
+		if !log.Replicated(e.Proc, x) {
+			r.StrayApplies = append(r.StrayApplies, StrayApply{Proc: e.Proc, Write: e.Write, Var: x})
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package checker
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// runPartial simulates a PartialRep run under a Modulo share-set
+// assignment and returns its log.
+func runPartial(t *testing.T, procs, vars, factor int, seed uint64) *trace.Log {
+	t.Helper()
+	scripts, err := workload.Scripts(workload.Config{
+		Procs: procs, Vars: vars, OpsPerProc: 30, WriteRatio: 0.5,
+		ThinkMin: 1, ThinkMax: 40, Hot: 0.3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Procs: procs, Vars: vars, Protocol: protocol.PartialRep,
+		ShareSets: protocol.Modulo(vars, procs, factor).Raw(),
+		Latency:   sim.NewUniformLatency(1, 150, seed*7+3),
+	}, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Log
+}
+
+// TestPropertyPartialAuditClean is the correctness property of the
+// partial-replication protocol: across seeds and replication factors,
+// runs audit clean — safe, causally consistent, every write installed
+// at every replicating process exactly once, no stray applies, and no
+// unnecessary write delay.
+func TestPropertyPartialAuditClean(t *testing.T) {
+	for _, shape := range []struct{ procs, vars, factor int }{
+		{4, 4, 2}, {6, 6, 2}, {6, 6, 3}, {5, 7, 2},
+	} {
+		for _, seed := range []uint64{11, 23, 37} {
+			label := fmt.Sprintf("P=%d V=%d r=%d seed=%d", shape.procs, shape.vars, shape.factor, seed)
+			log := runPartial(t, shape.procs, shape.vars, shape.factor, seed)
+			r, err := Audit(log)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !r.PartialReplication {
+				t.Fatalf("%s: audit did not notice the share-set assignment", label)
+			}
+			if !r.Safe() || !r.CausallyConsistent() || !r.InP() || !r.ExactlyOnce() || !r.ShareRespected() {
+				t.Fatalf("%s: violations: %s\nsafety=%v legality=%v notApplied=%v stray=%v",
+					label, r, r.SafetyViolations, r.LegalityViolations, r.NotApplied, r.StrayApplies)
+			}
+			if !r.WriteDelayOptimal() {
+				t.Fatalf("%s: %d unnecessary delays: %+v", label, r.UnnecessaryDelays, r.Delays)
+			}
+		}
+	}
+}
+
+// TestPropertyPartialAuditEquivalence extends the fast-vs-reference
+// equivalence contract to partially replicated runs: the share-aware
+// liveness scoping, delay pre-marking, and stray-apply scan must agree
+// between the vector-frontier engine and the dense oracle.
+func TestPropertyPartialAuditEquivalence(t *testing.T) {
+	for _, seed := range []uint64{11, 23, 37} {
+		log := runPartial(t, 5, 5, 2, seed)
+		fast, err := Audit(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := AuditReference(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireReportsEqual(t, fmt.Sprintf("partial seed %d", seed), fast, ref)
+	}
+}
+
+// strayApplyLog hand-crafts the negative control: under share-sets
+// x0→{p1,p2}, x1→{p2,p3}, process p3 — which replicates only x1 —
+// applies the x0 write it should never have received.
+func strayApplyLog() *trace.Log {
+	w := history.WriteID{Proc: 0, Seq: 1}
+	l := trace.NewLog(3, 2)
+	l.ShareSets = [][]int{{0, 1}, {1, 2}}
+	l.Append(trace.Event{Kind: trace.Issue, Proc: 0, Time: 0, Write: w, Var: 0, Val: 7})
+	l.Append(trace.Event{Kind: trace.Receipt, Proc: 1, Time: 1, Write: w, Var: 0})
+	l.Append(trace.Event{Kind: trace.Apply, Proc: 1, Time: 1, Write: w, Var: 0, Val: 7})
+	// The stray: p3 is outside x0's share-set {p1, p2}.
+	l.Append(trace.Event{Kind: trace.Receipt, Proc: 2, Time: 2, Write: w, Var: 0})
+	l.Append(trace.Event{Kind: trace.Apply, Proc: 2, Time: 2, Write: w, Var: 0, Val: 7})
+	return l
+}
+
+// TestStrayApplyNegativeControl pins the new violation class: an apply
+// outside the share-set must be flagged — by both engines — while the
+// same trace with full replication stays clean.
+func TestStrayApplyNegativeControl(t *testing.T) {
+	for name, audit := range map[string]func(*trace.Log) (*Report, error){
+		"fast": Audit, "reference": AuditReference,
+	} {
+		r, err := audit(strayApplyLog())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.ShareRespected() {
+			t.Fatalf("%s: stray apply at p3 not flagged", name)
+		}
+		want := StrayApply{Proc: 2, Write: history.WriteID{Proc: 0, Seq: 1}, Var: 0}
+		if len(r.StrayApplies) != 1 || r.StrayApplies[0] != want {
+			t.Fatalf("%s: StrayApplies = %+v, want [%+v]", name, r.StrayApplies, want)
+		}
+		// Liveness is scoped to the share-set: p3 missing the write is
+		// fine, and the two replicating processes (the issuer p1 and
+		// p2) both hold it.
+		if !r.InP() {
+			t.Fatalf("%s: NotApplied should be empty under the share-set scope, got %+v", name, r.NotApplied)
+		}
+
+		// Control: same events, full replication — no strays, but p3's
+		// missing apply becomes a genuine liveness hole.
+		full := strayApplyLog()
+		full.ShareSets = nil
+		fr, err := audit(full)
+		if err != nil {
+			t.Fatalf("%s full: %v", name, err)
+		}
+		if !fr.ShareRespected() || fr.PartialReplication {
+			t.Fatalf("%s full: share-set machinery leaked into a fully replicated audit: %s", name, fr)
+		}
+	}
+}

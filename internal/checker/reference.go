@@ -33,6 +33,7 @@ func AuditReference(log *trace.Log) (*Report, error) {
 	r.LegalityViolations = c.CheckCausallyConsistent()
 	r.auditAppliesReference(log)
 	r.classifyDelaysReference(log)
+	r.auditShareSets(log)
 	r.auditCrashes(log)
 	return r, nil
 }
@@ -40,11 +41,7 @@ func AuditReference(log *trace.Log) (*Report, error) {
 // auditAppliesReference is the original pairwise safety and liveness
 // check.
 func (r *Report) auditAppliesReference(log *trace.Log) {
-	writes := r.History.Writes()
-	ids := make([]history.WriteID, len(writes))
-	for i, gi := range writes {
-		ids[i] = r.History.Ops()[gi].ID
-	}
+	ids, wvars := historyWriteVars(r.History)
 
 	discarded := make(map[int]map[history.WriteID]bool)
 	for p := 0; p < log.NumProcs; p++ {
@@ -66,9 +63,11 @@ func (r *Report) auditAppliesReference(log *trace.Log) {
 			}
 			times[id]++
 		}
-		for _, id := range ids {
+		for i, id := range ids {
 			if pos[id] == 0 {
-				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id})
+				if log.Replicated(p, wvars[i]) {
+					r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id})
+				}
 			} else if discarded[p][id] {
 				r.NotApplied = append(r.NotApplied, MissingApply{Proc: p, Write: id, Logical: true})
 			}
@@ -107,6 +106,18 @@ func (r *Report) classifyDelaysReference(log *trace.Log) {
 	applied := make([]map[history.WriteID]bool, log.NumProcs)
 	for p := range applied {
 		applied[p] = make(map[history.WriteID]bool)
+	}
+	if log.ShareSets != nil {
+		// Writes not addressed to p never apply there, so their absence
+		// can never make a delay necessary: seed them as applied.
+		ids, wvars := historyWriteVars(r.History)
+		for p := range applied {
+			for i, id := range ids {
+				if !log.Replicated(p, wvars[i]) {
+					applied[p][id] = true
+				}
+			}
+		}
 	}
 	for _, e := range log.Events {
 		switch e.Kind {

@@ -48,6 +48,12 @@ type Cluster struct {
 	start  time.Time
 	hasTok bool
 
+	// shares is the partial-replication assignment; the zero value means
+	// full replication everywhere. readAbort unblocks forwarded reads
+	// parked in Node.readRemote when the cluster closes.
+	shares    protocol.ShareSets
+	readAbort chan struct{}
+
 	journal *trace.Journal
 	closed  atomic.Bool
 
@@ -118,12 +124,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		start:   time.Now(),
-		journal: trace.NewJournal(cfg.Processes, cfg.Variables),
-		tee:     cfg.Obs != nil || cfg.Sink != nil,
-		acct:    newQuiesceAcct(cfg.Processes),
-		down:    make([]bool, cfg.Processes),
+		cfg:       cfg,
+		start:     time.Now(),
+		journal:   trace.NewJournal(cfg.Processes, cfg.Variables),
+		tee:       cfg.Obs != nil || cfg.Sink != nil,
+		acct:      newQuiesceAcct(cfg.Processes),
+		down:      make([]bool, cfg.Processes),
+		readAbort: make(chan struct{}),
+	}
+	if cfg.ShareSets != nil {
+		shares, err := protocol.NewShareSets(cfg.ShareSets, cfg.Processes)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err) // unreachable after Validate
+		}
+		c.shares = shares
+		c.journal.SetShareSets(shares.Raw())
 	}
 	tr := cfg.Transport
 	if tr == nil {
@@ -166,7 +181,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.tr = tr
 	for p := 0; p < cfg.Processes; p++ {
-		r := protocol.New(cfg.Protocol, p, cfg.Processes, cfg.Variables)
+		var r protocol.Replica
+		if !c.shares.IsZero() {
+			r = protocol.NewPartialRep(p, cfg.Processes, cfg.Variables, c.shares)
+		} else {
+			r = protocol.New(cfg.Protocol, p, cfg.Processes, cfg.Variables)
+		}
 		n := &Node{c: c, id: p, replica: r, pending: newPendingSet(cfg.Processes)}
 		if _, ok := r.(protocol.TokenBatcher); ok {
 			c.hasTok = true
@@ -295,6 +315,22 @@ func (c *Cluster) Variables() int { return c.cfg.Variables }
 // Protocol returns the running protocol kind.
 func (c *Cluster) Protocol() protocol.Kind { return c.cfg.Protocol }
 
+// ShareSets returns a copy of the partial-replication assignment, or
+// nil when every variable is replicated everywhere.
+func (c *Cluster) ShareSets() [][]int {
+	if c.shares.IsZero() {
+		return nil
+	}
+	return c.shares.Raw()
+}
+
+// PartiallyReplicated reports whether some variable is replicated at a
+// strict subset of the processes. A PartialRep cluster whose explicit
+// share-sets cover every process still counts as fully replicated.
+func (c *Cluster) PartiallyReplicated() bool {
+	return !c.shares.IsFull()
+}
+
 // Detector returns the heartbeat failure detector, or nil when
 // HeartbeatInterval is unset.
 func (c *Cluster) Detector() *transport.Detector { return c.det }
@@ -333,9 +369,19 @@ func (c *Cluster) appendEvent(e trace.Event) {
 	switch e.Kind {
 	case trace.Send:
 		if e.Write.Seq > 0 {
-			for q := range c.acct.lag {
-				if q != e.Proc {
-					c.acct.lag[q].v.Add(1)
+			if c.shares.IsZero() {
+				for q := range c.acct.lag {
+					if q != e.Proc {
+						c.acct.lag[q].v.Add(1)
+					}
+				}
+			} else {
+				// Partial replication: the update reaches (and is
+				// applied at) the share-set only.
+				for _, q := range c.shares.Replicas(e.Var) {
+					if q != e.Proc {
+						c.acct.lag[q].v.Add(1)
+					}
 				}
 			}
 			c.acct.bump()
@@ -473,8 +519,10 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	// Invalidate in-flight quiescence checks; pollers re-read closed
-	// on their next iteration and observe the close.
+	// on their next iteration and observe the close. Forwarded reads
+	// parked on their reply channel wake and return ErrClosed.
 	c.acct.bump()
+	close(c.readAbort)
 
 	if c.crashStop != nil {
 		close(c.crashStop)

@@ -39,6 +39,16 @@ type Config struct {
 	// OptP, the paper's optimal protocol.
 	Protocol protocol.Kind
 
+	// ShareSets, when non-nil, engages partial replication: ShareSets[x]
+	// lists the processes replicating variable x (len must equal
+	// Variables, each set non-empty). Writes then multicast to the
+	// share-set only, and reads of a variable the reading process does
+	// not replicate are forwarded to a replicating server. Requires
+	// Protocol == PartialRep. Incompatible with WALDir and Crashes:
+	// restart catch-up assumes peers archive every write, which partial
+	// stores deliberately don't.
+	ShareSets [][]int
+
 	// MinDelay and MaxDelay bound the artificial per-message network
 	// delay of the built-in transport. Zero means immediate delivery.
 	MinDelay, MaxDelay time.Duration
@@ -151,6 +161,20 @@ func (c Config) Validate() error {
 	}
 	if c.MinDelay < 0 || c.MaxDelay < c.MinDelay {
 		return fmt.Errorf("core: delay range [%v, %v]", c.MinDelay, c.MaxDelay)
+	}
+	if c.ShareSets != nil {
+		if c.Protocol != protocol.PartialRep {
+			return fmt.Errorf("core: ShareSets requires Protocol = PartialRep, got %v", c.Protocol)
+		}
+		if len(c.ShareSets) != c.Variables {
+			return fmt.Errorf("core: ShareSets covers %d variables, cluster has %d", len(c.ShareSets), c.Variables)
+		}
+		if _, err := protocol.NewShareSets(c.ShareSets, c.Processes); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if c.WALDir != "" || len(c.Crashes) > 0 {
+			return fmt.Errorf("core: partial replication (ShareSets) does not compose with crash recovery")
+		}
 	}
 	if c.TokenInterval < 0 {
 		return fmt.Errorf("core: TokenInterval = %v", c.TokenInterval)

@@ -48,6 +48,22 @@ type Node struct {
 	// fw notifies frontier-admission waiters (the serving tier) of
 	// frontier-affecting changes; see frontierWaiters.
 	fw frontierWaiters
+
+	// readWaiters routes forwarded-read replies back to their blocked
+	// readers, keyed by request token (the negated ReadReq seq).
+	// Guarded by mu; nil until the first forwarded read.
+	readWaiters map[int]chan readReply
+
+	// outbox collects read replies produced while holding mu; handle
+	// sends them after unlocking, so a full FIFO link can never block a
+	// lock holder a delivery goroutine is waiting on. Guarded by mu.
+	outbox []outMsg
+}
+
+// outMsg is a deferred transport send (see Node.outbox).
+type outMsg struct {
+	to int
+	u  protocol.Update
 }
 
 // ID returns the node's 0-based process index.
@@ -95,8 +111,13 @@ func (n *Node) Write(x int, v int64) error {
 	n.mu.Unlock()
 	// Broadcast outside the node lock: a full FIFO link must never
 	// block a holder of n.mu that a delivery goroutine is waiting for.
+	// Under partial replication only the share-set gets the update.
 	if broadcast {
-		transport.Broadcast(n.c.tr, n.c.cfg.Processes, n.id, u)
+		if n.c.shares.IsZero() {
+			transport.Broadcast(n.c.tr, n.c.cfg.Processes, n.id, u)
+		} else {
+			transport.Multicast(n.c.tr, n.id, n.c.shares.Replicas(x), u)
+		}
 	}
 	return nil
 }
@@ -108,15 +129,20 @@ func (n *Node) Read(x int) (int64, error) {
 }
 
 // ReadMeta is Read plus the identity of the write that produced the
-// value (history.Bottom for the initial ⊥).
+// value (history.Bottom for the initial ⊥). Under partial replication a
+// read of a variable this process does not replicate forwards to a
+// replicating server and blocks until the reply (or cluster close).
 func (n *Node) ReadMeta(x int) (int64, history.WriteID, error) {
 	if err := n.check(x); err != nil {
 		return 0, history.Bottom, err
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.down.Load() {
+		n.mu.Unlock()
 		return 0, history.Bottom, fmt.Errorf("read at p%d: %w", n.id+1, ErrDown)
+	}
+	if rr, ok := n.replica.(protocol.RemoteReader); ok && !rr.LocalVar(x) {
+		return n.readRemote(rr, x) // takes over (and releases) n.mu
 	}
 	v, from := n.replica.Read(x)
 	// OptP-family reads mutate Write_co (read-merge); journal them or a
@@ -128,7 +154,52 @@ func (n *Node) ReadMeta(x int) (int64, history.WriteID, error) {
 		Kind: trace.Return, Proc: n.id, Time: n.c.now(),
 		Var: x, Val: v, From: from,
 	})
+	n.mu.Unlock()
 	return v, from, nil
+}
+
+// readReply pairs a forwarded-read reply with whether it had to wait
+// in the pending buffer for in-flight writes addressed to the
+// requester — the requester-side read delay of E-partial.
+type readReply struct {
+	u        protocol.Update
+	buffered bool
+}
+
+// readRemote forwards a read of non-replicated x to its deterministic
+// serving replica and parks until the reply routes back through handle.
+// Entered holding n.mu; returns with it released. The reply channel is
+// buffered so a reply landing after a close-abort is simply dropped.
+func (n *Node) readRemote(rr protocol.RemoteReader, x int) (int64, history.WriteID, error) {
+	req, server := rr.NewReadReq(x)
+	tok := -req.ID.Seq
+	ch := make(chan readReply, 1)
+	if n.readWaiters == nil {
+		n.readWaiters = make(map[int]chan readReply)
+	}
+	n.readWaiters[tok] = ch
+	n.c.appendEvent(trace.Event{
+		Kind: trace.ReadFwd, Proc: n.id, Time: n.c.now(),
+		Write: req.ID, Var: x,
+	})
+	n.mu.Unlock()
+	n.c.tr.Send(transport.Message{From: n.id, To: server, Update: req})
+	select {
+	case reply := <-ch:
+		n.mu.Lock()
+		v, from := rr.CompleteRead(reply.u)
+		n.c.appendEvent(trace.Event{
+			Kind: trace.Return, Proc: n.id, Time: n.c.now(),
+			Var: x, Val: v, From: from, Buffered: reply.buffered,
+		})
+		n.mu.Unlock()
+		return v, from, nil
+	case <-n.c.readAbort:
+		n.mu.Lock()
+		delete(n.readWaiters, tok)
+		n.mu.Unlock()
+		return 0, history.Bottom, fmt.Errorf("read at p%d: %w", n.id+1, ErrClosed)
+	}
 }
 
 // Clock returns a copy of the replica's primary control vector
@@ -197,12 +268,81 @@ func (n *Node) handle(m transport.Message) {
 		return // crash-stop: in-flight messages are dropped
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.down.Load() {
+		n.mu.Unlock()
 		return
 	}
-	n.receiveLocked(m.Update)
-	n.drainLocked()
+	u := m.Update
+	if u.ReadReply {
+		// A reply whose matrix covers writes addressed *here* that are
+		// still in flight must wait for them — the mirror of the
+		// server-side request wait. Merging it early would stamp the
+		// reader's next write ahead of those stragglers at remote
+		// replicas, inverting →co. Park it with the write buffer; the
+		// apply that satisfies it routes it onward via the drain.
+		if n.replica.Status(u) != protocol.Deliverable {
+			n.pending.add(u)
+			n.mu.Unlock()
+			return
+		}
+		// Route the reply to its parked reader; deliver outside the
+		// lock (the channel is buffered, so this never blocks).
+		tok := -u.ID.Seq
+		ch, ok := n.readWaiters[tok]
+		if ok {
+			delete(n.readWaiters, tok)
+		}
+		n.mu.Unlock()
+		if ok {
+			ch <- readReply{u: u}
+		}
+		return
+	}
+	if u.ReadReq {
+		// Forwarded-read requests bypass the receipt state machine: a
+		// deliverable request is served now, a blocked one parks in
+		// pending until the requester's causal past applies here.
+		if n.replica.Status(u) == protocol.Deliverable {
+			n.serveReadLocked(u, false)
+		} else {
+			n.pending.add(u)
+		}
+	} else {
+		n.receiveLocked(u)
+		n.drainLocked()
+	}
+	out := n.outbox
+	n.outbox = nil
+	n.mu.Unlock()
+	for _, om := range out {
+		n.c.tr.Send(transport.Message{From: n.id, To: om.to, Update: om.u})
+	}
+}
+
+// serveReadLocked answers a deliverable forwarded-read request,
+// queueing the reply on the outbox (sent by handle after unlock).
+// buffered marks requests that had to wait for the requester's causal
+// past — the read-delay count of E-partial. Caller holds n.mu.
+func (n *Node) serveReadLocked(req protocol.Update, buffered bool) {
+	reply := n.replica.(protocol.RemoteReader).ServeRead(req)
+	n.c.appendEvent(trace.Event{
+		Kind: trace.ReadServe, Proc: n.id, Time: n.c.now(),
+		Write: req.ID, Var: req.Var, Val: reply.Val, From: reply.Prev,
+		Buffered: buffered,
+	})
+	n.outbox = append(n.outbox, outMsg{to: req.ID.Proc, u: reply})
+}
+
+// completeReadLocked hands a now-deliverable parked reply to its
+// blocked reader, marking the requester-side read delay. The waiter
+// channel is buffered, so the send never blocks a lock holder; a
+// reader that already aborted just leaves no waiter. Caller holds n.mu.
+func (n *Node) completeReadLocked(u protocol.Update) {
+	tok := -u.ID.Seq
+	if ch, ok := n.readWaiters[tok]; ok {
+		delete(n.readWaiters, tok)
+		ch <- readReply{u: u, buffered: true}
+	}
 }
 
 // receiveLocked runs the receipt state machine for one update: record
@@ -332,7 +472,14 @@ func (n *Node) drainStepLocked(origin int, canPurge bool, res protocol.Resumer) 
 		switch n.replica.Status(u) {
 		case protocol.Deliverable:
 			n.pending.removeAt(origin, probe)
-			n.applyLocked(u, n.c.now())
+			switch {
+			case u.ReadReq:
+				n.serveReadLocked(u, true)
+			case u.ReadReply:
+				n.completeReadLocked(u)
+			default:
+				n.applyLocked(u, n.c.now())
+			}
 			return true
 		case protocol.Discardable:
 			n.pending.removeAt(origin, probe)
@@ -359,7 +506,14 @@ func (n *Node) drainScanLocked(canPurge bool, res protocol.Resumer) bool {
 			switch n.replica.Status(u) {
 			case protocol.Deliverable:
 				n.pending.removeAt(origin, i)
-				n.applyLocked(u, n.c.now())
+				switch {
+				case u.ReadReq:
+					n.serveReadLocked(u, true)
+				case u.ReadReply:
+					n.completeReadLocked(u)
+				default:
+					n.applyLocked(u, n.c.now())
+				}
 				return true
 			case protocol.Discardable:
 				n.pending.removeAt(origin, i)

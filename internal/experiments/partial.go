@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/checker"
+	"repro/internal/history"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PartialName identifies the partial-replication scorecard experiment
+// in dsmbench/v1 documents; CheckPartialRegression matches baseline
+// and current results by it.
+const PartialName = "E-partial"
+
+// PartialReplication is the partial-replication experiment: for each
+// system size it sweeps the replication factor r — every variable
+// stored at r processes under the Modulo assignment — and measures
+// what the share-set multicast buys: update copies per write (the
+// fan-out), variables stored per process, metadata bytes per shipped
+// update (through the MetaAuto codec on the real per-link streams,
+// which differ per destination under partial replication), and the
+// read-forwarding traffic that pays for it. Every run is audited; a
+// single safety, liveness or share-set violation fails the sweep.
+func PartialReplication() (Result, error) {
+	return partialSweep([]int{8, 16}, []uint64{11, 23, 37})
+}
+
+// partialFactors is the r sweep for one system size: full replication
+// (the baseline), P/2, P/4, and the minimum redundant factor 2,
+// deduplicated and clamped to ≥ 1.
+func partialFactors(procs int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, r := range []int{procs, procs / 2, procs / 4, 2} {
+		if r < 1 {
+			r = 1
+		}
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// partialSweep is the parameterized body of PartialReplication, kept
+// separate so tests can run a tiny sweep fast.
+func partialSweep(ps []int, seeds []uint64) (Result, error) {
+	res := Result{
+		Name:   PartialName,
+		Desc:   "partial replication (Modulo share-sets, vars = procs): fan-out, storage and metadata vs replication factor r",
+		Header: []string{"procs", "r", "msgs/write", "stored-vars/proc", "clock-B/op", "read-fwds", "read-delays"},
+	}
+	for _, n := range ps {
+		for _, factor := range partialFactors(n) {
+			shares := protocol.Modulo(n, n, factor)
+			var copies, writes uint64
+			var fwds, delays int
+			var streams [][]protocol.Update
+			for _, seed := range seeds {
+				scripts, err := workload.Scripts(workload.Config{
+					Procs: n, Vars: n, OpsPerProc: 40, WriteRatio: 0.5,
+					ThinkMin: 5, ThinkMax: 60, Hot: 0.2, Seed: seed,
+				})
+				if err != nil {
+					return res, err
+				}
+				run, err := sim.Run(sim.Config{
+					Procs: n, Vars: n, Protocol: protocol.PartialRep,
+					ShareSets: shares.Raw(),
+					Latency:   sim.NewUniformLatency(1, 150, seed*13+7),
+					FIFO:      true,
+				}, scripts)
+				if err != nil {
+					return res, fmt.Errorf("experiments: %s n=%d r=%d seed %d: %w", PartialName, n, factor, seed, err)
+				}
+				rep, err := checker.Audit(run.Log)
+				if err != nil {
+					return res, fmt.Errorf("experiments: %s audit n=%d r=%d seed %d: %w", PartialName, n, factor, seed, err)
+				}
+				if !rep.Safe() || !rep.CausallyConsistent() || !rep.InP() || !rep.ExactlyOnce() || !rep.ShareRespected() {
+					return res, fmt.Errorf("experiments: %s n=%d r=%d seed %d: audit violations: %s", PartialName, n, factor, seed, rep)
+				}
+				copies += run.UpdateCopies
+				writes += uint64(run.Log.WritesIssued())
+				fwds += run.Log.ReadFwdCount()
+				delays += run.Log.ReadDelayCount()
+				streams = append(streams, partialLinkStreams(run.Updates, shares, n)...)
+			}
+			if writes == 0 {
+				return res, fmt.Errorf("experiments: %s n=%d r=%d: no writes issued", PartialName, n, factor)
+			}
+			clockB, _, _, err := codecCost(streams, protocol.MetaAuto)
+			if err != nil {
+				return res, fmt.Errorf("experiments: %s n=%d r=%d codec: %w", PartialName, n, factor, err)
+			}
+			nruns := float64(len(seeds))
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprint(n), fmt.Sprint(factor),
+				fmt.Sprintf("%.1f", float64(copies)/float64(writes)),
+				fmt.Sprintf("%.1f", storedVarsPerProc(shares)),
+				fmt.Sprintf("%.1f", clockB),
+				fmt.Sprintf("%.1f", float64(fwds)/nruns),
+				fmt.Sprintf("%.1f", float64(delays)/nruns),
+			})
+		}
+	}
+	return res, nil
+}
+
+// storedVarsPerProc is the mean number of variables a process
+// replicates under the assignment — its share of the memory.
+func storedVarsPerProc(shares protocol.ShareSets) float64 {
+	total := 0
+	for p := 0; p < shares.NumProcs(); p++ {
+		total += len(shares.LocalVars(p))
+	}
+	return float64(total) / float64(shares.NumProcs())
+}
+
+// partialLinkStreams groups updates into the exact per-link byte
+// streams of a partially replicated run: sender p's link to q carries,
+// in sequence order, only the updates whose variable q replicates.
+// Unlike the broadcast case (senderStreams), a sender's outgoing links
+// are NOT identical here, so every pair is enumerated.
+func partialLinkStreams(updates map[history.WriteID]protocol.Update, shares protocol.ShareSets, n int) [][]protocol.Update {
+	maxSeq := make([]int, n)
+	for id := range updates {
+		if id.Seq > maxSeq[id.Proc] {
+			maxSeq[id.Proc] = id.Seq
+		}
+	}
+	var out [][]protocol.Update
+	for p := 0; p < n; p++ {
+		if maxSeq[p] == 0 {
+			continue
+		}
+		for q := 0; q < n; q++ {
+			if q == p {
+				continue
+			}
+			var link []protocol.Update
+			for seq := 1; seq <= maxSeq[p]; seq++ {
+				u, ok := updates[history.WriteID{Proc: p, Seq: seq}]
+				if !ok || !shares.Replicates(q, u.Var) {
+					continue
+				}
+				link = append(link, u)
+			}
+			if len(link) > 0 {
+				out = append(out, link)
+			}
+		}
+	}
+	return out
+}
+
+// CheckPartialRegression gates the partial-replication scorecard
+// against the committed baseline: matching (procs, r) rows may not
+// regress by more than tolerance (0.2 = 20%) on msgs/write or
+// clock-B/op, and the headline fan-out and storage claims must hold in
+// the CURRENT results — at 16 processes with r = 4, a write ships at
+// most 4 update copies (vs 15 under full replication) and a process
+// stores at most 2/7 of the full-replication footprint (a ≥3.5×
+// reduction). Rows present in only one document are ignored, so
+// extending the sweep doesn't break the gate. Improvements never fail.
+func CheckPartialRegression(current []Result, baseline Scorecard, tolerance float64) error {
+	base, err := partialCells(baseline.Experiments)
+	if err != nil {
+		return fmt.Errorf("experiments: baseline scorecard: %w", err)
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("experiments: baseline scorecard has no %s rows", PartialName)
+	}
+	cur, err := partialCells(current)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("experiments: current results have no %s rows", PartialName)
+	}
+	for key, want := range base {
+		got, ok := cur[key]
+		if !ok {
+			continue
+		}
+		if ceiling := want.msgsPerWrite * (1 + tolerance); got.msgsPerWrite > ceiling {
+			return fmt.Errorf("experiments: partial-replication regression at %s: %.1f msgs/write > %.1f (baseline %.1f + %.0f%% tolerance)",
+				key, got.msgsPerWrite, ceiling, want.msgsPerWrite, tolerance*100)
+		}
+		if ceiling := want.clockB * (1 + tolerance); got.clockB > ceiling {
+			return fmt.Errorf("experiments: partial-replication regression at %s: %.1f clock-B/op > %.1f (baseline %.1f + %.0f%% tolerance)",
+				key, got.clockB, ceiling, want.clockB, tolerance*100)
+		}
+	}
+	headline, ok := cur["16/4"]
+	if !ok {
+		return nil // sweep without the headline size; nothing more to assert
+	}
+	if headline.msgsPerWrite > 4.0 {
+		return fmt.Errorf("experiments: partial replication at 16/4 ships %.1f msgs/write, more than the claimed ceiling of 4.0",
+			headline.msgsPerWrite)
+	}
+	if full, ok := cur["16/16"]; ok && headline.storedVars*3.5 > full.storedVars {
+		return fmt.Errorf("experiments: partial replication at 16/4 stores %.1f vars/proc vs %.1f under full replication — less than the claimed 3.5x reduction",
+			headline.storedVars, full.storedVars)
+	}
+	return nil
+}
+
+// partialCell is one parsed (procs, r) row of the partial table.
+type partialCell struct {
+	msgsPerWrite, storedVars, clockB float64
+}
+
+// partialCells extracts "procs/r" → cell from a partial result.
+func partialCells(results []Result) (map[string]partialCell, error) {
+	out := map[string]partialCell{}
+	for _, r := range results {
+		if r.Name != PartialName {
+			continue
+		}
+		procsCol, rCol, msgCol, storeCol, clockCol := -1, -1, -1, -1, -1
+		for i, h := range r.Header {
+			switch h {
+			case "procs":
+				procsCol = i
+			case "r":
+				rCol = i
+			case "msgs/write":
+				msgCol = i
+			case "stored-vars/proc":
+				storeCol = i
+			case "clock-B/op":
+				clockCol = i
+			}
+		}
+		if procsCol < 0 || rCol < 0 || msgCol < 0 || storeCol < 0 || clockCol < 0 {
+			return nil, fmt.Errorf("experiments: %s table lacks procs/r/msgs/write/stored-vars/proc/clock-B/op columns (header %v)", r.Name, r.Header)
+		}
+		for _, row := range r.Rows {
+			if len(row) <= procsCol || len(row) <= rCol || len(row) <= msgCol || len(row) <= storeCol || len(row) <= clockCol {
+				continue
+			}
+			var cell partialCell
+			var err error
+			if cell.msgsPerWrite, err = strconv.ParseFloat(row[msgCol], 64); err != nil {
+				return nil, fmt.Errorf("experiments: %s msgs/write cell %q: %w", r.Name, row[msgCol], err)
+			}
+			if cell.storedVars, err = strconv.ParseFloat(row[storeCol], 64); err != nil {
+				return nil, fmt.Errorf("experiments: %s stored-vars/proc cell %q: %w", r.Name, row[storeCol], err)
+			}
+			if cell.clockB, err = strconv.ParseFloat(row[clockCol], 64); err != nil {
+				return nil, fmt.Errorf("experiments: %s clock-B/op cell %q: %w", r.Name, row[clockCol], err)
+			}
+			out[row[procsCol]+"/"+row[rCol]] = cell
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPartialFactors(t *testing.T) {
+	for _, c := range []struct {
+		procs int
+		want  []int
+	}{
+		{16, []int{16, 8, 4, 2}},
+		{8, []int{8, 4, 2}},
+		{4, []int{4, 2, 1}},
+	} {
+		got := partialFactors(c.procs)
+		if len(got) != len(c.want) {
+			t.Fatalf("partialFactors(%d) = %v, want %v", c.procs, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("partialFactors(%d) = %v, want %v", c.procs, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPartialSweepShape(t *testing.T) {
+	r, err := partialSweep([]int{4}, []uint64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != PartialName {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if len(r.Rows) != len(partialFactors(4)) {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), len(partialFactors(4)))
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row %v has %d cells, header %d", row, len(row), len(r.Header))
+		}
+		factor, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("row %v: r %q", row, row[1])
+		}
+		msgs, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("row %v: msgs/write %q", row, row[2])
+		}
+		// The multicast ships r-1 copies when the writer replicates its
+		// own variable and r when it doesn't, so the mean lies in
+		// [r-1, r] — never the full-broadcast procs-1.
+		if msgs < float64(factor-1) || msgs > float64(factor) {
+			t.Fatalf("row %v: msgs/write = %.1f, want within [%d, %d]", row, msgs, factor-1, factor)
+		}
+		// Under Modulo with vars = procs, each process stores exactly r
+		// variables.
+		if stored, _ := strconv.ParseFloat(row[3], 64); stored != float64(factor) {
+			t.Fatalf("row %v: stored-vars/proc = %.1f, want %d", row, stored, factor)
+		}
+		if clockB, _ := strconv.ParseFloat(row[4], 64); clockB <= 0 {
+			t.Fatalf("row %v: clock-B/op %q", row, row[4])
+		}
+		// Full replication forwards nothing; partial factors must.
+		if fwds, _ := strconv.ParseFloat(row[5], 64); (factor == 4) != (fwds == 0) {
+			t.Fatalf("row %v: read-fwds = %.1f at r=%d", row, fwds, factor)
+		}
+	}
+}
+
+// partialResults builds a synthetic E-partial table from
+// "procs/r" → {msgs/write, stored-vars/proc, clock-B/op} cells.
+func partialResults(cells map[string][3]string) []Result {
+	r := Result{
+		Name:   PartialName,
+		Header: []string{"procs", "r", "msgs/write", "stored-vars/proc", "clock-B/op", "read-fwds", "read-delays"},
+	}
+	for key, v := range cells {
+		procs, factor, _ := strings.Cut(key, "/")
+		r.Rows = append(r.Rows, []string{procs, factor, v[0], v[1], v[2], "0.0", "0.0"})
+	}
+	return []Result{r}
+}
+
+func TestCheckPartialRegression(t *testing.T) {
+	mk := func(msgs, stored, clockB string) []Result {
+		return partialResults(map[string][3]string{
+			"16/16": {"15.0", "16.0", "40.0"},
+			"16/4":  {msgs, stored, clockB},
+		})
+	}
+	baseline := NewScorecard(mk("3.0", "4.0", "20.0"))
+
+	if err := CheckPartialRegression(mk("3.0", "4.0", "20.0"), baseline, 0.2); err != nil {
+		t.Fatalf("identical results failed the gate: %v", err)
+	}
+	// Improvements never fail.
+	if err := CheckPartialRegression(mk("2.0", "4.0", "15.0"), baseline, 0.2); err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+	// msgs/write above baseline + tolerance fails.
+	if err := CheckPartialRegression(mk("3.9", "4.0", "20.0"), baseline, 0.2); err == nil {
+		t.Fatal("fan-out regression passed the gate")
+	}
+	// clock bytes above baseline + tolerance fail.
+	if err := CheckPartialRegression(mk("3.0", "4.0", "30.0"), baseline, 0.2); err == nil {
+		t.Fatal("metadata regression passed the gate")
+	}
+	// The headline fan-out ceiling binds regardless of the baseline.
+	loose := NewScorecard(mk("5.0", "4.0", "20.0"))
+	if err := CheckPartialRegression(mk("5.0", "4.0", "20.0"), loose, 0.2); err == nil {
+		t.Fatal("16/4 above 4 msgs/write passed the gate")
+	}
+	// The storage-reduction claim binds against the current 16/16 row.
+	if err := CheckPartialRegression(mk("3.0", "8.0", "20.0"), baseline, 0.2); err == nil {
+		t.Fatal("storage reduction below 3.5x passed the gate")
+	}
+	// A baseline without E-partial rows is a configuration error.
+	if err := CheckPartialRegression(mk("3.0", "4.0", "20.0"), NewScorecard(nil), 0.2); err == nil {
+		t.Fatal("empty baseline passed the gate")
+	}
+}

@@ -27,6 +27,8 @@ var kindFamilies = [trace.NumKinds]struct{ name, help string }{
 	trace.Recover:    {"dsm_recoveries_total", "restarts recovered from the write-ahead log"},
 	trace.Suspect:    {"dsm_suspects_total", "failure-detector suspicions raised"},
 	trace.Alive:      {"dsm_alives_total", "failure-detector suspicions cleared"},
+	trace.ReadFwd:    {"dsm_read_fwds_total", "reads of non-replicated variables forwarded to a serving replica"},
+	trace.ReadServe:  {"dsm_read_serves_total", "forwarded reads answered by a serving replica"},
 }
 
 // Span is one causal-propagation record: the write identified by

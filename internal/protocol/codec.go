@@ -16,7 +16,8 @@ import (
 //	clock              — vclock wire encoding (may be empty/zero-dim)
 //	prevProc, prevSeq  — overwritten-predecessor WriteID
 //	round, slot, size  — token batch coordinates
-//	flags              — bit 0: marker
+//	flags              — bit 0: marker, bit 1: read request,
+//	                     bit 2: read reply
 //
 // The codec is used by the TCP transport; it allocates only the
 // destination buffer and round-trips every field exactly.
@@ -47,6 +48,12 @@ func (u Update) appendWith(dst []byte, encClock func(vclock.VC, []byte) []byte) 
 	var flags uint64
 	if u.Marker {
 		flags |= 1
+	}
+	if u.ReadReq {
+		flags |= 2
+	}
+	if u.ReadReply {
+		flags |= 4
 	}
 	dst = binary.AppendUvarint(dst, flags)
 	return dst
@@ -114,6 +121,8 @@ func decodeUpdateWith(buf []byte, decClock func([]byte) (vclock.VC, int, error))
 	}
 	off += k2
 	u.Marker = flags&1 != 0
+	u.ReadReq = flags&2 != 0
+	u.ReadReply = flags&4 != 0
 	return u, off, nil
 }
 

@@ -41,6 +41,7 @@ const (
 	WSSend
 	OptPNoReadMerge
 	OptPWS
+	PartialRep
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +59,8 @@ func (k Kind) String() string {
 		return "OptP-noreadmerge"
 	case OptPWS:
 		return "OptP-WS"
+	case PartialRep:
+		return "PartialRep"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -98,6 +101,11 @@ type Update struct {
 	// Marker flags an empty-batch announcement (WSSend): it carries no
 	// write, only the (Round, holder) needed to advance receivers.
 	Marker bool
+	// ReadReq and ReadReply flag PartialRep read-forwarding messages:
+	// a request to read Var on behalf of ID.Proc (Seq is a negative
+	// per-requester token), and its answer carrying (Val, Prev, Clock).
+	ReadReq   bool
+	ReadReply bool
 }
 
 // From returns the sending process.
@@ -230,6 +238,10 @@ func New(kind Kind, p, n, m int) Replica {
 		return NewOptPAblated(p, n, m)
 	case OptPWS:
 		return NewOptPWS(p, n, m)
+	case PartialRep:
+		// Full replication by default; engines with a real assignment
+		// construct via NewPartialRep directly.
+		return NewPartialRep(p, n, m, Full(m, n))
 	default:
 		panic(fmt.Sprintf("protocol: unknown kind %d", int(kind)))
 	}
@@ -237,12 +249,13 @@ func New(kind Kind, p, n, m int) Replica {
 
 // Kinds lists all implemented protocol kinds, in display order.
 func Kinds() []Kind {
-	return []Kind{OptP, ANBKH, WSRecv, WSSend, OptPNoReadMerge, OptPWS}
+	return []Kind{OptP, ANBKH, WSRecv, WSSend, OptPNoReadMerge, OptPWS, PartialRep}
 }
 
 // BroadcastKinds lists the protocols that propagate each write
-// immediately via broadcast (every member of class 𝒫 we implement plus
-// WSRecv, which broadcasts but may discard).
+// immediately via broadcast to all peers (every member of class 𝒫 we
+// implement plus WSRecv, which broadcasts but may discard). PartialRep
+// also propagates immediately but multicasts to the share-set only.
 func BroadcastKinds() []Kind {
-	return []Kind{OptP, ANBKH, WSRecv, OptPNoReadMerge, OptPWS}
+	return []Kind{OptP, ANBKH, WSRecv, OptPNoReadMerge, OptPWS, PartialRep}
 }

@@ -1,0 +1,150 @@
+package protocol
+
+import "fmt"
+
+// ShareSets is a replication assignment: for each variable, the set of
+// processes that replicate it. It is the static configuration the
+// PartialRep protocol (Xiang & Vaidya, arXiv:1703.05424) runs against —
+// a write to x is multicast only to shareSet(x), and only those
+// processes ever store x.
+//
+// The zero value means "unset"; engines treat it as full replication.
+// A constructed ShareSets is immutable and safe for concurrent reads.
+type ShareSets struct {
+	n      int     // process count
+	sets   [][]int // per variable, sorted ascending
+	member []bool  // var*n + proc → replicates?
+	local  [][]int // per process, the variables it replicates
+}
+
+// NewShareSets validates and indexes a raw assignment: sets[x] lists
+// the processes replicating variable x. Every variable needs at least
+// one replica; entries must be in-range and duplicate-free.
+func NewShareSets(sets [][]int, procs int) (ShareSets, error) {
+	if procs <= 0 {
+		return ShareSets{}, fmt.Errorf("protocol: share-sets need a positive process count, got %d", procs)
+	}
+	s := ShareSets{
+		n:      procs,
+		sets:   make([][]int, len(sets)),
+		member: make([]bool, len(sets)*procs),
+		local:  make([][]int, procs),
+	}
+	for x, set := range sets {
+		if len(set) == 0 {
+			return ShareSets{}, fmt.Errorf("protocol: variable x%d has an empty share-set", x+1)
+		}
+		own := make([]int, 0, len(set))
+		for _, p := range set {
+			if p < 0 || p >= procs {
+				return ShareSets{}, fmt.Errorf("protocol: share-set of x%d names process %d (have %d)", x+1, p, procs)
+			}
+			if s.member[x*procs+p] {
+				return ShareSets{}, fmt.Errorf("protocol: share-set of x%d lists process %d twice", x+1, p)
+			}
+			s.member[x*procs+p] = true
+			own = append(own, p)
+		}
+		// Sorted order makes the server choice and wire layout
+		// deterministic regardless of how the config spelled the set.
+		for i := 1; i < len(own); i++ {
+			for j := i; j > 0 && own[j] < own[j-1]; j-- {
+				own[j], own[j-1] = own[j-1], own[j]
+			}
+		}
+		s.sets[x] = own
+	}
+	for x := range s.sets {
+		for _, p := range s.sets[x] {
+			s.local[p] = append(s.local[p], x)
+		}
+	}
+	return s, nil
+}
+
+// Modulo builds the round-robin default: variable x is replicated at
+// processes (x+i) mod procs for i in [0, r). r is clamped to [1, procs].
+func Modulo(vars, procs, r int) ShareSets {
+	if r < 1 {
+		r = 1
+	}
+	if r > procs {
+		r = procs
+	}
+	sets := make([][]int, vars)
+	for x := range sets {
+		set := make([]int, r)
+		for i := range set {
+			set[i] = (x + i) % procs
+		}
+		sets[x] = set
+	}
+	s, err := NewShareSets(sets, procs)
+	if err != nil {
+		panic(err) // construction above cannot violate the invariants
+	}
+	return s
+}
+
+// Full is the degenerate assignment replicating everything everywhere —
+// PartialRep under Full behaves like a broadcast protocol.
+func Full(vars, procs int) ShareSets { return Modulo(vars, procs, procs) }
+
+// IsZero reports an unset assignment (the zero value).
+func (s ShareSets) IsZero() bool { return s.n == 0 }
+
+// NumProcs returns the process count the assignment was built for.
+func (s ShareSets) NumProcs() int { return s.n }
+
+// NumVars returns the number of variables assigned.
+func (s ShareSets) NumVars() int { return len(s.sets) }
+
+// Replicates reports whether process p replicates variable x. An unset
+// assignment replicates everything everywhere.
+func (s ShareSets) Replicates(p, x int) bool {
+	if s.n == 0 {
+		return true
+	}
+	return s.member[x*s.n+p]
+}
+
+// Replicas returns the processes replicating x, sorted ascending. The
+// slice is shared — callers must not mutate it.
+func (s ShareSets) Replicas(x int) []int { return s.sets[x] }
+
+// LocalVars returns the variables process p replicates, sorted
+// ascending. The slice is shared — callers must not mutate it.
+func (s ShareSets) LocalVars(p int) []int { return s.local[p] }
+
+// Server picks the replica that serves process p's remote reads of x:
+// deterministic (so retries and the simulator agree) and spread across
+// the share-set by requester to avoid a single hot server.
+func (s ShareSets) Server(p, x int) int {
+	set := s.sets[x]
+	return set[p%len(set)]
+}
+
+// IsFull reports whether every process replicates every variable, in
+// which case PartialRep degenerates to broadcast and needs no read
+// forwarding. The zero value counts as full.
+func (s ShareSets) IsFull() bool {
+	for _, b := range s.member {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+// Raw returns a deep copy of the per-variable sets, for configs and
+// trace logs that must not alias the indexed form.
+func (s ShareSets) Raw() [][]int {
+	if s.n == 0 {
+		return nil
+	}
+	out := make([][]int, len(s.sets))
+	for x := range s.sets {
+		out[x] = append([]int(nil), s.sets[x]...)
+	}
+	return out
+}

@@ -51,10 +51,11 @@ type Resumer interface {
 }
 
 // ReadMutatesState reports whether Read changes control state for this
-// kind — OptP's read-merge folds LastWriteOn into Write_co — and hence
-// whether reads must be journaled for crash recovery to reconstruct
-// the exact →co knowledge.
-func (k Kind) ReadMutatesState() bool { return k == OptP || k == OptPWS }
+// kind — OptP's read-merge folds LastWriteOn into Write_co, and
+// PartialRep's folds LastOn (or a forwarded reply) into its edge
+// matrix — and hence whether reads must be journaled for crash
+// recovery to reconstruct the exact →co knowledge.
+func (k Kind) ReadMutatesState() bool { return k == OptP || k == OptPWS || k == PartialRep }
 
 // ExportState is a convenience wrapper asserting the StateCodec
 // interface on r.
@@ -451,4 +452,67 @@ func (r *optpws) RestoreState(data []byte) (int, error) {
 	}
 	r.skips, r.skipped = int(skips), skipped
 	return sr.off, nil
+}
+
+// ---------------------------------------------------------------------
+// PartialRep
+
+// AppendState implements StateCodec. The share-set assignment itself is
+// configuration, not state — the restoring replica must be constructed
+// under the same assignment, which the local-slot count check enforces.
+func (r *partialrep) AppendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(PartialRep))
+	dst = binary.AppendUvarint(dst, uint64(r.n))
+	dst = r.mat.AppendBinary(dst)
+	dst = r.applied.AppendBinary(dst)
+	dst = binary.AppendUvarint(dst, uint64(r.issued))
+	dst = binary.AppendUvarint(dst, uint64(r.readTok))
+	dst = appendMem(dst, r.vals, r.writers)
+	dst = binary.AppendUvarint(dst, uint64(len(r.lastOn)))
+	for _, vc := range r.lastOn {
+		dst = vc.AppendBinary(dst)
+	}
+	return dst
+}
+
+// RestoreState implements StateCodec.
+func (r *partialrep) RestoreState(data []byte) (int, error) {
+	sr := &stateReader{buf: data}
+	sr.header(PartialRep, r.n)
+	mat := sr.vc(r.n * r.n)
+	applied := sr.vc(r.n)
+	issued := sr.uvarint()
+	readTok := sr.uvarint()
+	vals := make([]int64, len(r.vals))
+	writers := make([]history.WriteID, len(r.writers))
+	sr.mem(vals, writers)
+	nl := sr.uvarint()
+	if sr.err == nil && nl != uint64(len(r.lastOn)) {
+		sr.fail(fmt.Errorf("%w: %d LastOn matrices, want %d", ErrStateCorrupt, nl, len(r.lastOn)))
+	}
+	lastOn := make([]vclock.VC, len(r.lastOn))
+	for i := range lastOn {
+		lastOn[i] = sr.vc(r.n * r.n)
+	}
+	if sr.err != nil {
+		return sr.off, sr.err
+	}
+	r.mat, r.applied = mat, applied
+	r.issued, r.readTok = int(issued), int(readTok)
+	r.vals, r.writers, r.lastOn = vals, writers, lastOn
+	return sr.off, nil
+}
+
+// NeedsUpdate implements Resumer: a write is needed iff this process
+// replicates its variable and its position on the (writer, here) edge
+// is beyond what has been applied. Read-forwarding messages are
+// transient — never replayed into a restarted replica.
+func (r *partialrep) NeedsUpdate(u Update) bool {
+	if u.Marker || u.ReadReq || u.ReadReply {
+		return false
+	}
+	if !r.shares.Replicates(r.id, u.Var) {
+		return false
+	}
+	return u.Clock.Get(u.From()*r.n+r.id) > r.applied.Get(u.From())
 }

@@ -211,7 +211,7 @@ func TestStateRestoreErrors(t *testing.T) {
 // TestReadMutatesState pins down which kinds journal reads.
 func TestReadMutatesState(t *testing.T) {
 	want := map[Kind]bool{
-		OptP: true, OptPWS: true,
+		OptP: true, OptPWS: true, PartialRep: true,
 		ANBKH: false, WSRecv: false, WSSend: false, OptPNoReadMerge: false,
 	}
 	for _, kind := range Kinds() {

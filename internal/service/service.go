@@ -191,6 +191,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Cluster.Protocol() == protocol.WSSend {
 		return nil, fmt.Errorf("service: %v clusters are not servable: suppressed writes keep apply frontiers from converging, so session tokens could block forever", protocol.WSSend)
 	}
+	if cfg.Cluster.PartiallyReplicated() {
+		return nil, fmt.Errorf("service: partially replicated clusters are not servable: a session may read any variable at any replica, and the serving tier's frontier waits assume every replica applies every write")
+	}
 	if cfg.WaitTimeout < 0 || cfg.BatchWindow < 0 || cfg.MaxBatch < 0 || cfg.MaxPipeline < 0 ||
 		cfg.MaxInflight < 0 || cfg.MaxQueue < 0 || cfg.DedupWindow < 0 || cfg.TraceRing < 0 {
 		return nil, fmt.Errorf("service: negative tuning parameter")

@@ -86,6 +86,20 @@ func TestWSSendClustersRejected(t *testing.T) {
 	}
 }
 
+func TestPartiallyReplicatedClustersRejected(t *testing.T) {
+	cl, err := core.NewCluster(core.Config{
+		Processes: 2, Variables: 2, Protocol: protocol.PartialRep,
+		ShareSets: [][]int{{0}, {1}},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cl.Close()
+	if _, err := service.New(service.Config{Cluster: cl}); err == nil {
+		t.Fatal("service.New accepted a partially replicated cluster; session frontier waits assume full replication")
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	srv, _ := startServer(t,
 		core.Config{Processes: 2, Variables: 2},

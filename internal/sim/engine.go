@@ -36,6 +36,11 @@ type Config struct {
 	Meta protocol.MetaMode
 	// MaxEvents caps the run as a runaway guard; 0 defaults to 10M.
 	MaxEvents int
+	// ShareSets, for PartialRep only, assigns each variable its set of
+	// replicating processes. Writes are multicast to the share-set and
+	// reads of non-replicated variables are forwarded to a serving
+	// replica. Nil means full replication.
+	ShareSets [][]int
 }
 
 // Result is the outcome of a run.
@@ -53,6 +58,10 @@ type Result struct {
 	// Config.Meta is enabled: MetaBytes is the clock-field share,
 	// WireBytes the full encoded update size (both zero with MetaOff).
 	MetaBytes, WireBytes uint64
+	// UpdateCopies counts per-destination update transmissions (the
+	// fan-out cost a real network pays): P−1 per write under full
+	// replication, |shareSet|−1 (or |shareSet|) under partial.
+	UpdateCopies uint64
 }
 
 // Errors returned by Run.
@@ -139,6 +148,9 @@ type node struct {
 	// sleeping is true while a wake event for a SleepStep is scheduled;
 	// the script must not advance from other triggers meanwhile.
 	sleeping bool
+	// awaitingRead is true while a forwarded read is in flight; the
+	// script blocks on the current ReadStep until the reply lands.
+	awaitingRead bool
 }
 
 func (n *node) done() bool { return n.pc >= len(n.script) }
@@ -164,6 +176,10 @@ type engine struct {
 	codecBuf  []byte
 	metaBytes uint64
 	wireBytes uint64
+	// shares is the partial-replication assignment (zero = full): it
+	// narrows write fan-out and routes forwarded reads.
+	shares protocol.ShareSets
+	copies uint64
 }
 
 // Run executes scripts (one per process) under cfg and returns the
@@ -201,9 +217,29 @@ func Run(cfg Config, scripts []Script) (*Result, error) {
 			e.decs[i] = protocol.NewUpdateDecoder(cfg.Meta)
 		}
 	}
+	if cfg.ShareSets != nil {
+		if cfg.Protocol != protocol.PartialRep {
+			return nil, fmt.Errorf("sim: share-sets require PartialRep, not %v", cfg.Protocol)
+		}
+		shares, err := protocol.NewShareSets(cfg.ShareSets, cfg.Procs)
+		if err != nil {
+			return nil, err
+		}
+		if shares.NumVars() != cfg.Vars {
+			return nil, fmt.Errorf("sim: %d share-sets for %d variables", shares.NumVars(), cfg.Vars)
+		}
+		e.shares = shares
+		e.log.ShareSets = shares.Raw()
+	}
 	newReplica := cfg.NewReplica
 	if newReplica == nil {
-		newReplica = func(p, n, m int) protocol.Replica { return protocol.New(cfg.Protocol, p, n, m) }
+		shares := e.shares
+		switch {
+		case cfg.Protocol == protocol.PartialRep:
+			newReplica = func(p, n, m int) protocol.Replica { return protocol.NewPartialRep(p, n, m, shares) }
+		default:
+			newReplica = func(p, n, m int) protocol.Replica { return protocol.New(cfg.Protocol, p, n, m) }
+		}
 	}
 	tokenized := false
 	for p := 0; p < cfg.Procs; p++ {
@@ -247,7 +283,7 @@ func Run(cfg Config, scripts []Script) (*Result, error) {
 
 	res := &Result{
 		Log: e.log, Updates: e.updates, Replicas: e.replicas(), End: e.now,
-		MetaBytes: e.metaBytes, WireBytes: e.wireBytes,
+		MetaBytes: e.metaBytes, WireBytes: e.wireBytes, UpdateCopies: e.copies,
 	}
 	if err := e.checkQuiescent(); err != nil {
 		return res, err
@@ -308,7 +344,7 @@ func (e *engine) checkQuiescent() error {
 // advance runs the script of process p until it blocks or finishes.
 func (e *engine) advance(p int) {
 	n := e.nodes[p]
-	for !n.done() && !n.sleeping {
+	for !n.done() && !n.sleeping && !n.awaitingRead {
 		switch s := n.script[n.pc].(type) {
 		case WriteStep:
 			n.pc++
@@ -322,6 +358,18 @@ func (e *engine) advance(p int) {
 				e.broadcast(p, u)
 			}
 		case ReadStep:
+			if rr, ok := n.replica.(protocol.RemoteReader); ok && !rr.LocalVar(s.Var) {
+				// Forward the read; the script blocks here until the
+				// reply completes it (handleArrival advances pc).
+				req, server := rr.NewReadReq(s.Var)
+				n.awaitingRead = true
+				e.log.Append(trace.Event{
+					Kind: trace.ReadFwd, Proc: p, Time: e.now,
+					Write: req.ID, Var: s.Var,
+				})
+				e.send(p, server, req)
+				return
+			}
 			n.pc++
 			v, from := n.replica.Read(s.Var)
 			e.log.Append(trace.Event{
@@ -344,35 +392,53 @@ func (e *engine) advance(p int) {
 	}
 }
 
-// broadcast ships u from p to every other process with modeled latency.
+// broadcast ships u from p to its destinations — every other process,
+// or only the share-set of u.Var under partial replication — with
+// modeled latency.
 func (e *engine) broadcast(p int, u protocol.Update) {
 	e.log.Append(trace.Event{
 		Kind: trace.Send, Proc: p, Time: e.now,
 		Write: u.ID, Var: u.Var, Val: u.Val,
 	})
-	for q := 0; q < e.cfg.Procs; q++ {
-		if q == p {
-			continue
-		}
-		d := e.lat.Delay(p, q, u)
-		if d < 0 {
-			panic(fmt.Sprintf("sim: negative latency %d for %v", d, u))
-		}
-		at := e.now + d
-		if e.cfg.FIFO {
-			link := p*e.cfg.Procs + q
-			if at <= e.lastArrival[link] {
-				at = e.lastArrival[link] + 1
+	if !u.Marker && !e.shares.IsZero() {
+		for _, q := range e.shares.Replicas(u.Var) {
+			if q != p {
+				e.copies++
+				e.send(p, q, u)
 			}
-			e.lastArrival[link] = at
 		}
-		deliver := u
-		if e.encs != nil {
-			deliver = e.recode(p, q, u)
-		}
-		e.inflight++
-		e.schedule(event{time: at, kind: evArrival, proc: q, u: deliver})
+		return
 	}
+	for q := 0; q < e.cfg.Procs; q++ {
+		if q != p {
+			e.copies++
+			e.send(p, q, u)
+		}
+	}
+}
+
+// send ships one copy of u from p to q with modeled latency, per-link
+// FIFO and the metadata codec — the unicast leg shared by broadcast,
+// read forwarding and read replies.
+func (e *engine) send(p, q int, u protocol.Update) {
+	d := e.lat.Delay(p, q, u)
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative latency %d for %v", d, u))
+	}
+	at := e.now + d
+	if e.cfg.FIFO {
+		link := p*e.cfg.Procs + q
+		if at <= e.lastArrival[link] {
+			at = e.lastArrival[link] + 1
+		}
+		e.lastArrival[link] = at
+	}
+	deliver := u
+	if e.encs != nil {
+		deliver = e.recode(p, q, u)
+	}
+	e.inflight++
+	e.schedule(event{time: at, kind: evArrival, proc: q, u: deliver})
 }
 
 // recode runs u through the p→q link's codec pair and returns the
@@ -399,6 +465,32 @@ func (e *engine) recode(p, q int, u protocol.Update) protocol.Update {
 // handleArrival processes the receipt of u at process p.
 func (e *engine) handleArrival(p int, u protocol.Update) {
 	n := e.nodes[p]
+	if u.ReadReply {
+		// A reply whose matrix covers writes addressed *here* that are
+		// still in flight waits for them — the mirror of the server-side
+		// request wait. Merging it early would stamp the reader's next
+		// write ahead of those stragglers at remote replicas.
+		if n.replica.Status(u) != protocol.Deliverable {
+			n.pending = append(n.pending, u)
+			return
+		}
+		e.completeRead(p, u, false)
+		e.drain(p)
+		e.advance(p)
+		return
+	}
+	if u.ReadReq {
+		// No Receipt event: a waiting request is a read delay, recorded
+		// on the ReadServe event, never a write delay.
+		if n.replica.Status(u) == protocol.Deliverable {
+			e.serveRead(p, u, false)
+		} else {
+			n.pending = append(n.pending, u)
+		}
+		e.drain(p)
+		e.advance(p)
+		return
+	}
 	st := n.replica.Status(u)
 	kind := trace.Receipt
 	if u.Marker {
@@ -445,6 +537,34 @@ func (e *engine) apply(p int, u protocol.Update) {
 	})
 }
 
+// serveRead answers a deliverable forwarded-read request at serving
+// replica p. buffered marks requests that had to wait for the
+// requester's causal past — the read-delay count of E-partial.
+func (e *engine) serveRead(p int, req protocol.Update, buffered bool) {
+	reply := e.nodes[p].replica.(protocol.RemoteReader).ServeRead(req)
+	e.log.Append(trace.Event{
+		Kind: trace.ReadServe, Proc: p, Time: e.now,
+		Write: req.ID, Var: req.Var, Val: reply.Val, From: reply.Prev,
+		Buffered: buffered,
+	})
+	e.send(p, req.ID.Proc, reply)
+}
+
+// completeRead finishes the ReadStep requester p is parked on with a
+// deliverable forwarded-read reply. buffered marks replies that had to
+// wait for in-flight writes addressed to the requester — the
+// requester-side read delay of E-partial.
+func (e *engine) completeRead(p int, reply protocol.Update, buffered bool) {
+	n := e.nodes[p]
+	v, from := n.replica.(protocol.RemoteReader).CompleteRead(reply)
+	e.log.Append(trace.Event{
+		Kind: trace.Return, Proc: p, Time: e.now,
+		Var: reply.Var, Val: v, From: from, Buffered: buffered,
+	})
+	n.awaitingRead = false
+	n.pc++
+}
+
 // discard drops the late message of an already logically-applied write.
 func (e *engine) discard(p int, u protocol.Update) {
 	e.nodes[p].replica.Discard(u)
@@ -465,7 +585,14 @@ func (e *engine) drain(p int) {
 			switch n.replica.Status(u) {
 			case protocol.Deliverable:
 				n.pending = append(n.pending[:i], n.pending[i+1:]...)
-				e.apply(p, u)
+				switch {
+				case u.ReadReq:
+					e.serveRead(p, u, true)
+				case u.ReadReply:
+					e.completeRead(p, u, true)
+				default:
+					e.apply(p, u)
+				}
 				progressed = true
 			case protocol.Discardable:
 				n.pending = append(n.pending[:i], n.pending[i+1:]...)

@@ -125,9 +125,10 @@ func parseCSVEvent(rec []string) (Event, error) {
 
 // JSONLog is the stable JSON schema of a log.
 type JSONLog struct {
-	NumProcs int         `json:"num_procs"`
-	NumVars  int         `json:"num_vars"`
-	Events   []JSONEvent `json:"events"`
+	NumProcs  int         `json:"num_procs"`
+	NumVars   int         `json:"num_vars"`
+	ShareSets [][]int     `json:"share_sets,omitempty"`
+	Events    []JSONEvent `json:"events"`
 }
 
 // JSONEvent is the stable JSON schema of one event — shared by the
@@ -173,7 +174,7 @@ func (je JSONEvent) Event() (Event, error) {
 
 // WriteJSON streams the log as a single JSON document.
 func (l *Log) WriteJSON(w io.Writer) error {
-	jl := JSONLog{NumProcs: l.NumProcs, NumVars: l.NumVars, Events: make([]JSONEvent, 0, len(l.Events))}
+	jl := JSONLog{NumProcs: l.NumProcs, NumVars: l.NumVars, ShareSets: l.ShareSets, Events: make([]JSONEvent, 0, len(l.Events))}
 	for _, e := range l.Events {
 		jl.Events = append(jl.Events, ToJSONEvent(e))
 	}
@@ -192,6 +193,7 @@ func ReadJSON(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("trace: json decode: %w", err)
 	}
 	l := NewLog(jl.NumProcs, jl.NumVars)
+	l.ShareSets = jl.ShareSets
 	for i, je := range jl.Events {
 		e, err := je.Event()
 		if err != nil {

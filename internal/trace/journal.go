@@ -32,8 +32,9 @@ import (
 // preserving the old "mid-run audits see a prefix" contract. After
 // Quiesce/Close there are no in-flight appends and nothing is cut.
 type Journal struct {
-	numProcs int
-	numVars  int
+	numProcs  int
+	numVars   int
+	shareSets [][]int
 
 	// ticket is the global order ticket source; the next event gets
 	// ticket.Add(1)-1 as its Seq.
@@ -82,6 +83,11 @@ func (j *Journal) NumProcs() int { return j.numProcs }
 
 // NumVars returns the variable count the journal was built for.
 func (j *Journal) NumVars() int { return j.numVars }
+
+// SetShareSets records the run's partial-replication assignment so
+// every Snapshot carries it to the audit. Must be called before the
+// first Snapshot; the journal does not copy the slices.
+func (j *Journal) SetShareSets(sets [][]int) { j.shareSets = sets }
 
 // Record stores *e, stamping its global ticket into e.Seq in place —
 // the copy-free form of Append for hot paths. It is safe for
@@ -175,5 +181,6 @@ func (j *Journal) Snapshot() *Log {
 	}
 	l := NewLog(j.numProcs, j.numVars)
 	l.Events = events
+	l.ShareSets = j.shareSets
 	return l
 }

@@ -27,6 +27,17 @@ type EventKind int
 // of its overwriter; Drop is the subsequent arrival of the skipped
 // write's message, dropped without effect.
 //
+// ReadFwd and ReadServe belong to partial replication: ReadFwd is the
+// forwarding of a read of a non-replicated variable, recorded at the
+// requester (Var names the variable, Write the negative-sequence
+// request token); ReadServe is the serving replica answering it (Val
+// and From carry the returned value and its writer; Buffered marks a
+// request that had to wait for the requester's causal past). A
+// forwarded read's Return event carries Buffered when the *reply* had
+// to wait at the requester for in-flight writes addressed to it. Both
+// are *read* delays, deliberately kept out of the write-delay
+// accounting, which matches buffered Receipts only.
+//
 // NetDrop, Retransmit and DupDiscard are transport-level, recorded only
 // when the chaos stack is active: NetDrop is a frame lost to fault
 // injection (recorded at the sender), Retransmit a reliability-sublayer
@@ -58,6 +69,8 @@ const (
 	Recover
 	Suspect
 	Alive
+	ReadFwd
+	ReadServe
 
 	// numEventKinds is the exhaustiveness sentinel: every kind above
 	// must have a name in eventKindNames (enforced by tests).
@@ -86,6 +99,8 @@ var eventKindNames = [numEventKinds]string{
 	Recover:    "recover",
 	Suspect:    "suspect",
 	Alive:      "alive",
+	ReadFwd:    "read-fwd",
+	ReadServe:  "read-serve",
 }
 
 // String implements fmt.Stringer.
@@ -159,6 +174,45 @@ type Log struct {
 	NumProcs int
 	NumVars  int
 	Events   []Event
+
+	// ShareSets, when non-nil, records the partial-replication
+	// assignment the run executed under: ShareSets[x] lists the
+	// processes replicating variable x. The audit uses it to decide
+	// which processes each write must apply at. Nil means full
+	// replication.
+	ShareSets [][]int
+}
+
+// Replicated reports whether process p replicates variable x under the
+// log's assignment (always true for fully replicated runs).
+func (l *Log) Replicated(p, x int) bool {
+	if l.ShareSets == nil || x < 0 || x >= len(l.ShareSets) {
+		return true
+	}
+	for _, q := range l.ShareSets[x] {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadFwdCount returns the number of forwarded reads in the run.
+func (l *Log) ReadFwdCount() int { return l.countKind(ReadFwd) }
+
+// ReadDelayCount returns the number of forwarded-read delay events: a
+// request held at its serving replica for the requester's causal past
+// counts one, and a reply held at the requester for in-flight writes
+// addressed to it counts another (so a read delayed at both ends
+// contributes two).
+func (l *Log) ReadDelayCount() int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Buffered && (e.Kind == ReadServe || e.Kind == Return) {
+			n++
+		}
+	}
+	return n
 }
 
 // NewLog returns an empty log for n processes over m variables.
@@ -412,13 +466,20 @@ func (l *Log) ReadsReturned() int {
 
 // AppliesAt returns, for process p, the ordered list of writes applied
 // (Apply events) there, including local applies recorded as Issue.
+//
+// Under partial replication an Issue of a variable the writer does not
+// replicate is not a local apply — the writer multicasts the update to
+// the share-set without installing it — so such Issues are excluded.
+// (A forwarded read can place an addressed-but-not-yet-applied write in
+// the writer's causal past, so counting the Issue as an apply would
+// fabricate ordering constraints the protocol never promises.)
 func (l *Log) AppliesAt(p int) []history.WriteID {
 	var out []history.WriteID
 	for _, e := range l.Events {
 		if e.Proc != p {
 			continue
 		}
-		if e.Kind == Apply || e.Kind == Issue {
+		if e.Kind == Apply || (e.Kind == Issue && l.Replicated(p, e.Var)) {
 			out = append(out, e.Write)
 		}
 	}
@@ -449,7 +510,8 @@ func (l *Log) VisibilityLatencies() []int64 {
 }
 
 // LogicallyAppliedAt is AppliesAt but also counting Discards as logical
-// applies (the writing-semantics reading of "applied").
+// applies (the writing-semantics reading of "applied"). Issues of
+// non-replicated variables are excluded, as in AppliesAt.
 func (l *Log) LogicallyAppliedAt(p int) []history.WriteID {
 	var out []history.WriteID
 	for _, e := range l.Events {
@@ -457,8 +519,12 @@ func (l *Log) LogicallyAppliedAt(p int) []history.WriteID {
 			continue
 		}
 		switch e.Kind {
-		case Apply, Issue, Discard:
+		case Apply, Discard:
 			out = append(out, e.Write)
+		case Issue:
+			if l.Replicated(p, e.Var) {
+				out = append(out, e.Write)
+			}
 		}
 	}
 	return out
@@ -473,8 +539,12 @@ func (l *Log) LogicallyAppliedPerProc() [][]history.WriteID {
 	out := make([][]history.WriteID, l.NumProcs)
 	for _, e := range l.Events {
 		switch e.Kind {
-		case Apply, Issue, Discard:
+		case Apply, Discard:
 			out[e.Proc] = append(out[e.Proc], e.Write)
+		case Issue:
+			if l.Replicated(e.Proc, e.Var) {
+				out[e.Proc] = append(out[e.Proc], e.Write)
+			}
 		}
 	}
 	return out

@@ -188,6 +188,7 @@ func TestEventKindStringExhaustive(t *testing.T) {
 		Discard: "discard", Drop: "drop", Return: "return", Token: "token",
 		NetDrop: "net-drop", Retransmit: "retransmit", DupDiscard: "dup-discard",
 		Crash: "crash", Recover: "recover", Suspect: "suspect", Alive: "alive",
+		ReadFwd: "read-fwd", ReadServe: "read-serve",
 	}
 	if len(want) != int(numEventKinds) {
 		t.Fatalf("test table has %d kinds, sentinel says %d", len(want), int(numEventKinds))

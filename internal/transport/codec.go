@@ -148,3 +148,13 @@ func (c *Codec) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 		"protocol messages recoded by the metadata codec",
 		func() uint64 { return c.frames.Load() }, labels...)
 }
+
+// SendTo implements Multicaster, fanning out through the
+// per-destination recode exactly like SendAll.
+func (c *Codec) SendTo(from int, dests []int, u protocol.Update) {
+	for _, q := range dests {
+		if q != from {
+			c.Send(Message{From: from, To: q, Update: u})
+		}
+	}
+}

@@ -312,3 +312,72 @@ func Broadcast(t Transport, procs, from int, u protocol.Update) {
 		}
 	}
 }
+
+// Multicaster is the share-set-aware sibling of Broadcaster: SendTo
+// enqueues one update to an explicit destination set under a single
+// accept. PartialRep writes use it so an update costs |shareSet| − 1
+// messages instead of P − 1.
+type Multicaster interface {
+	SendTo(from int, dests []int, u protocol.Update)
+}
+
+// SendTo implements Multicaster for the standard Net. dests may include
+// from (it is skipped) and must be duplicate-free.
+func (n *Net) SendTo(from int, dests []int, u protocol.Update) {
+	n.closeMu.RLock()
+	defer n.closeMu.RUnlock()
+	if n.closed {
+		return
+	}
+	count := 0
+	for _, q := range dests {
+		if q != from {
+			count++
+		}
+	}
+	if count == 0 {
+		return
+	}
+	n.inflight.add(count)
+	if n.cfg.FIFO {
+		for _, q := range dests {
+			if q != from {
+				n.links[from][q] <- Message{From: from, To: q, Update: u}
+			}
+		}
+		return
+	}
+	for _, q := range dests {
+		if q == from {
+			continue
+		}
+		m := Message{From: from, To: q, Update: u}
+		d := n.sampleDelay()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer n.inflight.add(-1)
+			if d > 0 {
+				time.Sleep(d)
+			}
+			n.deliver(m)
+		}()
+	}
+}
+
+// Multicast sends u from process `from` to every process in dests
+// except the sender, using the transport's batched path when it has
+// one. The per-destination fallback keeps the reliability, chaos and
+// metadata-codec wrappers — none of which need a batched accept —
+// working unchanged.
+func Multicast(t Transport, from int, dests []int, u protocol.Update) {
+	if mc, ok := t.(Multicaster); ok {
+		mc.SendTo(from, dests, u)
+		return
+	}
+	for _, q := range dests {
+		if q != from {
+			t.Send(Message{From: from, To: q, Update: u})
+		}
+	}
+}

@@ -259,3 +259,34 @@ func TestConcurrentSenders(t *testing.T) {
 	}
 	n.Close()
 }
+
+// TestMulticastDestinations: SendTo delivers exactly to the requested
+// set (minus the sender) in both FIFO and reorder modes, and the
+// generic Multicast helper falls back to per-destination sends for
+// transports without the batched path.
+func TestMulticastDestinations(t *testing.T) {
+	for _, fifo := range []bool{true, false} {
+		n, err := New(Config{Procs: 4, FIFO: fifo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got [4]atomic.Int64
+		for p := 0; p < 4; p++ {
+			p := p
+			n.Register(p, func(m Message) { got[p].Add(1) })
+		}
+		Multicast(n, 1, []int{0, 1, 3}, protocol.Update{Var: 0, Val: 7})
+		n.Flush()
+		want := [4]int64{1, 0, 0, 1}
+		for p := range got {
+			if g := got[p].Load(); g != want[p] {
+				t.Errorf("fifo=%v: p%d received %d messages, want %d", fifo, p+1, g, want[p])
+			}
+		}
+		if err := n.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// After close, SendTo must be a silent no-op.
+		n.SendTo(1, []int{0, 2}, protocol.Update{})
+	}
+}
